@@ -1,0 +1,40 @@
+"""Fig 10: ResNet-50/ImageNet-1k scaling on Piz Daint and Lassen."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_piz_daint(benchmark, report):
+    """Piz Daint sweep: PyTorch / DALI / NoPFS / no-I/O, 32-256 GPUs.
+
+    Shape: NoPFS tracks the no-I/O bound and beats PyTorch by a growing
+    factor (paper: 2.2x at 256 GPUs); PyTorch's epoch time flattens as
+    Lustre saturates.
+    """
+    result = benchmark.pedantic(
+        fig10.run, args=("piz_daint",), rounds=1, iterations=1
+    )
+    report("fig10_piz_daint", result.render())
+    sweep = result.sweep
+    top = sweep.gpu_counts[-1]
+    assert sweep.speedup(top, "PyTorch") > 1.5
+    assert sweep.speedup(top, "PyTorch") > sweep.speedup(sweep.gpu_counts[0], "PyTorch")
+    assert sweep.median_epoch(top, "NoPFS") <= sweep.median_epoch(top, "No I/O") * 1.1
+
+
+def test_fig10_lassen(benchmark, report):
+    """Lassen sweep: PyTorch / LBANN / NoPFS / no-I/O.
+
+    Shape: the PyTorch gap grows toward the paper's 5.4x; LBANN sits
+    between PyTorch and NoPFS; NoPFS batch-time tails stay flat while
+    PyTorch's explode (the violin-plot story).
+    """
+    result = benchmark.pedantic(fig10.run, args=("lassen",), rounds=1, iterations=1)
+    report("fig10_lassen", result.render())
+    sweep = result.sweep
+    top = sweep.gpu_counts[-1]
+    assert sweep.speedup(top, "PyTorch") > 2.0
+    lbann = sweep.median_epoch(top, "LBANN")
+    assert sweep.median_epoch(top, "NoPFS") <= lbann <= sweep.median_epoch(top, "PyTorch")
+    pt = sweep.points[(top, "PyTorch")].batch_stats
+    np_ = sweep.points[(top, "NoPFS")].batch_stats
+    assert pt.max / pt.p50 > np_.max / np_.p50

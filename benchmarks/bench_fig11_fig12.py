@@ -1,0 +1,42 @@
+"""Fig 11 (epoch-0 batch times) and Fig 12 (NoPFS cache stats)."""
+
+import pytest
+
+from repro.experiments import fig11, fig12
+
+
+def test_fig11_epoch0(benchmark, report):
+    """Fig 11: in epoch 0 every loader reads the PFS, so the loaders are
+    close; from epoch 1 NoPFS pulls away ("it is always the first epoch
+    for a data loader")."""
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    report("fig11", result.render())
+    for gpus in result.gpu_counts:
+        e0_gap = (
+            result.epoch0[(gpus, "PyTorch")].p50
+            / result.epoch0[(gpus, "NoPFS")].p50
+        )
+        warm_gap = (
+            result.warm[(gpus, "PyTorch")].p50
+            / result.warm[(gpus, "NoPFS")].p50
+        )
+        assert warm_gap >= e0_gap * 0.9
+    # PyTorch warm epochs look like its epoch 0 (no caching).
+    for gpus in result.gpu_counts:
+        assert result.warm[(gpus, "PyTorch")].p50 == pytest.approx(
+            result.epoch0[(gpus, "PyTorch")].p50, rel=0.35
+        )
+
+
+def test_fig12_cache_stats(benchmark, report):
+    """Fig 12: stall time shrinks with scale; fetch shares include all
+    three locations with the PFS share bounded by the cold epoch."""
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    report("fig12", result.render())
+    first, last = result.gpu_counts[0], result.gpu_counts[-1]
+    assert result.stall_s[last] < result.stall_s[first]
+    for gpus in result.gpu_counts:
+        shares = result.shares[gpus]
+        assert shares["local"] > 0.5  # warm epochs dominate bytes
+        assert shares["remote"] > 0  # warm-up remote fetches present
+        assert sum(shares.values()) == pytest.approx(1.0)

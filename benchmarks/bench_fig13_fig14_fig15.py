@@ -1,0 +1,43 @@
+"""Figs 13-15: batch-size sweep, ImageNet-22k and CosmoFlow on Lassen."""
+
+from repro.experiments import fig13, fig14, fig15
+
+
+def test_fig13_batch_sizes(benchmark, report):
+    """Fig 13: NoPFS faster at every batch size; PyTorch variance grows
+    with batch size while NoPFS's stays roughly constant."""
+    result = benchmark.pedantic(fig13.run, rounds=1, iterations=1)
+    report("fig13", result.render())
+    sizes = result.batch_sizes
+    for b in sizes:
+        assert result.stats[(b, "NoPFS")].p50 <= result.stats[(b, "PyTorch")].p50
+    # PyTorch's tail spread widens with batch size more than NoPFS's.
+    def spread(label, b):
+        s = result.stats[(b, label)]
+        return s.max - s.p50
+
+    assert spread("PyTorch", sizes[-1]) > spread("PyTorch", sizes[0])
+    assert spread("PyTorch", sizes[-1]) > spread("NoPFS", sizes[-1])
+
+
+def test_fig14_imagenet22k(benchmark, report):
+    """Fig 14: the many-samples dataset; paper headline 2.4x at 1024."""
+    result = benchmark.pedantic(fig14.run, rounds=1, iterations=1)
+    report("fig14", result.render())
+    assert result.headline_speedup() > 1.5
+    sweep = result.sweep
+    top = sweep.gpu_counts[-1]
+    assert sweep.median_epoch(top, "NoPFS") <= sweep.median_epoch(top, "No I/O") * 1.15
+
+
+def test_fig15_cosmoflow(benchmark, report):
+    """Fig 15: the many-bytes dataset; paper headline 2.1x at 1024.
+
+    Also checks the paper's note that NoPFS "automatically takes
+    advantage of SSDs to cache parts of the CosmoFlow dataset at small
+    scale, when the aggregate node memory is insufficient".
+    """
+    result = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    report("fig15", result.render())
+    assert result.headline_speedup() > 1.3
+    assert result.nopfs_uses_local_cache()

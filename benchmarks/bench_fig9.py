@@ -1,0 +1,26 @@
+"""Fig 9: the ImageNet-22k RAM x SSD design-space sweep."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_design_space(benchmark, report):
+    """30-cell storage sweep with the NoPFS policy at 5x compute.
+
+    Shape assertions (the paper's Sec 6.2 conclusions):
+    * runtime is monotone non-increasing in RAM at fixed SSD;
+    * maximal storage beats no storage;
+    * with maximal RAM, adding SSD barely matters;
+    * with little RAM, SSD compensates substantially.
+    """
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    report("fig9", result.render())
+
+    assert result.monotone_in_ram()
+    assert result.times_s[(512, 1024)] <= result.times_s[(0, 0)]
+
+    # Maxed RAM: SSD size becomes nearly irrelevant (<5% effect).
+    maxed = [result.times_s[(512, s)] for s in result.ssd_gb]
+    assert max(maxed) <= min(maxed) * 1.05
+
+    # Low RAM: the largest SSD helps substantially (>5%).
+    assert result.times_s[(32, 1024)] <= result.times_s[(32, 0)] * 0.95

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures: rendered tables are saved next to timings.
+
+Every benchmark regenerates one of the paper's tables/figures; besides
+the pytest-benchmark timing, the rendered rows (measured next to the
+paper's published values) are written to ``benchmarks/output/`` and
+echoed so ``pytest benchmarks/ --benchmark-only -s`` shows them inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture()
+def report():
+    """Save + echo a regenerated figure/table rendering."""
+
+    def _report(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _report

@@ -1,0 +1,86 @@
+"""Quickstart: the paper's Fig 7 three-line integration, working.
+
+Generates a small on-disk dataset, starts a two-rank NoPFS job group
+(staging buffers, cache tiers, clairvoyant prefetchers, in-process
+"MPI"), and trains... well, iterates — printing where every rank's
+samples actually came from.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.loader import NoPFSDataLoader, SyntheticFileDataset
+from repro.runtime import DistributedJobGroup, MemoryBackend
+
+NUM_SAMPLES = 400
+SAMPLE_BYTES = 2_048
+NUM_WORKERS = 2
+BATCH_SIZE = 8
+NUM_EPOCHS = 3
+SEED = 42
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        # The "PFS": real files on disk.
+        dataset = SyntheticFileDataset.generate(
+            Path(tmp) / "data",
+            num_samples=NUM_SAMPLES,
+            mean_bytes=SAMPLE_BYTES,
+            num_classes=10,
+            seed=SEED,
+        )
+        print(f"dataset: {len(dataset)} samples, {dataset.total_bytes():,} bytes")
+
+        # --- the Fig 7 pattern -------------------------------------------
+        # job   = Job(data_dir, batch_size, num_epochs, seed, drop_last)
+        # ds    = NoPFSImageFolder(data_dir, job, transforms)
+        # loader = NoPFSDataLoader(ds)
+        group = DistributedJobGroup(
+            dataset,
+            num_workers=NUM_WORKERS,
+            batch_size=BATCH_SIZE,
+            num_epochs=NUM_EPOCHS,
+            seed=SEED,
+            tier_factories=[lambda rank: MemoryBackend(256 << 10)],
+            staging_bytes=64 << 10,
+            staging_threads=2,
+        )
+        with group:
+            loaders = [NoPFSDataLoader(job) for job in group.jobs]
+            # Drive rank 0 in this thread; rank 1 on a helper thread.
+            import threading
+
+            def consume(loader: NoPFSDataLoader, sink: list) -> None:
+                for epoch in range(NUM_EPOCHS):
+                    for batch in loader.epoch(epoch):
+                        sink.append(len(batch))
+
+            sinks: list[list[int]] = [[], []]
+            helper = threading.Thread(
+                target=consume, args=(loaders[1], sinks[1]), daemon=True
+            )
+            helper.start()
+            consume(loaders[0], sinks[0])
+            helper.join()
+
+        for job in group.jobs:
+            stats = job.stats.as_dict()
+            print(
+                f"rank {job.rank}: consumed {job.total_samples} samples | "
+                f"local {stats['local_hits']}, remote {stats['remote_hits']}, "
+                f"PFS {stats['dataset_reads']} "
+                f"(heuristic false positives: {stats['heuristic_false_positives']})"
+            )
+        print(
+            f"cross-rank traffic: {group.group.remote_requests} requests, "
+            f"{group.group.remote_bytes_served:,} bytes served"
+        )
+
+
+if __name__ == "__main__":
+    main()

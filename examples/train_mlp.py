@@ -1,0 +1,105 @@
+"""End-to-end SGD through swappable loaders — the paper's integration claim.
+
+Trains the same NumPy MLP on the same clairvoyant sample stream through
+three loaders (naive synchronous, PyTorch-style double buffering, and
+NoPFS) over a deliberately *slow* dataset (per-read latency emulating a
+contended PFS). The learning curves are bit-identical; only the
+wall-clock differs — NoPFS wins because after epoch 0 it serves from
+its cache instead of re-paying the latency.
+
+Run:  python examples/train_mlp.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import StreamConfig
+from repro.loader import (
+    DoubleBufferLoader,
+    NaiveLoader,
+    NoPFSDataLoader,
+    SyntheticFileDataset,
+)
+from repro.runtime import DistributedJobGroup, MemoryBackend
+from repro.training import train_classifier
+
+NUM_SAMPLES = 300
+SAMPLE_BYTES = 512
+FEATURES = 32
+CLASSES = 3
+BATCH = 10
+EPOCHS = 4
+SEED = 7
+READ_LATENCY_S = 0.002  # the "contended PFS"
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        SyntheticFileDataset.generate(
+            Path(tmp) / "data",
+            num_samples=NUM_SAMPLES,
+            mean_bytes=SAMPLE_BYTES,
+            num_classes=CLASSES,
+            seed=SEED,
+            learnable=True,
+        )
+        slow = SyntheticFileDataset(Path(tmp) / "data", latency_s=READ_LATENCY_S)
+        cfg = StreamConfig(SEED, NUM_SAMPLES, 1, BATCH, EPOCHS)
+
+        results = {}
+        timings = {}
+
+        t0 = time.perf_counter()
+        results["naive"] = train_classifier(
+            NaiveLoader(slow, cfg, 0), FEATURES, CLASSES, seed=1
+        )
+        timings["naive"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        results["double-buffer"] = train_classifier(
+            DoubleBufferLoader(slow, cfg, 0, prefetch_factor=2),
+            FEATURES,
+            CLASSES,
+            seed=1,
+        )
+        timings["double-buffer"] = time.perf_counter() - t0
+
+        group = DistributedJobGroup(
+            slow,
+            num_workers=1,
+            batch_size=BATCH,
+            num_epochs=EPOCHS,
+            seed=SEED,
+            tier_factories=[lambda r: MemoryBackend(4 << 20)],
+            staging_bytes=128 << 10,
+            staging_threads=4,
+        )
+        with group:
+            t0 = time.perf_counter()
+            results["nopfs"] = train_classifier(
+                NoPFSDataLoader(group.jobs[0]), FEATURES, CLASSES, seed=1
+            )
+            timings["nopfs"] = time.perf_counter() - t0
+
+        print(f"{'loader':14s} {'wall (s)':>9s} {'final loss':>11s} {'train acc':>10s}")
+        for name, res in results.items():
+            print(
+                f"{name:14s} {timings[name]:9.2f} {res.losses[-1]:11.4f} "
+                f"{res.train_accuracy:10.2%}"
+            )
+
+        for other in ("double-buffer", "nopfs"):
+            assert np.allclose(results["naive"].losses, results[other].losses), (
+                "loaders must produce identical training trajectories"
+            )
+        print("\nidentical learning curves across loaders: OK")
+        print(f"NoPFS wall-clock speedup vs naive: {timings['naive'] / timings['nopfs']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""NoPFS reproduction: clairvoyant prefetching for distributed ML I/O.
+
+Public entry points:
+
+* :mod:`repro.core` — clairvoyant access streams and frequency analysis.
+* :mod:`repro.perfmodel` — the Sec 4 I/O performance model.
+* :mod:`repro.sim` — the Sec 6 I/O policy simulator.
+* :mod:`repro.runtime` — the functional Sec 5 middleware (Job API).
+* :mod:`repro.loader` — iterator-style data loaders (Fig 7 API).
+* :mod:`repro.datasets` — dataset models and paper presets.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

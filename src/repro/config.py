@@ -1,0 +1,126 @@
+"""Configuration serialization helpers.
+
+The paper's C++ core reads "a system-wide configuration file" describing
+the performance-model parameters (Sec 5.2.2). We reproduce that with
+plain dataclasses plus a small mixin that round-trips any of the
+library's config objects through dicts/JSON, so system and simulation
+descriptions can live in version-controlled files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+from typing import Any, Type, TypeVar
+
+from .errors import ConfigurationError
+
+__all__ = ["ConfigMixin", "asdict_shallow"]
+
+T = TypeVar("T", bound="ConfigMixin")
+
+
+def asdict_shallow(obj: Any) -> dict[str, Any]:
+    """Shallow dataclass-to-dict conversion (nested configs stay objects)."""
+    if not dataclasses.is_dataclass(obj):
+        raise ConfigurationError(f"{obj!r} is not a dataclass")
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+class ConfigMixin:
+    """Adds dict/JSON round-tripping to a dataclass config.
+
+    Nested fields whose declared type is itself a ``ConfigMixin`` dataclass
+    are recursively (de)serialized; lists/tuples of such configs are
+    handled one level deep, which covers every config in this library.
+    """
+
+    def to_dict(self) -> dict[str, Any]:
+        """Recursively convert this config to plain Python containers."""
+        out: dict[str, Any] = {}
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            if f.name.startswith("_"):
+                continue  # private/cache fields are not part of the config
+            value = getattr(self, f.name)
+            out[f.name] = _encode(value)
+        return out
+
+    def to_json(self, **kwargs: Any) -> str:
+        """Serialize to a JSON string (``kwargs`` go to :func:`json.dumps`)."""
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls: Type[T], data: dict[str, Any]) -> T:
+        """Build a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`~repro.errors.ConfigurationError` to
+        catch typos in hand-written config files early.
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}  # type: ignore[arg-type]
+        unknown = set(data) - field_names
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls.__name__} config keys: {sorted(unknown)}"
+            )
+        # PEP 563 stringifies annotations; resolve them to real types so
+        # nested configs decode into their classes.
+        hints = typing.get_type_hints(cls)
+        kwargs: dict[str, Any] = {}
+        for name, value in data.items():
+            kwargs[name] = _decode(hints.get(name), value)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls: Type[T], text: str) -> T:
+        """Build a config from a JSON string produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, ConfigMixin):
+        return value.to_dict()
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy scalars/arrays
+        return value.tolist()
+    return value
+
+
+def _decode(ftype: Any, value: Any) -> Any:
+    # Dataclass configs arrive as dicts; anything else passes through.
+    if isinstance(value, dict):
+        target = _resolve_config_type(ftype)
+        if target is not None:
+            return target.from_dict(value)
+    if isinstance(value, list):
+        inner = _resolve_config_type(_first_type_arg(ftype))
+        if inner is not None and all(isinstance(v, dict) for v in value):
+            return tuple(inner.from_dict(v) for v in value)
+        return tuple(value) if _is_tuple_type(ftype) else value
+    return value
+
+
+def _resolve_config_type(ftype: Any) -> Any:
+    """Return the ConfigMixin subclass named by a field type, if any.
+
+    Unwraps ``Optional[X]`` / unions to find a config class among the
+    alternatives.
+    """
+    if isinstance(ftype, type) and issubclass(ftype, ConfigMixin):
+        return ftype
+    for arg in getattr(ftype, "__args__", ()):
+        if isinstance(arg, type) and issubclass(arg, ConfigMixin):
+            return arg
+    return None
+
+
+def _first_type_arg(ftype: Any) -> Any:
+    args = getattr(ftype, "__args__", ())
+    return args[0] if args else None
+
+
+def _is_tuple_type(ftype: Any) -> bool:
+    origin = getattr(ftype, "__origin__", None)
+    return origin in (tuple,) or ftype in (tuple,)

@@ -1,0 +1,151 @@
+"""The four optimal prefetching/caching rules and Bélády utilities (Sec 3).
+
+Cao, Felten, Karlin & Li (1995) showed any optimal single-disk integrated
+prefetching/caching strategy obeys four rules, which the paper adapts:
+
+1. **Optimal prefetching** — every prefetch fetches the next sample in
+   ``R`` that is not in the cache.
+2. **Optimal replacement** — every prefetch discards the sample whose
+   next use is furthest in the future.
+3. **Do no harm** — never discard ``A`` to prefetch ``B`` when ``A`` is
+   used before ``B``.
+4. **First opportunity** — never prefetch-and-replace when the same
+   operation could have been done earlier.
+
+NoPFS "is able to implement Rule 1 exactly and approximates the
+remaining rules within a limited time horizon, using the fact that a
+sample is accessed exactly once per epoch". This module provides the
+rule predicates as executable checks (used by the test suite to verify
+the staging-buffer policy) plus a reference Bélády cache simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "next_use_index",
+    "next_uncached_index",
+    "furthest_future_use",
+    "violates_do_no_harm",
+    "belady_evictions",
+    "staging_order_is_rule1",
+]
+
+
+def next_use_index(stream: np.ndarray) -> np.ndarray:
+    """For each position ``f`` in ``stream``, the next position accessing
+    the same sample (``len(stream)`` if never re-accessed).
+
+    Classic Bélády preprocessing, computed in one backward pass.
+    """
+    stream = np.asarray(stream)
+    n = stream.size
+    out = np.empty(n, dtype=np.int64)
+    last_seen: dict[int, int] = {}
+    for pos in range(n - 1, -1, -1):
+        sample = int(stream[pos])
+        out[pos] = last_seen.get(sample, n)
+        last_seen[sample] = pos
+    return out
+
+
+def next_uncached_index(
+    stream: np.ndarray, position: int, cached: set[int]
+) -> int | None:
+    """Rule 1 target: index of the next stream entry not in ``cached``.
+
+    Returns ``None`` when everything from ``position`` onward is cached.
+    """
+    stream = np.asarray(stream)
+    for pos in range(position, stream.size):
+        if int(stream[pos]) not in cached:
+            return pos
+    return None
+
+
+def furthest_future_use(
+    stream: np.ndarray, position: int, candidates: set[int]
+) -> int:
+    """Rule 2 victim: the candidate whose next use after ``position`` is
+    furthest in the future (never-used candidates win immediately).
+
+    Ties are broken toward the smaller sample id for determinism.
+    """
+    if not candidates:
+        raise ConfigurationError("no eviction candidates")
+    stream = np.asarray(stream)
+    remaining = set(candidates)
+    victim_distance = {c: np.inf for c in remaining}
+    for pos in range(position, stream.size):
+        sample = int(stream[pos])
+        if sample in remaining:
+            victim_distance[sample] = pos
+            remaining.discard(sample)
+            if not remaining:
+                break
+    # max distance; ties -> smallest id.
+    return min(
+        victim_distance, key=lambda c: (-victim_distance[c], c)
+    )
+
+
+def violates_do_no_harm(
+    stream: np.ndarray, position: int, evicted: int, prefetched: int
+) -> bool:
+    """Rule 3 predicate: ``True`` iff ``evicted`` is used before
+    ``prefetched`` in the remaining stream (the harmful case)."""
+    stream = np.asarray(stream)
+    for pos in range(position, stream.size):
+        sample = int(stream[pos])
+        if sample == evicted:
+            return True
+        if sample == prefetched:
+            return False
+    return False  # neither used again: eviction harmless
+
+
+def belady_evictions(stream: np.ndarray, cache_size: int) -> tuple[int, list[int]]:
+    """Reference Bélády (clairvoyant) cache simulation.
+
+    Returns ``(misses, evictions)`` for a demand-fetch cache of
+    ``cache_size`` samples processing ``stream``. Used as the optimality
+    baseline in tests: no online policy can miss less.
+    """
+    if cache_size <= 0:
+        raise ConfigurationError("cache_size must be positive")
+    stream = np.asarray(stream)
+    nxt = next_use_index(stream)
+    cache: dict[int, int] = {}  # sample -> next use position
+    misses = 0
+    evictions: list[int] = []
+    for pos in range(stream.size):
+        sample = int(stream[pos])
+        if sample in cache:
+            cache[sample] = int(nxt[pos])
+            continue
+        misses += 1
+        if len(cache) >= cache_size:
+            victim = min(cache, key=lambda c: (-cache[c], c))
+            del cache[victim]
+            evictions.append(victim)
+        cache[sample] = int(nxt[pos])
+    return misses, evictions
+
+
+def staging_order_is_rule1(
+    stream: np.ndarray, prefetch_order: np.ndarray
+) -> bool:
+    """Check a staging-buffer fill order satisfies Rule 1.
+
+    With drop-after-use semantics (NoPFS's staging buffer) nothing is in
+    cache when first prefetched, so Rule 1 reduces to: the prefetch order
+    must be exactly the access order. This helper verifies that.
+    """
+    stream = np.asarray(stream)
+    prefetch_order = np.asarray(prefetch_order)
+    return stream.shape == prefetch_order.shape and bool(
+        np.array_equal(stream, prefetch_order)
+    )

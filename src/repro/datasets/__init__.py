@@ -1,0 +1,25 @@
+"""Dataset models and the paper's evaluation-dataset registry."""
+
+from .model import DatasetModel
+from .registry import (
+    cosmoflow,
+    cosmoflow512,
+    get_dataset,
+    imagenet1k,
+    imagenet22k,
+    list_datasets,
+    mnist,
+    openimages,
+)
+
+__all__ = [
+    "DatasetModel",
+    "mnist",
+    "imagenet1k",
+    "openimages",
+    "imagenet22k",
+    "cosmoflow",
+    "cosmoflow512",
+    "get_dataset",
+    "list_datasets",
+]

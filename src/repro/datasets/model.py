@@ -1,0 +1,143 @@
+"""Dataset models: sample counts and per-sample size distributions.
+
+The paper's simulator describes each dataset by its number of samples
+``F`` and a (possibly degenerate) normal distribution of per-sample file
+sizes: "datasets with different filesizes are assumed to be distributed
+normally and we vary the mu and sigma parameters and the number of
+samples, F, to match" (Sec 6.1). :class:`DatasetModel` reproduces exactly
+that: it deterministically materializes an ``F``-vector of sizes in MB
+from ``(mu, sigma, seed)``.
+
+Sizes are truncated below at ``min_size_mb`` (a file cannot have negative
+or zero size); truncation is re-centred so the realized mean stays within
+a fraction of a percent of ``mu`` for the paper's parameter ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ConfigMixin
+from ..errors import ConfigurationError
+from ..rng import DEFAULT_SEED, generator
+
+__all__ = ["DatasetModel"]
+
+
+@dataclass(frozen=True)
+class DatasetModel(ConfigMixin):
+    """A dataset as seen by the I/O layer: ``F`` samples with sizes in MB.
+
+    Parameters
+    ----------
+    name:
+        Human-readable dataset name (used in harness output).
+    num_samples:
+        ``F`` — number of training samples.
+    mean_size_mb:
+        ``mu`` — mean per-sample file size in MB.
+    std_size_mb:
+        ``sigma`` — standard deviation of the size distribution in MB.
+        ``0`` gives constant-size samples (MNIST, CosmoFlow).
+    seed:
+        Seed of the size-generation stream (independent of shuffle seeds).
+    min_size_mb:
+        Lower truncation bound for sampled sizes.
+    """
+
+    name: str
+    num_samples: int
+    mean_size_mb: float
+    std_size_mb: float = 0.0
+    seed: int = DEFAULT_SEED
+    min_size_mb: float = 1e-4
+    _cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ConfigurationError("num_samples must be positive")
+        if self.mean_size_mb <= 0:
+            raise ConfigurationError("mean_size_mb must be positive")
+        if self.std_size_mb < 0:
+            raise ConfigurationError("std_size_mb must be non-negative")
+        if self.min_size_mb <= 0 or self.min_size_mb > self.mean_size_mb:
+            raise ConfigurationError("min_size_mb must be in (0, mean_size_mb]")
+
+    # -- sizes ---------------------------------------------------------
+
+    def sizes_mb(self) -> np.ndarray:
+        """Per-sample sizes in MB, shape ``(F,)``, float64, deterministic.
+
+        The array is computed once and cached on the instance; callers
+        must treat it as read-only (it is marked non-writeable).
+        """
+        cached = self._cache.get("sizes")
+        if cached is None:
+            cached = self._generate_sizes()
+            cached.setflags(write=False)
+            self._cache["sizes"] = cached
+        return cached
+
+    def _generate_sizes(self) -> np.ndarray:
+        if self.std_size_mb == 0.0:
+            return np.full(self.num_samples, self.mean_size_mb, dtype=np.float64)
+        rng = generator(self.seed, "dataset-sizes", self.name)
+        sizes = rng.normal(self.mean_size_mb, self.std_size_mb, self.num_samples)
+        np.clip(sizes, self.min_size_mb, None, out=sizes)
+        # Re-centre so truncation does not bias the total dataset size.
+        realized = float(sizes.mean())
+        if realized > 0:
+            sizes *= self.mean_size_mb / realized
+            np.clip(sizes, self.min_size_mb, None, out=sizes)
+        return sizes
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def total_size_mb(self) -> float:
+        """``S`` — total dataset size in MB (sum of sample sizes)."""
+        return float(self.sizes_mb().sum())
+
+    @property
+    def mean_realized_size_mb(self) -> float:
+        """Realized mean sample size (equals ``mu`` up to truncation)."""
+        return float(self.sizes_mb().mean())
+
+    def iterations_per_epoch(self, global_batch: int, drop_last: bool = True) -> int:
+        """``T`` — iterations per epoch for a *global* batch size.
+
+        ``floor(F / B_global)`` when ``drop_last`` (the paper's default),
+        otherwise ``ceil``.
+        """
+        if global_batch <= 0:
+            raise ConfigurationError("global batch size must be positive")
+        if drop_last:
+            return self.num_samples // global_batch
+        return -(-self.num_samples // global_batch)
+
+    def scaled(self, factor: float, name: str | None = None) -> "DatasetModel":
+        """A copy with ``F`` scaled by ``factor`` (size distribution kept).
+
+        Used by the harness to run shape-preserving, laptop-scale versions
+        of the paper's multi-terabyte scenarios.
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return DatasetModel(
+            name=name or f"{self.name}-x{factor:g}",
+            num_samples=max(1, int(round(self.num_samples * factor))),
+            mean_size_mb=self.mean_size_mb,
+            std_size_mb=self.std_size_mb,
+            seed=self.seed,
+            min_size_mb=self.min_size_mb,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatasetModel({self.name!r}, F={self.num_samples}, "
+            f"mu={self.mean_size_mb} MB, sigma={self.std_size_mb} MB)"
+        )

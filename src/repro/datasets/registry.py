@@ -1,0 +1,96 @@
+"""Registry of the paper's evaluation datasets (Sec 6.1 / Sec 7).
+
+Each factory returns a :class:`~repro.datasets.model.DatasetModel` with
+the exact ``(mu, sigma, F)`` the paper states for its simulations:
+
+========================  ==========  ===========  ============  ========
+dataset                   mu           sigma        F             total
+========================  ==========  ===========  ============  ========
+MNIST                     0.76 KB      0            50,000        ~40 MB
+ImageNet-1k               0.1077 MB    0.1 MB       1,281,167     ~135 GB
+OpenImages                0.2937 MB    0.2 MB       1,743,042     ~500 GB
+ImageNet-22k              0.1077 MB    0.2 MB       14,197,122    ~1.5 TB
+CosmoFlow                 17 MB        0            262,144       ~4 TB
+CosmoFlow 512^3           1,000 MB     0            10,000        ~10 TB
+========================  ==========  ===========  ============  ========
+
+``get_dataset`` resolves by (case/sep-insensitive) name, and ``scaled``
+variants let the benchmark harness run shape-preserving smaller copies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..rng import DEFAULT_SEED
+from ..units import KB
+from .model import DatasetModel
+
+__all__ = [
+    "mnist",
+    "imagenet1k",
+    "openimages",
+    "imagenet22k",
+    "cosmoflow",
+    "cosmoflow512",
+    "get_dataset",
+    "list_datasets",
+]
+
+
+def mnist(seed: int = DEFAULT_SEED) -> DatasetModel:
+    """MNIST: 50,000 train samples of 0.76 KB (constant size), ~40 MB."""
+    return DatasetModel("mnist", 50_000, 0.76 * KB, 0.0, seed=seed)
+
+
+def imagenet1k(seed: int = DEFAULT_SEED) -> DatasetModel:
+    """ImageNet-1k: 1,281,167 samples, N(0.1077 MB, 0.1 MB), ~135 GB."""
+    return DatasetModel("imagenet1k", 1_281_167, 0.1077, 0.1, seed=seed)
+
+
+def openimages(seed: int = DEFAULT_SEED) -> DatasetModel:
+    """OpenImages: 1,743,042 samples, N(0.2937 MB, 0.2 MB), ~500 GB."""
+    return DatasetModel("openimages", 1_743_042, 0.2937, 0.2, seed=seed)
+
+
+def imagenet22k(seed: int = DEFAULT_SEED) -> DatasetModel:
+    """ImageNet-22k: 14,197,122 samples, N(0.1077 MB, 0.2 MB), ~1.5 TB."""
+    return DatasetModel("imagenet22k", 14_197_122, 0.1077, 0.2, seed=seed)
+
+
+def cosmoflow(seed: int = DEFAULT_SEED) -> DatasetModel:
+    """CosmoFlow (MLPerf-HPC): 262,144 samples of 17 MB each, ~4 TB."""
+    return DatasetModel("cosmoflow", 262_144, 17.0, 0.0, seed=seed)
+
+
+def cosmoflow512(seed: int = DEFAULT_SEED) -> DatasetModel:
+    """CosmoFlow 512^3: 10,000 samples of 1,000 MB each, ~10 TB."""
+    return DatasetModel("cosmoflow512", 10_000, 1000.0, 0.0, seed=seed)
+
+
+_REGISTRY: dict[str, Callable[[int], DatasetModel]] = {
+    "mnist": mnist,
+    "imagenet1k": imagenet1k,
+    "imagenet-1k": imagenet1k,
+    "openimages": openimages,
+    "imagenet22k": imagenet22k,
+    "imagenet-22k": imagenet22k,
+    "cosmoflow": cosmoflow,
+    "cosmoflow512": cosmoflow512,
+    "cosmoflow-512": cosmoflow512,
+}
+
+
+def list_datasets() -> list[str]:
+    """Canonical names of every registered dataset preset."""
+    return ["mnist", "imagenet1k", "openimages", "imagenet22k", "cosmoflow", "cosmoflow512"]
+
+
+def get_dataset(name: str, seed: int = DEFAULT_SEED) -> DatasetModel:
+    """Resolve a dataset preset by name (case- and separator-insensitive)."""
+    key = name.lower().replace("_", "").replace(" ", "")
+    key_dash = name.lower().replace("_", "-").replace(" ", "-")
+    for candidate in (key, key_dash, name.lower()):
+        if candidate in _REGISTRY:
+            return _REGISTRY[candidate](seed)
+    raise KeyError(f"unknown dataset {name!r}; known: {list_datasets()}")

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the NoPFS reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one type. Subclasses mirror the major subsystems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "PolicyError",
+    "RuntimeIOError",
+    "CommunicationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every library-raised error."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model/system/simulation configuration is invalid or inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A storage backend or staging buffer was asked to exceed its capacity."""
+
+
+class PolicyError(ReproError):
+    """An I/O policy cannot be applied to the given scenario.
+
+    The canonical case is the paper's LBANN data store, which "will fail
+    if the dataset exceeds the aggregate worker memory" (Sec 6).
+    """
+
+
+class RuntimeIOError(ReproError, IOError):
+    """A functional-runtime storage backend failed to read or write a sample."""
+
+
+class CommunicationError(ReproError):
+    """The in-process communicator hit a protocol error (bad rank, closed group)."""

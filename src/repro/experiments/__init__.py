@@ -1,0 +1,35 @@
+"""One module per paper table/figure; see DESIGN.md's experiment index.
+
+Each module exposes ``run(...)`` (returns a result object with
+``render()``) and is runnable as ``python -m repro.experiments.figX``.
+"""
+
+from . import (  # noqa: F401  (re-exported experiment modules)
+    fig3,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    paper,
+    table1,
+)
+
+__all__ = [
+    "table1",
+    "fig3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "paper",
+]

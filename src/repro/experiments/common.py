@@ -1,0 +1,94 @@
+"""Shared harness utilities: scaling, configuration, table formatting.
+
+Every experiment module supports a ``scale`` knob that shrinks the
+dataset *and the cache capacities by the same factor*, preserving the
+paper's dataset-size regime (``S`` vs ``d1``/``D``/``ND``) while making
+multi-terabyte scenarios runnable on a laptop. Reported comparisons are
+ratio-based (policy time over lower bound), which the scaling leaves
+invariant; absolute times are also printed for transparency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datasets import DatasetModel
+from ..errors import ConfigurationError
+from ..perfmodel import SystemModel
+from ..rng import DEFAULT_SEED
+from ..sim import SimulationConfig
+
+__all__ = ["scaled_scenario", "format_table", "fmt", "ratio"]
+
+
+def scaled_scenario(
+    dataset: DatasetModel,
+    system: SystemModel,
+    batch_size: int,
+    num_epochs: int,
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    **config_kwargs,
+) -> SimulationConfig:
+    """Build a :class:`SimulationConfig`, shrunk by ``scale`` regime-true.
+
+    ``scale`` multiplies the sample count and every cache-tier capacity;
+    sample sizes, batch size, worker count, PFS curve and compute rates
+    are untouched, so per-batch behaviour and all capacity *ratios* are
+    preserved.
+    """
+    if not 0 < scale <= 1.0:
+        raise ConfigurationError("scale must be in (0, 1]")
+    ds = dataset if scale == 1.0 else dataset.scaled(scale)
+    sys_ = system
+    if scale != 1.0 and system.storage_classes:
+        sys_ = system.with_class_capacities(
+            [c.capacity_mb * scale for c in system.storage_classes]
+        )
+    return SimulationConfig(
+        dataset=ds,
+        system=sys_,
+        batch_size=batch_size,
+        num_epochs=num_epochs,
+        seed=seed,
+        **config_kwargs,
+    )
+
+
+def fmt(value, digits: int = 2) -> str:
+    """Compact numeric formatting for harness tables."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 10 ** (-digits):
+            return f"{value:.2e}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def ratio(value: float, base: float) -> float | None:
+    """``value / base`` guarded against a zero base."""
+    if base <= 0:
+        return None
+    return value / base
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned plain-text table (harness/bench output)."""
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "  "
+    lines = [
+        sep.join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        sep.join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

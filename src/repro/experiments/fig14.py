@@ -1,0 +1,78 @@
+"""Fig 14: ImageNet-22k epoch & batch times on Lassen.
+
+"At 1024 GPUs, NoPFS is 2.4x faster on ImageNet-22k" — the
+many-samples stress test (14.2M files, 1.3 TB), with the larger
+21,841-class ResNet-50 head lowering per-GPU throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets import imagenet22k
+from ..perfmodel import lassen
+from ..rng import DEFAULT_SEED
+from ..sim import DoubleBufferPolicy, NoPFSPolicy, PerfectPolicy
+from ..training import RESNET50_22K_V100
+from . import paper
+from .common import fmt
+from .scaling import PolicySpec, ScalingResult, run_scaling
+
+__all__ = ["Fig14Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """The sweep plus the paper's headline speedup."""
+
+    sweep: ScalingResult
+
+    def headline_speedup(self) -> float | None:
+        """NoPFS over PyTorch at the largest sweep point (paper: 2.4x)."""
+        return self.sweep.speedup(self.sweep.gpu_counts[-1], "PyTorch")
+
+    def render(self) -> str:
+        """Sweep table plus the headline comparison."""
+        return (
+            "Fig 14: ImageNet-22k on Lassen\n"
+            + self.sweep.render()
+            + f"\n\nNoPFS vs PyTorch at {self.sweep.gpu_counts[-1]} GPUs: "
+            f"{fmt(self.headline_speedup())}x "
+            f"(paper at 1024 GPUs: {paper.FIG14_SPEEDUP}x)"
+        )
+
+
+def run(
+    gpu_counts: tuple[int, ...] = (32, 128, 512),
+    scale: float = 0.05,
+    num_epochs: int = 3,
+    seed: int = DEFAULT_SEED,
+) -> Fig14Result:
+    """Regenerate the ImageNet-22k sweep (paper uses 3 epochs)."""
+    dataset = imagenet22k(seed)
+    specs = [
+        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
+        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
+        PolicySpec("No I/O", lambda: PerfectPolicy()),
+    ]
+    sweep = run_scaling(
+        lassen,
+        "Lassen",
+        dataset,
+        RESNET50_22K_V100.mbps(dataset),
+        specs,
+        gpu_counts,
+        batch_size=120,
+        num_epochs=num_epochs,
+        scale=scale,
+        seed=seed,
+    )
+    return Fig14Result(sweep=sweep)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

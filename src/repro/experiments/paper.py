@@ -1,0 +1,122 @@
+"""Published numbers from the paper, for side-by-side reporting.
+
+Everything here is transcribed from the paper's figures and text so the
+harness can print paper-vs-measured without re-reading the PDF. Units:
+Fig 8a is seconds, the remaining Fig 8 panels are hours; Fig 9 is
+hours; Fig 16 is minutes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIG8",
+    "FIG8_UNSUPPORTED",
+    "FIG9_HOURS",
+    "FIG9_LOWER_BOUND_HOURS",
+    "FIG10_SPEEDUPS",
+    "FIG12_STALL_SECONDS",
+    "FIG14_SPEEDUP",
+    "FIG15_SPEEDUP",
+    "FIG16",
+    "SEC31_EXPECTED_HOT",
+    "SEC31_MONTE_CARLO_HOT",
+    "TABLE1_ROWS",
+]
+
+#: Fig 8 execution times per panel; 'a' in seconds, others in hours.
+FIG8: dict[str, dict[str, float]] = {
+    "a": {  # S < d1, MNIST
+        "naive": 1.24, "staging_buffer": 0.73, "deepio_ordered": 0.75,
+        "deepio_opportunistic": 0.75, "parallel_staging": 0.86,
+        "lbann_dynamic": 0.73, "lbann_preloading": 0.75,
+        "locality_aware": 0.78, "nopfs": 0.73, "lower_bound": 0.73,
+    },
+    "b": {  # d1 < S < D, ImageNet-1k
+        "naive": 1.27, "staging_buffer": 0.97, "deepio_ordered": 0.93,
+        "deepio_opportunistic": 0.93, "parallel_staging": 0.97,
+        "lbann_dynamic": 0.82, "lbann_preloading": 0.85,
+        "locality_aware": 0.88, "nopfs": 0.79, "lower_bound": 0.75,
+    },
+    "c": {  # d1 < S < ND, OpenImages
+        "naive": 4.72, "staging_buffer": 3.61, "deepio_ordered": 3.44,
+        "deepio_opportunistic": 3.44, "parallel_staging": 3.60,
+        "lbann_dynamic": 3.06, "lbann_preloading": 3.15,
+        "locality_aware": 3.25, "nopfs": 2.91, "lower_bound": 2.78,
+    },
+    "d": {  # D < S < ND, ImageNet-22k (LBANN unsupported)
+        "naive": 14.09, "staging_buffer": 9.95, "deepio_ordered": 13.78,
+        "deepio_opportunistic": 8.39, "parallel_staging": 9.38,
+        "locality_aware": 9.72, "nopfs": 8.71, "lower_bound": 8.29,
+    },
+    "e": {  # ND < S, CosmoFlow
+        "naive": 19.33, "staging_buffer": 14.79, "deepio_ordered": 18.05,
+        "deepio_opportunistic": 12.62, "parallel_staging": 13.80,
+        "locality_aware": 13.33, "nopfs": 11.95, "lower_bound": 11.38,
+    },
+    "f": {  # ND < S, N=8, CosmoFlow 512^3
+        "naive": 7.30, "staging_buffer": 4.52, "deepio_ordered": 6.06,
+        "deepio_opportunistic": 4.00, "parallel_staging": 5.04,
+        "locality_aware": 4.25, "nopfs": 3.65, "lower_bound": 3.48,
+    },
+}
+
+#: Policies the paper marks "Does not support" per panel.
+FIG8_UNSUPPORTED: dict[str, tuple[str, ...]] = {
+    "d": ("lbann_dynamic", "lbann_preloading"),
+    "e": ("lbann_dynamic", "lbann_preloading"),
+    "f": ("lbann_dynamic", "lbann_preloading"),
+}
+
+#: Fig 9: ImageNet-22k + NoPFS runtime (hours) vs (RAM GB, SSD GB).
+FIG9_HOURS: dict[tuple[int, int], float] = {
+    (0, 0): 1.64, (32, 0): 1.54, (64, 0): 1.46, (128, 0): 1.33,
+    (256, 0): 1.24, (512, 0): 1.10,
+    (0, 128): 1.49, (32, 128): 1.42, (64, 128): 1.37, (128, 128): 1.26,
+    (256, 128): 1.21, (512, 128): 1.07,
+    (0, 256): 1.39, (32, 256): 1.34, (64, 256): 1.28, (128, 256): 1.17,
+    (256, 256): 1.16,
+    (0, 512): 1.31, (32, 512): 1.26, (64, 512): 1.22, (128, 512): 1.14,
+    (256, 512): 1.13,
+    (0, 1024): 1.28, (32, 1024): 1.22, (64, 1024): 1.18, (128, 1024): 1.09,
+    (256, 1024): 1.08,
+}
+FIG9_LOWER_BOUND_HOURS = 1.06
+
+#: Headline Sec 7.1 speedups of NoPFS over the named baseline.
+FIG10_SPEEDUPS = {
+    ("piz_daint", "pytorch", 256): 2.2,
+    ("piz_daint", "dali", 256): 1.9,
+    ("lassen", "pytorch", 1024): 5.4,
+    ("lassen", "lbann_dynamic", 1024): 1.7,
+}
+
+#: Fig 12: NoPFS total stall time (s) vs GPU count on Piz Daint.
+FIG12_STALL_SECONDS = {32: 99.56, 64: 22.59, 128: 10.16, 256: 16.41}
+
+#: ImageNet-22k on Lassen at 1024 GPUs (Fig 14).
+FIG14_SPEEDUP = 2.4
+#: CosmoFlow on Lassen at 1024 GPUs (Fig 15).
+FIG15_SPEEDUP = 2.1
+
+#: Fig 16: end-to-end ResNet-50/ImageNet-1k on 256 Lassen GPUs.
+FIG16 = {
+    "pytorch_minutes": 111.0,
+    "nopfs_minutes": 78.0,
+    "speedup": 1.42,
+    "final_top1": 76.5,
+}
+
+#: Sec 3.1 in-text example (N=16, E=90, F=1,281,167, delta=0.8).
+SEC31_EXPECTED_HOT = 31_635
+SEC31_MONTE_CARLO_HOT = 31_863
+
+#: Table 1, row order and check marks as printed in the paper.
+TABLE1_ROWS: dict[str, tuple[str, str, str, str, str]] = {
+    "pytorch": ("no", "yes", "yes", "no", "yes"),
+    "staging_buffer": ("no", "yes", "no", "no", "yes"),
+    "parallel_staging": ("yes", "no", "no", "no", "yes"),
+    "deepio_ordered": ("yes", "no", "no", "no", "yes"),
+    "lbann_dynamic": ("yes", "no", "yes", "no", "no"),
+    "locality_aware": ("yes", "yes", "yes", "no", "no"),
+    "nopfs": ("yes", "yes", "yes", "yes", "yes"),
+}

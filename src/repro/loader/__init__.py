@@ -1,0 +1,19 @@
+"""Data loaders and datasets (the paper's Fig 7 user-facing layer)."""
+
+from .collate import Batch, collate_batch
+from .dataset import BinaryFolderDataset, Dataset, InMemoryDataset, SyntheticFileDataset
+from .loader import DoubleBufferLoader, NaiveLoader, NoPFSDataLoader
+from .sampler import ClairvoyantDistributedSampler
+
+__all__ = [
+    "Dataset",
+    "InMemoryDataset",
+    "SyntheticFileDataset",
+    "BinaryFolderDataset",
+    "Batch",
+    "collate_batch",
+    "ClairvoyantDistributedSampler",
+    "NoPFSDataLoader",
+    "NaiveLoader",
+    "DoubleBufferLoader",
+]

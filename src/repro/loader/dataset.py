@@ -1,0 +1,324 @@
+"""Datasets for the functional runtime: the "PFS" the loaders read from.
+
+Three implementations cover testing and the examples:
+
+* :class:`InMemoryDataset` — samples held as byte strings (unit tests).
+* :class:`SyntheticFileDataset` — real files on disk with a configurable
+  size distribution, class labels and an optional artificial per-read
+  latency that stands in for a contended parallel filesystem. This is
+  the substitution for ImageNet/CosmoFlow data (see DESIGN.md).
+* :class:`BinaryFolderDataset` — the paper's ImageNet layout, "one
+  directory per class containing all images of that class"; the
+  functional analogue of ``NoPFSImageFolder``.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError, RuntimeIOError
+from ..rng import DEFAULT_SEED, generator
+
+__all__ = [
+    "Dataset",
+    "InMemoryDataset",
+    "SyntheticFileDataset",
+    "BinaryFolderDataset",
+]
+
+
+class Dataset(abc.ABC):
+    """Sample storage as the loaders see it: sized, labelled byte blobs."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of samples ``F``."""
+
+    @abc.abstractmethod
+    def read(self, sample_id: int) -> bytes:
+        """Read one sample's raw bytes (may be slow — this is the PFS)."""
+
+    @abc.abstractmethod
+    def size(self, sample_id: int) -> int:
+        """Sample size in bytes without reading it (metadata only)."""
+
+    @abc.abstractmethod
+    def label(self, sample_id: int) -> int:
+        """The sample's class label."""
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels (default: scan)."""
+        return len({self.label(i) for i in range(len(self))})
+
+    def total_bytes(self) -> int:
+        """Total dataset size in bytes."""
+        return sum(self.size(i) for i in range(len(self)))
+
+    def _check_id(self, sample_id: int) -> None:
+        if not 0 <= sample_id < len(self):
+            raise ConfigurationError(
+                f"sample id {sample_id} out of range [0, {len(self)})"
+            )
+
+
+class InMemoryDataset(Dataset):
+    """Samples held in memory; the fastest possible 'storage'."""
+
+    def __init__(self, samples: list[bytes], labels: list[int] | None = None) -> None:
+        if not samples:
+            raise ConfigurationError("dataset must not be empty")
+        self._samples = list(samples)
+        self._labels = list(labels) if labels is not None else [0] * len(samples)
+        if len(self._labels) != len(self._samples):
+            raise ConfigurationError("labels must match samples")
+
+    @classmethod
+    def random(
+        cls,
+        num_samples: int,
+        sample_bytes: int,
+        num_classes: int = 10,
+        seed: int = DEFAULT_SEED,
+    ) -> "InMemoryDataset":
+        """Generate random fixed-size samples with balanced labels."""
+        rng = generator(seed, "inmemory-dataset")
+        samples = [
+            rng.integers(0, 256, sample_bytes, dtype=np.uint8).tobytes()
+            for _ in range(num_samples)
+        ]
+        labels = [i % num_classes for i in range(num_samples)]
+        return cls(samples, labels)
+
+    @classmethod
+    def classification(
+        cls,
+        num_samples: int,
+        sample_bytes: int,
+        num_classes: int = 4,
+        noise: float = 20.0,
+        seed: int = DEFAULT_SEED,
+    ) -> "InMemoryDataset":
+        """Generate a *learnable* dataset: class-dependent byte means.
+
+        Each class has a random mean byte pattern; samples are the mean
+        plus Gaussian noise, quantized to uint8 — linearly separable
+        enough that a small MLP trained through the loaders converges
+        (the end-to-end SGD demo and tests use this).
+        """
+        if num_classes <= 0 or noise < 0:
+            raise ConfigurationError("num_classes > 0 and noise >= 0 required")
+        rng = generator(seed, "inmemory-classification")
+        means = rng.uniform(40, 215, size=(num_classes, sample_bytes))
+        samples = []
+        labels = []
+        for i in range(num_samples):
+            label = i % num_classes
+            values = means[label] + rng.normal(0, noise, sample_bytes)
+            samples.append(
+                np.clip(values, 0, 255).astype(np.uint8).tobytes()
+            )
+            labels.append(label)
+        return cls(samples, labels)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def read(self, sample_id: int) -> bytes:
+        self._check_id(sample_id)
+        return self._samples[sample_id]
+
+    def size(self, sample_id: int) -> int:
+        self._check_id(sample_id)
+        return len(self._samples[sample_id])
+
+    def label(self, sample_id: int) -> int:
+        self._check_id(sample_id)
+        return self._labels[sample_id]
+
+
+class SyntheticFileDataset(Dataset):
+    """Real files on disk with a manifest; optional artificial read latency.
+
+    Use :meth:`generate` to materialize a dataset directory, then open it
+    (from any number of "workers") with the constructor. ``latency_s``
+    is added to every :meth:`read` to emulate a contended PFS — the knob
+    the loader benchmarks turn to make I/O the bottleneck on a laptop.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root: str | Path, latency_s: float = 0.0) -> None:
+        self._root = Path(root)
+        manifest_path = self._root / self.MANIFEST
+        if not manifest_path.exists():
+            raise ConfigurationError(
+                f"{self._root} is not a SyntheticFileDataset (no manifest)"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        self._sizes = list(manifest["sizes"])
+        self._labels = list(manifest["labels"])
+        self._num_classes = int(manifest["num_classes"])
+        self._latency = float(latency_s)
+
+    @classmethod
+    def generate(
+        cls,
+        root: str | Path,
+        num_samples: int,
+        mean_bytes: int,
+        std_bytes: int = 0,
+        num_classes: int = 10,
+        seed: int = DEFAULT_SEED,
+        latency_s: float = 0.0,
+        learnable: bool = False,
+    ) -> "SyntheticFileDataset":
+        """Write ``num_samples`` random files plus a manifest to ``root``.
+
+        With ``learnable=True``, samples carry a class-dependent mean
+        byte pattern plus noise (instead of uniform random bytes), so a
+        classifier trained through the loaders actually converges.
+        """
+        if num_samples <= 0 or mean_bytes <= 0:
+            raise ConfigurationError("num_samples and mean_bytes must be positive")
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        rng = generator(seed, "synthetic-dataset")
+        if std_bytes > 0:
+            sizes = np.maximum(
+                rng.normal(mean_bytes, std_bytes, num_samples), 16
+            ).astype(np.int64)
+        else:
+            sizes = np.full(num_samples, mean_bytes, dtype=np.int64)
+        labels = (np.arange(num_samples) % num_classes).tolist()
+        class_means = (
+            rng.uniform(40, 215, size=(num_classes, int(sizes.max())))
+            if learnable
+            else None
+        )
+        for i, size in enumerate(sizes):
+            if class_means is not None:
+                values = class_means[labels[i], : int(size)] + rng.normal(
+                    0, 20.0, int(size)
+                )
+                payload = np.clip(values, 0, 255).astype(np.uint8).tobytes()
+            else:
+                payload = rng.integers(0, 256, int(size), dtype=np.uint8).tobytes()
+            (root / f"sample_{i:08d}.bin").write_bytes(payload)
+        (root / cls.MANIFEST).write_text(
+            json.dumps(
+                {
+                    "sizes": sizes.tolist(),
+                    "labels": labels,
+                    "num_classes": num_classes,
+                }
+            )
+        )
+        return cls(root, latency_s=latency_s)
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def read(self, sample_id: int) -> bytes:
+        self._check_id(sample_id)
+        if self._latency > 0:
+            time.sleep(self._latency)
+        path = self._root / f"sample_{sample_id:08d}.bin"
+        try:
+            return path.read_bytes()
+        except OSError as exc:
+            raise RuntimeIOError(f"failed reading {path}") from exc
+
+    def size(self, sample_id: int) -> int:
+        self._check_id(sample_id)
+        return int(self._sizes[sample_id])
+
+    def label(self, sample_id: int) -> int:
+        self._check_id(sample_id)
+        return int(self._labels[sample_id])
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    @property
+    def root(self) -> Path:
+        """The dataset directory."""
+        return self._root
+
+
+class BinaryFolderDataset(Dataset):
+    """Class-per-directory layout ("the standard data layout" of Sec 7).
+
+    ``root/<class_name>/<file>`` — labels are assigned by sorted class
+    directory order, exactly like torchvision's ``ImageFolder``.
+    """
+
+    def __init__(self, root: str | Path, latency_s: float = 0.0) -> None:
+        self._root = Path(root)
+        if not self._root.is_dir():
+            raise ConfigurationError(f"{self._root} is not a directory")
+        class_dirs = sorted(p for p in self._root.iterdir() if p.is_dir())
+        if not class_dirs:
+            raise ConfigurationError(f"{self._root} contains no class directories")
+        self.classes = [p.name for p in class_dirs]
+        self._files: list[Path] = []
+        self._labels: list[int] = []
+        for label, class_dir in enumerate(class_dirs):
+            for f in sorted(class_dir.iterdir()):
+                if f.is_file():
+                    self._files.append(f)
+                    self._labels.append(label)
+        if not self._files:
+            raise ConfigurationError(f"{self._root} contains no sample files")
+        self._sizes = [f.stat().st_size for f in self._files]
+        self._latency = float(latency_s)
+
+    @classmethod
+    def generate(
+        cls,
+        root: str | Path,
+        num_classes: int,
+        samples_per_class: int,
+        sample_bytes: int,
+        seed: int = DEFAULT_SEED,
+    ) -> "BinaryFolderDataset":
+        """Write a small class-per-directory tree of random files."""
+        root = Path(root)
+        rng = generator(seed, "binary-folder")
+        for c in range(num_classes):
+            class_dir = root / f"class_{c:04d}"
+            class_dir.mkdir(parents=True, exist_ok=True)
+            for s in range(samples_per_class):
+                payload = rng.integers(0, 256, sample_bytes, dtype=np.uint8)
+                (class_dir / f"img_{s:06d}.bin").write_bytes(payload.tobytes())
+        return cls(root)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def read(self, sample_id: int) -> bytes:
+        self._check_id(sample_id)
+        if self._latency > 0:
+            time.sleep(self._latency)
+        try:
+            return self._files[sample_id].read_bytes()
+        except OSError as exc:
+            raise RuntimeIOError(f"failed reading {self._files[sample_id]}") from exc
+
+    def size(self, sample_id: int) -> int:
+        self._check_id(sample_id)
+        return self._sizes[sample_id]
+
+    def label(self, sample_id: int) -> int:
+        self._check_id(sample_id)
+        return self._labels[sample_id]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)

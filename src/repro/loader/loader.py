@@ -1,0 +1,164 @@
+"""Iterator-style data loaders: the Fig 7 API plus the baselines.
+
+``NoPFSDataLoader`` wraps a running :class:`~repro.runtime.job.Job` —
+the three-line integration the paper demonstrates:
+
+    job = Job(dataset, batch_size, num_epochs, seed, rank, group, ...)
+    loader = NoPFSDataLoader(job.start())
+    for batch in loader.epoch(e): ...
+
+Two baselines mirror the loaders the paper compares against:
+
+* :class:`NaiveLoader` — synchronous per-batch reads straight from the
+  dataset (no prefetching or caching).
+* :class:`DoubleBufferLoader` — PyTorch-``DataLoader``-style background
+  prefetching with a bounded queue (``prefetch_factor`` batches), still
+  cacheless.
+
+All three consume the *same* clairvoyant sample order for a given seed,
+so their timings and outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator
+
+from ..core import StreamConfig
+from ..errors import ConfigurationError
+from ..runtime.job import Job
+from .collate import Batch, collate_batch
+from .dataset import Dataset
+from .sampler import ClairvoyantDistributedSampler
+
+__all__ = ["NoPFSDataLoader", "NaiveLoader", "DoubleBufferLoader"]
+
+
+class NoPFSDataLoader:
+    """Batched iteration over a started :class:`Job` (one rank's view)."""
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.batch_size = job.stream_config.batch_size
+        self._next_epoch = 0
+
+    @property
+    def batches_per_epoch(self) -> int:
+        """``T`` — batches served per epoch."""
+        return self.job.stream_config.iterations_per_epoch
+
+    def epoch(self, epoch: int) -> Iterator[Batch]:
+        """Iterate epoch ``epoch``'s batches (must be consumed in order).
+
+        The staging buffer serves samples strictly in stream order, so
+        epochs must be consumed sequentially starting from 0; asking for
+        any other epoch raises.
+        """
+        if epoch != self._next_epoch:
+            raise ConfigurationError(
+                f"epochs must be consumed in order; expected {self._next_epoch}, "
+                f"got {epoch}"
+            )
+        self._next_epoch += 1
+        for _ in range(self.batches_per_epoch):
+            samples = [self.job.get() for _ in range(self.batch_size)]
+            yield collate_batch(samples)
+
+    def __iter__(self) -> Iterator[Batch]:
+        """Iterate every remaining epoch's batches, in order."""
+        for epoch in range(self._next_epoch, self.job.stream_config.num_epochs):
+            yield from self.epoch(epoch)
+
+
+class NaiveLoader:
+    """Synchronous, cacheless batch loading (the Naive policy, for real)."""
+
+    def __init__(self, dataset: Dataset, config: StreamConfig, rank: int) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.rank = rank
+        self.sampler = ClairvoyantDistributedSampler(config, rank)
+
+    def epoch(self, epoch: int) -> Iterator[Batch]:
+        """Read and collate each batch on demand."""
+        ids = self.sampler.indices(epoch)
+        b = self.config.batch_size
+        for start in range(0, ids.size, b):
+            chunk = ids[start : start + b]
+            samples = [
+                (int(i), self.dataset.read(int(i)), self.dataset.label(int(i)))
+                for i in chunk
+            ]
+            yield collate_batch(samples)
+
+    def __iter__(self) -> Iterator[Batch]:
+        for epoch in range(self.config.num_epochs):
+            yield from self.epoch(epoch)
+
+
+class DoubleBufferLoader:
+    """Background-thread prefetching with a bounded batch queue.
+
+    Models PyTorch's ``DataLoader(num_workers=1, prefetch_factor=k)``:
+    overlap, bounded lookahead, no caching across epochs.
+    """
+
+    _SENTINEL = None
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: StreamConfig,
+        rank: int,
+        prefetch_factor: int = 2,
+    ) -> None:
+        if prefetch_factor < 1:
+            raise ConfigurationError("prefetch_factor must be >= 1")
+        self.dataset = dataset
+        self.config = config
+        self.rank = rank
+        self.prefetch_factor = prefetch_factor
+        self.sampler = ClairvoyantDistributedSampler(config, rank)
+
+    def epoch(self, epoch: int) -> Iterator[Batch]:
+        """Iterate one epoch with a producer thread ``k`` batches ahead."""
+        ids = self.sampler.indices(epoch)
+        b = self.config.batch_size
+        q: queue.Queue = queue.Queue(maxsize=self.prefetch_factor)
+        error: list[Exception] = []
+
+        def producer() -> None:
+            try:
+                for start in range(0, ids.size, b):
+                    chunk = ids[start : start + b]
+                    samples = [
+                        (
+                            int(i),
+                            self.dataset.read(int(i)),
+                            self.dataset.label(int(i)),
+                        )
+                        for i in chunk
+                    ]
+                    q.put(collate_batch(samples))
+            except Exception as exc:  # propagate to the consumer
+                error.append(exc)
+            finally:
+                q.put(self._SENTINEL)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        try:
+            while True:
+                batch = q.get()
+                if batch is self._SENTINEL:
+                    break
+                yield batch
+            if error:
+                raise error[0]
+        finally:
+            thread.join(timeout=10.0)
+
+    def __iter__(self) -> Iterator[Batch]:
+        for epoch in range(self.config.num_epochs):
+            yield from self.epoch(epoch)

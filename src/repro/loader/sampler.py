@@ -1,0 +1,49 @@
+"""Clairvoyant distributed sampler (the baseline loaders' index source).
+
+Mirrors PyTorch's ``DistributedSampler`` semantics — each rank sees a
+disjoint slice of a seeded epoch shuffle — but implemented on top of
+the library's :class:`~repro.core.stream.AccessStream`, so the sample
+order is *identical* to what a NoPFS :class:`~repro.runtime.job.Job`
+with the same seed serves. That identity is what makes loader
+comparisons apples-to-apples (and is asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import AccessStream, StreamConfig
+from ..errors import ConfigurationError
+
+__all__ = ["ClairvoyantDistributedSampler"]
+
+
+class ClairvoyantDistributedSampler:
+    """Per-rank, per-epoch sample indices from the shared seeded shuffle."""
+
+    def __init__(self, config: StreamConfig, rank: int) -> None:
+        if not 0 <= rank < config.num_workers:
+            raise ConfigurationError(
+                f"rank {rank} out of range [0, {config.num_workers})"
+            )
+        self.config = config
+        self.rank = rank
+        self._stream = AccessStream(config)
+        self._epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        """Select the epoch the next iteration will shuffle for."""
+        if epoch < 0:
+            raise ConfigurationError("epoch must be non-negative")
+        self._epoch = int(epoch)
+
+    def indices(self, epoch: int | None = None) -> np.ndarray:
+        """This rank's sample ids for ``epoch`` (default: current)."""
+        e = self._epoch if epoch is None else epoch
+        return self._stream.worker_epoch_stream(self.rank, e)
+
+    def __iter__(self):
+        return iter(self.indices().tolist())
+
+    def __len__(self) -> int:
+        return self.config.samples_per_worker_per_epoch

@@ -1,0 +1,29 @@
+"""The paper's Sec 4 performance model: devices, fetch times, timelines."""
+
+from .fetch import FetchResolution, Source, remote_bandwidths, resolve_fetch, write_times
+from .model import Timeline, batch_completion_times, overlapped_timeline, serial_timeline
+from .pfs import PFSModel
+from .storage import StagingBufferModel, StorageClassModel, StorageHierarchy
+from .system import SystemModel, lassen, piz_daint, sec6_cluster
+from .throughput import ThroughputCurve
+
+__all__ = [
+    "ThroughputCurve",
+    "StorageClassModel",
+    "StagingBufferModel",
+    "StorageHierarchy",
+    "PFSModel",
+    "SystemModel",
+    "sec6_cluster",
+    "piz_daint",
+    "lassen",
+    "Source",
+    "FetchResolution",
+    "write_times",
+    "remote_bandwidths",
+    "resolve_fetch",
+    "Timeline",
+    "overlapped_timeline",
+    "serial_timeline",
+    "batch_completion_times",
+]

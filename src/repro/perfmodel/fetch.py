@@ -1,0 +1,149 @@
+"""Vectorized fetch/write/read time primitives (Sec 4 equations).
+
+The paper defines, for worker ``i`` and sample ``k``:
+
+* ``write_i(k) = max(s_k / beta, s_k / (w_0(p_0)/p_0))`` — preprocess and
+  deposit into the staging buffer (pipelined, so the max);
+* three fetch cases, of which the fastest applicable one is used:
+
+  1. PFS:    ``fetch_{i,0,0}(k) = s_k / (t(gamma)/gamma)``
+  2. remote: ``fetch_{i,1,j}(k) = s_k / min(b_c, r_j(p_j)/p_j)``
+  3. local:  ``fetch_{i,2,j}(k) = s_k / (r_j(p_j)/p_j)``
+
+* ``read_i(k) = fetch_i(k) + write_i(k)``.
+
+Everything here operates on whole sample arrays at once; the simulator
+never loops over samples in Python.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .system import SystemModel
+
+__all__ = ["Source", "FetchResolution", "write_times", "remote_bandwidths", "resolve_fetch"]
+
+
+class Source(enum.IntEnum):
+    """Where a sample was fetched from (paper's case index).
+
+    Values follow the paper's ``fetch_{i,0/1/2}`` numbering so breakdown
+    plots read the same way: 0 = PFS, 1 = remote worker, 2 = local cache.
+    ``NONE`` marks samples a policy never fetches (sharded baselines).
+    """
+
+    PFS = 0
+    REMOTE = 1
+    LOCAL = 2
+    NONE = 3
+
+
+@dataclass(frozen=True)
+class FetchResolution:
+    """Result of resolving fetch sources for a stream of samples.
+
+    Attributes
+    ----------
+    fetch_times:
+        Seconds to fetch each sample into memory (shape ``(n,)``).
+    sources:
+        :class:`Source` code per sample (int8 array).
+    bandwidths:
+        The winning bandwidth per sample in MB/s.
+    """
+
+    fetch_times: np.ndarray
+    sources: np.ndarray
+    bandwidths: np.ndarray
+
+
+def write_times(sizes_mb: np.ndarray, system: SystemModel) -> np.ndarray:
+    """``write_i(k)`` for each sample: preprocess/deposit, pipelined.
+
+    ``max(s/beta, s/(w_0(p_0)/p_0))`` elementwise.
+    """
+    sizes = np.asarray(sizes_mb, dtype=np.float64)
+    w0 = system.staging.write_per_thread_mbps
+    if w0 <= 0:
+        raise ConfigurationError("staging write bandwidth must be positive")
+    return np.maximum(sizes / system.preprocess_mbps, sizes / w0)
+
+
+def remote_bandwidths(system: SystemModel) -> np.ndarray:
+    """``min(b_c, r_j(p_j)/p_j)`` per cache tier (remote-fetch ceiling).
+
+    Reading from another worker's tier ``j`` is bounded by the slower of
+    the network and that tier's per-thread read rate — which is exactly
+    why "reading from remote memory can be faster than reading from a
+    local SSD" (Sec 7.1) on fast networks.
+    """
+    local = system.hierarchy.read_per_thread()
+    return np.minimum(system.network_mbps, local)
+
+
+def resolve_fetch(
+    sizes_mb: np.ndarray,
+    local_class: np.ndarray,
+    remote_class: np.ndarray,
+    system: SystemModel,
+    pfs_share_mbps: float,
+    pfs_available: bool = True,
+) -> FetchResolution:
+    """Pick the fastest source for every sample and time the fetch.
+
+    Parameters
+    ----------
+    sizes_mb:
+        Per-sample sizes (MB) in stream order.
+    local_class:
+        Cache tier holding each sample locally (``-1`` = not cached).
+    remote_class:
+        Fastest tier holding each sample on any worker (``-1`` = nowhere).
+        Entries equal to the local tier are harmless: the local path is
+        always at least as fast, so the max picks local.
+    system:
+        The environment (bandwidth curves, network).
+    pfs_share_mbps:
+        This worker's current PFS share ``t(gamma)/gamma``.
+    pfs_available:
+        ``False`` for policies that never touch the PFS after staging
+        (DeepIO, sharding); samples with no source then get ``Source.NONE``
+        and an infinite fetch time, which the caller must handle.
+    """
+    sizes = np.asarray(sizes_mb, dtype=np.float64)
+    local_cls = np.asarray(local_class)
+    remote_cls = np.asarray(remote_class)
+    if sizes.shape != local_cls.shape or sizes.shape != remote_cls.shape:
+        raise ConfigurationError("sizes/local/remote arrays must align")
+
+    local_rates = system.hierarchy.read_per_thread()
+    remote_rates = remote_bandwidths(system)
+
+    bw_local = np.zeros_like(sizes)
+    mask = local_cls >= 0
+    if mask.any():
+        bw_local[mask] = local_rates[local_cls[mask]]
+
+    bw_remote = np.zeros_like(sizes)
+    mask = remote_cls >= 0
+    if mask.any():
+        bw_remote[mask] = remote_rates[remote_cls[mask]]
+
+    bw_pfs = float(pfs_share_mbps) if pfs_available else 0.0
+
+    # Fastest source wins; ties prefer LOCAL > REMOTE > PFS (cheapest for
+    # the rest of the system at equal speed).
+    stacked = np.stack([np.full_like(sizes, bw_pfs), bw_remote, bw_local])
+    sources = np.argmax(stacked[::-1], axis=0)  # reversed => local priority
+    sources = np.int8(2) - sources.astype(np.int8)
+    best_bw = stacked[sources, np.arange(sizes.size)] if sizes.size else np.empty(0)
+
+    with np.errstate(divide="ignore"):
+        fetch = np.where(best_bw > 0, sizes / np.maximum(best_bw, 1e-300), np.inf)
+    sources = np.where(best_bw > 0, sources, np.int8(Source.NONE)).astype(np.int8)
+    return FetchResolution(fetch_times=fetch, sources=sources, bandwidths=best_bw)

@@ -1,0 +1,78 @@
+"""Parallel-filesystem model: ``t(gamma)`` and per-worker shares.
+
+"Random aggregate read throughput of the PFS, as a function of the
+number of readers gamma. This depends on gamma as PFS bandwidth is
+heavily dependent on the number of clients." (Sec 4)
+
+The per-worker fetch bandwidth while ``gamma`` workers read concurrently
+is ``t(gamma)/gamma`` — the processor-sharing split the paper uses in
+``fetch_{i,0,0}(k) = s_k / (t(gamma)/gamma)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ConfigMixin
+from ..errors import ConfigurationError
+from .throughput import ThroughputCurve
+
+__all__ = ["PFSModel"]
+
+
+@dataclass(frozen=True)
+class PFSModel(ConfigMixin):
+    """A shared parallel filesystem characterized by its ``t(gamma)`` curve.
+
+    Attributes
+    ----------
+    name:
+        Filesystem label (``"lustre"``, ``"gpfs"``, ...).
+    throughput:
+        ``t(gamma)`` — aggregate random-read curve vs client count.
+    latency_s:
+        Per-request metadata/open latency at one client. Small random
+        files make parallel filesystems IOPS-bound long before they are
+        bandwidth-bound; we model the per-sample overhead as
+        ``latency_s * sqrt(gamma)`` (metadata-server contention grows
+        with client count but sublinearly — servers also scale out).
+    """
+
+    name: str
+    throughput: ThroughputCurve
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError("latency_s must be non-negative")
+
+    def per_sample_latency(self, gamma) -> float:
+        """Per-request latency with ``gamma`` concurrent clients."""
+        return self.latency_s * math.sqrt(max(float(gamma), 1.0))
+
+    def aggregate_mbps(self, gamma) -> np.ndarray | float:
+        """``t(gamma)`` — aggregate MB/s with ``gamma`` concurrent clients."""
+        return self.throughput.aggregate(gamma)
+
+    def per_worker_mbps(self, gamma) -> np.ndarray | float:
+        """``t(gamma)/gamma`` — each client's share (0 clients -> 0)."""
+        return self.throughput.per_unit(gamma)
+
+    def effective_gamma(self, num_workers: int, pfs_fraction: float) -> float:
+        """Effective concurrent client count for contention accounting.
+
+        When only a fraction of a policy's fetches hit the PFS (cached
+        policies after warm-up), the filesystem sees proportionally fewer
+        concurrent clients on average. We clamp to at least one client
+        whenever there is any PFS traffic at all.
+        """
+        if num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
+        if not 0.0 <= pfs_fraction <= 1.0:
+            raise ConfigurationError("pfs_fraction must be in [0, 1]")
+        if pfs_fraction == 0.0:
+            return 0.0
+        return max(1.0, num_workers * pfs_fraction)

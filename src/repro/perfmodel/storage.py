@@ -1,0 +1,178 @@
+"""Storage-class and hierarchy models (the paper's ``d_j, r_j, w_j, p_j``).
+
+A *storage class* groups similar media (RAM, SSD, HDD, burst buffer,
+NVRAM — Sec 4). Class 0 is always the **staging buffer**, the small
+in-memory ring shared with the ML framework; classes ``1..J`` are cache
+tiers, ordered **fastest first** throughout this library.
+
+:class:`StorageHierarchy` owns the staging buffer plus the cache tiers
+and exposes the per-thread bandwidths the fetch model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ConfigMixin
+from ..errors import ConfigurationError
+from .throughput import ThroughputCurve
+
+__all__ = ["StorageClassModel", "StagingBufferModel", "StorageHierarchy"]
+
+
+@dataclass(frozen=True)
+class StorageClassModel(ConfigMixin):
+    """One cache tier: capacity ``d_j``, curves ``r_j/w_j``, threads ``p_j``.
+
+    Attributes
+    ----------
+    name:
+        Tier label, e.g. ``"ram"`` or ``"ssd"``.
+    capacity_mb:
+        ``d_j`` — usable capacity of this tier in MB.
+    read:
+        ``r_j(p)`` — aggregate random-read throughput curve.
+    write:
+        ``w_j(p)`` — aggregate random-write curve (defaults to ``read``).
+    prefetch_threads:
+        ``p_j`` — threads NoPFS dedicates to prefetching into this tier.
+    """
+
+    name: str
+    capacity_mb: float
+    read: ThroughputCurve
+    write: ThroughputCurve | None = None
+    prefetch_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb < 0:
+            raise ConfigurationError("capacity_mb must be non-negative")
+        if self.prefetch_threads < 1:
+            raise ConfigurationError("prefetch_threads must be >= 1")
+
+    @property
+    def write_curve(self) -> ThroughputCurve:
+        """The write curve (falls back to the read curve, common for RAM)."""
+        return self.write if self.write is not None else self.read
+
+    @property
+    def read_per_thread_mbps(self) -> float:
+        """``r_j(p_j)/p_j`` — bandwidth each prefetch thread sees."""
+        return float(self.read.per_unit(self.prefetch_threads))
+
+    @property
+    def write_per_thread_mbps(self) -> float:
+        """``w_j(p_j)/p_j`` — write bandwidth each prefetch thread sees."""
+        return float(self.write_curve.per_unit(self.prefetch_threads))
+
+    def with_capacity(self, capacity_mb: float) -> "StorageClassModel":
+        """A copy with a different capacity (used by the Fig 9 sweep)."""
+        return StorageClassModel(
+            name=self.name,
+            capacity_mb=float(capacity_mb),
+            read=self.read,
+            write=self.write,
+            prefetch_threads=self.prefetch_threads,
+        )
+
+
+@dataclass(frozen=True)
+class StagingBufferModel(ConfigMixin):
+    """Storage class 0: the in-memory staging ring (Sec 4/5).
+
+    ``p_0 >= 1`` threads fill it in access order; ``w_0`` bounds how fast
+    preprocessed samples can be deposited; ``r_0`` is effectively the
+    framework's consumption path and only matters for sanity checks.
+    """
+
+    capacity_mb: float
+    read: ThroughputCurve
+    write: ThroughputCurve | None = None
+    threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0:
+            raise ConfigurationError("staging buffer capacity must be positive")
+        if self.threads < 1:
+            raise ConfigurationError("the paper requires p_0 >= 1")
+
+    @property
+    def write_curve(self) -> ThroughputCurve:
+        """``w_0(p)`` (falls back to the read curve)."""
+        return self.write if self.write is not None else self.read
+
+    @property
+    def write_per_thread_mbps(self) -> float:
+        """``w_0(p_0)/p_0`` — deposit bandwidth per staging thread."""
+        return float(self.write_curve.per_unit(self.threads))
+
+
+class StorageHierarchy:
+    """A worker's full local storage: staging buffer + cache tiers.
+
+    Tiers must be supplied fastest first (by per-thread read bandwidth);
+    the constructor validates the ordering because placement correctness
+    (hot samples to fast classes) silently depends on it.
+    """
+
+    def __init__(
+        self,
+        staging: StagingBufferModel,
+        classes: tuple[StorageClassModel, ...] = (),
+    ) -> None:
+        rates = [c.read_per_thread_mbps for c in classes]
+        if any(rates[i] < rates[i + 1] for i in range(len(rates) - 1)):
+            raise ConfigurationError(
+                "cache classes must be ordered fastest first "
+                f"(per-thread read MB/s: {rates})"
+            )
+        self._staging = staging
+        self._classes = tuple(classes)
+
+    @property
+    def staging(self) -> StagingBufferModel:
+        """Storage class 0 (the staging buffer)."""
+        return self._staging
+
+    @property
+    def classes(self) -> tuple[StorageClassModel, ...]:
+        """Cache tiers, fastest first."""
+        return self._classes
+
+    @property
+    def num_classes(self) -> int:
+        """Number of cache tiers (excluding the staging buffer)."""
+        return len(self._classes)
+
+    @property
+    def total_cache_mb(self) -> float:
+        """``D`` — total local cache capacity of a worker (sum of ``d_j``)."""
+        return float(sum(c.capacity_mb for c in self._classes))
+
+    @property
+    def capacities_mb(self) -> list[float]:
+        """Per-tier capacities, fastest first (placement builder input)."""
+        return [c.capacity_mb for c in self._classes]
+
+    def read_per_thread(self) -> np.ndarray:
+        """``r_j(p_j)/p_j`` for every cache tier (shape ``(J,)``)."""
+        return np.array(
+            [c.read_per_thread_mbps for c in self._classes], dtype=np.float64
+        )
+
+    def with_class_capacities(self, capacities_mb: list[float]) -> "StorageHierarchy":
+        """A copy with tier capacities replaced (Fig 9 design sweep)."""
+        if len(capacities_mb) != len(self._classes):
+            raise ConfigurationError(
+                f"expected {len(self._classes)} capacities, got {len(capacities_mb)}"
+            )
+        new_classes = tuple(
+            c.with_capacity(cap) for c, cap in zip(self._classes, capacities_mb)
+        )
+        return StorageHierarchy(self._staging, new_classes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tiers = ", ".join(f"{c.name}:{c.capacity_mb:g}MB" for c in self._classes)
+        return f"StorageHierarchy(staging={self._staging.capacity_mb:g}MB, [{tiers}])"

@@ -1,0 +1,133 @@
+"""Throughput curves: bandwidth as a function of reader/writer count.
+
+The paper models every storage device's random aggregate throughput as a
+function of the number of threads or clients — ``r_j(p)``, ``w_j(p)``,
+``t(gamma)`` — because "for many storage devices, a single thread cannot
+saturate its bandwidth" (Sec 4) and "PFS bandwidth is heavily dependent
+on the number of clients". Values between measured points are "inferred
+using linear regression when the exact value is not available"
+(Sec 5.2.2); this module reproduces that with piecewise-linear
+interpolation plus a configurable extrapolation mode beyond the measured
+range:
+
+* ``"clamp"`` (default) — saturate at the last measured value. This is
+  the conservative choice and what produces realistic contention walls
+  at scales beyond the benchmark data.
+* ``"linear"`` — continue the regression line fitted to all points
+  (floored at the last measured value if the slope is negative and at a
+  tiny positive bandwidth overall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ConfigMixin
+from ..errors import ConfigurationError
+
+__all__ = ["ThroughputCurve"]
+
+_EPS_BW = 1e-9
+
+
+@dataclass(frozen=True)
+class ThroughputCurve(ConfigMixin):
+    """Aggregate random throughput (MB/s) vs number of threads/clients.
+
+    Attributes
+    ----------
+    points:
+        Measured ``(count, MB/s)`` pairs, e.g. the paper's PFS benchmark
+        ``t(1)=330, t(2)=730, t(4)=1540, t(8)=2870``. Must be sorted by
+        count with positive counts and non-negative bandwidths.
+    extrapolation:
+        ``"clamp"`` or ``"linear"`` — behaviour beyond the last point.
+    """
+
+    points: tuple[tuple[float, float], ...]
+    extrapolation: str = "clamp"
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("a throughput curve needs at least one point")
+        counts = [p[0] for p in self.points]
+        if any(c <= 0 for c in counts):
+            raise ConfigurationError("thread/client counts must be positive")
+        if sorted(counts) != counts or len(set(counts)) != len(counts):
+            raise ConfigurationError("points must be strictly increasing in count")
+        if any(p[1] < 0 for p in self.points):
+            raise ConfigurationError("bandwidths must be non-negative")
+        if self.extrapolation not in ("clamp", "linear"):
+            raise ConfigurationError(
+                f"unknown extrapolation mode {self.extrapolation!r}"
+            )
+        # Normalize to float tuples (JSON round-trips give lists).
+        object.__setattr__(
+            self,
+            "points",
+            tuple((float(c), float(bw)) for c, bw in self.points),
+        )
+
+    @classmethod
+    def constant(cls, bandwidth_mbps: float) -> "ThroughputCurve":
+        """A count-independent curve (ideal device)."""
+        return cls(points=((1.0, float(bandwidth_mbps)),))
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: dict[float, float], extrapolation: str = "clamp"
+    ) -> "ThroughputCurve":
+        """Build from a ``{count: MB/s}`` dict (sorted automatically)."""
+        pts = tuple(sorted((float(k), float(v)) for k, v in mapping.items()))
+        return cls(points=pts, extrapolation=extrapolation)
+
+    # -- evaluation ------------------------------------------------------
+
+    def aggregate(self, count) -> np.ndarray | float:
+        """Aggregate MB/s at ``count`` concurrent readers/writers.
+
+        Accepts scalars or arrays. Counts below the first measured point
+        scale linearly from the origin through that point (a reasonable
+        model for sub-saturation concurrency); counts between points
+        interpolate linearly; counts beyond follow ``extrapolation``.
+        """
+        counts = np.asarray(count, dtype=np.float64)
+        if np.any(counts < 0):
+            raise ConfigurationError("count must be non-negative")
+        xs = np.array([p[0] for p in self.points])
+        ys = np.array([p[1] for p in self.points])
+        # Piecewise-linear core, anchored at the origin below the first point.
+        result = np.interp(counts, np.concatenate([[0.0], xs]), np.concatenate([[0.0], ys]))
+        if self.extrapolation == "linear" and counts.size and len(xs) >= 2:
+            slope, intercept = np.polyfit(xs, ys, 1)
+            beyond = counts > xs[-1]
+            if np.any(beyond):
+                extended = slope * counts + intercept
+                floor = ys[-1] if slope < 0 else 0.0
+                result = np.where(beyond, np.maximum(extended, floor), result)
+        result = np.maximum(result, 0.0)
+        return float(result) if np.isscalar(count) or result.ndim == 0 else result
+
+    def per_unit(self, count) -> np.ndarray | float:
+        """Per-reader share ``aggregate(count)/count`` (0 readers -> 0)."""
+        counts = np.asarray(count, dtype=np.float64)
+        agg = np.asarray(self.aggregate(counts), dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(counts > 0, agg / np.maximum(counts, _EPS_BW), 0.0)
+        return float(share) if np.isscalar(count) or share.ndim == 0 else share
+
+    @property
+    def saturation_mbps(self) -> float:
+        """Bandwidth at the last measured point (the clamp plateau)."""
+        return self.points[-1][1]
+
+    def scaled(self, factor: float) -> "ThroughputCurve":
+        """A copy with every bandwidth multiplied by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return ThroughputCurve(
+            points=tuple((c, bw * factor) for c, bw in self.points),
+            extrapolation=self.extrapolation,
+        )

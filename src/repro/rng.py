@@ -1,0 +1,62 @@
+"""Deterministic random-number-generation utilities.
+
+Clairvoyance (the paper's central idea) rests on *exact reproducibility*
+of the pseudorandom access stream: "Given the seed used to shuffle the
+indices, we can exactly replicate the result of the shuffles, no matter
+the shuffle algorithm" (Sec 2). Everything stochastic in this library —
+epoch shuffles, synthetic sample sizes, PFS noise, Monte-Carlo draws —
+therefore flows through this module, which derives independent
+:class:`numpy.random.Generator` streams from a single integer seed using
+``SeedSequence`` spawn keys.
+
+Two different callers asking for the same ``(seed, *key)`` always receive
+generators producing identical output; different keys give statistically
+independent streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["derive_seed_sequence", "generator", "spawn_generators", "DEFAULT_SEED"]
+
+#: Seed used by components when the caller does not supply one.
+DEFAULT_SEED = 0xC1A1B0
+
+
+def _normalize_key(key: Iterable[object]) -> tuple[int, ...]:
+    """Map a mixed key (ints / strings) to a tuple of uint32-safe ints."""
+    out: list[int] = []
+    for part in key:
+        if isinstance(part, (int, np.integer)):
+            out.append(int(part) & 0xFFFFFFFF)
+        elif isinstance(part, str):
+            # Stable, platform-independent string hash (FNV-1a, 32-bit).
+            h = 0x811C9DC5
+            for ch in part.encode("utf-8"):
+                h = ((h ^ ch) * 0x01000193) & 0xFFFFFFFF
+            out.append(h)
+        else:
+            raise TypeError(f"rng key parts must be int or str, got {type(part)!r}")
+    return tuple(out)
+
+
+def derive_seed_sequence(seed: int, *key: object) -> np.random.SeedSequence:
+    """Return the ``SeedSequence`` for stream ``key`` under root ``seed``."""
+    return np.random.SeedSequence(entropy=int(seed), spawn_key=_normalize_key(key))
+
+
+def generator(seed: int, *key: object) -> np.random.Generator:
+    """Return a PCG64 :class:`~numpy.random.Generator` for stream ``key``.
+
+    Example: ``generator(seed, "shuffle", epoch)`` is the canonical epoch
+    shuffle stream used by :mod:`repro.core.shuffle`.
+    """
+    return np.random.Generator(np.random.PCG64(derive_seed_sequence(seed, *key)))
+
+
+def spawn_generators(seed: int, n: int, *key: object) -> list[np.random.Generator]:
+    """Return ``n`` independent generators under ``(seed, *key, i)``."""
+    return [generator(seed, *key, i) for i in range(n)]

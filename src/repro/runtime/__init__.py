@@ -1,0 +1,27 @@
+"""The functional NoPFS middleware (Sec 5): Job API, buffers, backends."""
+
+from .backends import FilesystemBackend, MemoryBackend, StorageBackend
+from .buffer import StagingBuffer
+from .comm import WorkerGroup
+from .distributed import DistributedJobGroup
+from .job import Job, JobStats
+from .metadata import MetadataStore
+from .planner import RuntimePlan, build_runtime_plan
+from .prefetcher import SharedCursor, StagingPrefetcher, TierPrefetcher
+
+__all__ = [
+    "StagingBuffer",
+    "StorageBackend",
+    "MemoryBackend",
+    "FilesystemBackend",
+    "MetadataStore",
+    "WorkerGroup",
+    "RuntimePlan",
+    "build_runtime_plan",
+    "SharedCursor",
+    "TierPrefetcher",
+    "StagingPrefetcher",
+    "Job",
+    "JobStats",
+    "DistributedJobGroup",
+]

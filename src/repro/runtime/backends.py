@@ -1,0 +1,175 @@
+"""Storage backends: capacity-enforced sample caches (Sec 5.2.2).
+
+"Storage backends need only implement a generic interface, and NoPFS
+currently supports filesystem- and memory-based storage backends, which
+are sufficient to support most storage classes (including RAM, SSDs,
+and HDDs). Additional backends (e.g., for key-value stores or
+databases) can easily be added."
+
+Both backends here enforce their byte capacity strictly and are safe
+for concurrent use by prefetcher threads and remote-serving calls.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from pathlib import Path
+
+from ..errors import ConfigurationError, RuntimeIOError
+
+__all__ = ["StorageBackend", "MemoryBackend", "FilesystemBackend"]
+
+
+class StorageBackend(abc.ABC):
+    """A byte-budgeted key/value store for cached samples.
+
+    Subclasses implement the raw operations; this base provides the
+    shared capacity accounting and locking discipline.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ConfigurationError("capacity_bytes must be non-negative")
+        self.name = name
+        self._capacity = int(capacity_bytes)
+        self._lock = threading.RLock()
+        self._used = 0
+        self._sizes: dict[int, int] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Configured byte budget."""
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        with self._lock:
+            return self._used
+
+    def __contains__(self, sample_id: int) -> bool:
+        with self._lock:
+            return sample_id in self._sizes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sizes)
+
+    def sample_ids(self) -> list[int]:
+        """Snapshot of the cached sample ids."""
+        with self._lock:
+            return list(self._sizes)
+
+    def put(self, sample_id: int, data: bytes) -> bool:
+        """Cache ``data`` under ``sample_id``.
+
+        Returns ``False`` (without storing) when the sample would exceed
+        the remaining capacity — the prefetcher then targets the next
+        storage class. Re-putting an existing id is a no-op returning
+        ``True``.
+        """
+        size = len(data)
+        with self._lock:
+            if sample_id in self._sizes:
+                return True
+            if self._used + size > self._capacity:
+                return False
+            self._write(sample_id, data)
+            self._sizes[sample_id] = size
+            self._used += size
+            return True
+
+    def get(self, sample_id: int) -> bytes | None:
+        """Return the cached bytes, or ``None`` on a miss."""
+        with self._lock:
+            if sample_id not in self._sizes:
+                return None
+            return self._read(sample_id)
+
+    def delete(self, sample_id: int) -> bool:
+        """Evict one sample; returns whether it was present."""
+        with self._lock:
+            size = self._sizes.pop(sample_id, None)
+            if size is None:
+                return False
+            self._remove(sample_id)
+            self._used -= size
+            return True
+
+    def clear(self) -> None:
+        """Evict everything."""
+        with self._lock:
+            for sample_id in list(self._sizes):
+                self._remove(sample_id)
+            self._sizes.clear()
+            self._used = 0
+
+    # -- backend primitives ----------------------------------------------------
+
+    @abc.abstractmethod
+    def _write(self, sample_id: int, data: bytes) -> None:
+        """Store bytes (capacity already checked, lock held)."""
+
+    @abc.abstractmethod
+    def _read(self, sample_id: int) -> bytes:
+        """Load bytes (presence already checked, lock held)."""
+
+    @abc.abstractmethod
+    def _remove(self, sample_id: int) -> None:
+        """Drop stored bytes (presence already checked, lock held)."""
+
+
+class MemoryBackend(StorageBackend):
+    """RAM-class backend: a plain in-process dict of byte strings."""
+
+    def __init__(self, capacity_bytes: int, name: str = "memory") -> None:
+        super().__init__(name, capacity_bytes)
+        self._store: dict[int, bytes] = {}
+
+    def _write(self, sample_id: int, data: bytes) -> None:
+        self._store[sample_id] = data
+
+    def _read(self, sample_id: int) -> bytes:
+        return self._store[sample_id]
+
+    def _remove(self, sample_id: int) -> None:
+        self._store.pop(sample_id, None)
+
+
+class FilesystemBackend(StorageBackend):
+    """SSD/HDD-class backend: one file per sample under a cache dir.
+
+    The functional counterpart of the paper's mmap/POSIX filesystem
+    prefetcher backend.
+    """
+
+    def __init__(
+        self, capacity_bytes: int, cache_dir: str | Path, name: str = "filesystem"
+    ) -> None:
+        super().__init__(name, capacity_bytes)
+        self._dir = Path(cache_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, sample_id: int) -> Path:
+        return self._dir / f"sample_{sample_id}.bin"
+
+    def _write(self, sample_id: int, data: bytes) -> None:
+        try:
+            self._path(sample_id).write_bytes(data)
+        except OSError as exc:  # pragma: no cover - environment dependent
+            raise RuntimeIOError(f"cache write failed for {sample_id}") from exc
+
+    def _read(self, sample_id: int) -> bytes:
+        try:
+            return self._path(sample_id).read_bytes()
+        except OSError as exc:
+            raise RuntimeIOError(f"cache read failed for {sample_id}") from exc
+
+    def _remove(self, sample_id: int) -> None:
+        try:
+            self._path(sample_id).unlink(missing_ok=True)
+        except OSError as exc:  # pragma: no cover - environment dependent
+            raise RuntimeIOError(f"cache evict failed for {sample_id}") from exc

@@ -1,0 +1,155 @@
+"""The staging buffer: a bounded, in-order, drop-after-use sample ring.
+
+This is the functional analogue of the paper's storage class 0: "a
+special prefetcher for the staging buffer, which is filled in a
+circular manner. This prefetcher coordinates with the Python interface
+via a producer/consumer queue to ensure that the consumer knows when
+samples are available, and that the prefetcher knows when samples have
+been consumed (and therefore can be replaced)." (Sec 5.2.2)
+
+Producers (the staging prefetch threads) deposit samples keyed by their
+*sequence position* in the access stream ``R``; the consumer retrieves
+strictly in sequence order and each retrieval frees the slot — the
+paper's approximation of Bélády replacement ("immediately dropping
+samples from the staging buffer after access").
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import CapacityError, ConfigurationError
+
+__all__ = ["StagingBuffer"]
+
+
+class StagingBuffer:
+    """Bounded byte-budgeted buffer with sequence-ordered consumption.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total byte budget; producers block while a deposit would exceed
+        it (unless the buffer is empty, in which case one oversized
+        sample is admitted so progress is always possible).
+    timeout_s:
+        Safety timeout for blocking operations; expiry raises
+        :class:`~repro.errors.CapacityError` rather than deadlocking a
+        test run.
+    """
+
+    def __init__(self, capacity_bytes: int, timeout_s: float = 30.0) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("staging buffer capacity must be positive")
+        self._capacity = int(capacity_bytes)
+        self._timeout = float(timeout_s)
+        self._lock = threading.Lock()
+        self._space_free = threading.Condition(self._lock)
+        self._available = threading.Condition(self._lock)
+        self._slots: dict[int, tuple[int, bytes]] = {}
+        self._used = 0
+        self._closed = False
+        self._peak_used = 0
+        self._next_deposit = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """The configured byte budget."""
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently held."""
+        with self._lock:
+            return self._used
+
+    @property
+    def peak_used_bytes(self) -> int:
+        """High-water mark of buffer occupancy."""
+        with self._lock:
+            return self._peak_used
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, seq: int, sample_id: int, data: bytes) -> None:
+        """Deposit ``data`` for stream position ``seq``.
+
+        Deposits commit **in sequence order** — a producer holding a
+        later position waits for earlier positions to land first. This
+        is both the paper's semantics ("filled ... according to the
+        reference string", Rule 1) and the liveness guarantee: the
+        buffer can never fill up with future samples while the one the
+        consumer needs is starved of space. Fetching still happens in
+        parallel; only the final insert is serialized.
+
+        Raises :class:`CapacityError` on timeout and ``RuntimeError`` if
+        the buffer was closed while waiting (shutdown path).
+        """
+        size = len(data)
+        with self._space_free:
+            deadline_misses = 0
+            while True:
+                if self._closed:
+                    raise RuntimeError("staging buffer closed")
+                if seq < self._next_deposit or seq in self._slots:
+                    raise CapacityError(f"stream position {seq} deposited twice")
+                in_turn = seq == self._next_deposit
+                fits = self._used + size <= self._capacity or not self._slots
+                if in_turn and fits:
+                    break
+                if not self._space_free.wait(self._timeout):
+                    deadline_misses += 1
+                    if deadline_misses >= 2:
+                        raise CapacityError(
+                            f"timed out depositing position {seq} "
+                            f"(next_deposit {self._next_deposit}, "
+                            f"used {self._used}/{self._capacity} B)"
+                        )
+            self._slots[seq] = (sample_id, data)
+            self._used += size
+            self._peak_used = max(self._peak_used, self._used)
+            self._next_deposit = seq + 1
+            self._available.notify_all()
+            self._space_free.notify_all()  # wake the next producer in line
+
+    # -- consumer side -----------------------------------------------------
+
+    def get(self, seq: int) -> tuple[int, bytes]:
+        """Retrieve stream position ``seq``; frees the slot (drop-after-use).
+
+        Blocks until a producer deposits that position.
+        """
+        with self._available:
+            while seq not in self._slots:
+                if self._closed:
+                    raise RuntimeError("staging buffer closed")
+                if not self._available.wait(self._timeout):
+                    raise CapacityError(
+                        f"timed out waiting for stream position {seq}"
+                    )
+            sample_id, data = self._slots.pop(seq)
+            self._used -= len(data)
+            self._space_free.notify_all()
+            return sample_id, data
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release all waiters and reject further use (idempotent)."""
+        with self._lock:
+            self._closed = True
+            self._slots.clear()
+            self._used = 0
+            self._space_free.notify_all()
+            self._available.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed

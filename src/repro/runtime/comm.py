@@ -1,0 +1,146 @@
+"""In-process worker group: the distributed substrate (Sec 5.2.2).
+
+"A distributed manager class handles all distributed operations among
+workers, using MPI for the underlying communication infrastructure.
+During setup, it is responsible for distributing a worker's access
+sequence R to all other workers (an allgather). It also provides
+functionality for serving locally cached samples to and requesting
+samples from remote nodes."
+
+We have no multi-node fabric, so :class:`WorkerGroup` reproduces the
+same protocol in one process: an allgather rendezvous for setup data, a
+request/serve path for remote sample fetches (a direct, thread-safe
+call into the holder's backends — the moral equivalent of an RDMA
+read), and shared prefetch-progress counters that power the paper's
+remote-availability heuristic. An optional per-MB delay models network
+transfer time for experiments that want wall-clock realism.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from ..errors import CommunicationError, ConfigurationError
+
+__all__ = ["WorkerGroup"]
+
+
+class WorkerGroup:
+    """Rendezvous + sample-serving fabric for ``size`` in-process workers."""
+
+    def __init__(
+        self,
+        size: int,
+        network_delay_s_per_mb: float = 0.0,
+        timeout_s: float = 30.0,
+    ) -> None:
+        if size <= 0:
+            raise ConfigurationError("group size must be positive")
+        if network_delay_s_per_mb < 0:
+            raise ConfigurationError("network delay must be non-negative")
+        self._size = size
+        self._delay_per_mb = float(network_delay_s_per_mb)
+        self._timeout = float(timeout_s)
+        self._lock = threading.Lock()
+        self._gathered = threading.Condition(self._lock)
+        self._allgather_slots: dict[str, dict[int, Any]] = {}
+        self._serve_fns: dict[int, Callable[[int], bytes | None]] = {}
+        self._progress_fns: dict[int, Callable[[], int]] = {}
+        self._remote_bytes_served = 0
+        self._remote_requests = 0
+
+    @property
+    def size(self) -> int:
+        """Number of workers in the group."""
+        return self._size
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._size:
+            raise CommunicationError(f"rank {rank} out of range [0, {self._size})")
+
+    # -- setup: allgather ----------------------------------------------------
+
+    def allgather(self, rank: int, key: str, value: Any) -> list[Any]:
+        """Contribute ``value`` under ``key`` and collect everyone's.
+
+        Blocks until all ranks have contributed (works both when jobs
+        are constructed sequentially in one thread and when they run in
+        parallel threads). Each rank may contribute once per key.
+        """
+        self._check_rank(rank)
+        with self._gathered:
+            slot = self._allgather_slots.setdefault(key, {})
+            if rank in slot:
+                raise CommunicationError(
+                    f"rank {rank} already contributed to allgather {key!r}"
+                )
+            slot[rank] = value
+            self._gathered.notify_all()
+            deadline = time.monotonic() + self._timeout
+            while len(slot) < self._size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CommunicationError(
+                        f"allgather {key!r} timed out with "
+                        f"{len(slot)}/{self._size} contributions"
+                    )
+                self._gathered.wait(remaining)
+            return [slot[r] for r in range(self._size)]
+
+    # -- serving: remote sample fetches -----------------------------------------
+
+    def register(
+        self,
+        rank: int,
+        serve_fn: Callable[[int], bytes | None],
+        progress_fn: Callable[[], int],
+    ) -> None:
+        """Register a worker's sample-serving and progress endpoints."""
+        self._check_rank(rank)
+        with self._lock:
+            self._serve_fns[rank] = serve_fn
+            self._progress_fns[rank] = progress_fn
+
+    def request_sample(self, target_rank: int, sample_id: int) -> bytes | None:
+        """Fetch ``sample_id`` from ``target_rank``'s caches.
+
+        Returns ``None`` when the target has not (yet) cached the sample
+        — the paper's heuristic false-positive case, which callers must
+        treat as a miss, not an error.
+        """
+        self._check_rank(target_rank)
+        with self._lock:
+            serve = self._serve_fns.get(target_rank)
+        if serve is None:
+            raise CommunicationError(f"rank {target_rank} is not serving yet")
+        data = serve(sample_id)
+        with self._lock:
+            self._remote_requests += 1
+            if data is not None:
+                self._remote_bytes_served += len(data)
+        if data is not None and self._delay_per_mb > 0:
+            time.sleep(self._delay_per_mb * len(data) / (1 << 20))
+        return data
+
+    def progress(self, target_rank: int) -> int:
+        """The target's prefetch-progress counter (heuristic input)."""
+        self._check_rank(target_rank)
+        with self._lock:
+            fn = self._progress_fns.get(target_rank)
+        return fn() if fn is not None else 0
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def remote_requests(self) -> int:
+        """Total cross-worker sample requests (hits and misses)."""
+        with self._lock:
+            return self._remote_requests
+
+    @property
+    def remote_bytes_served(self) -> int:
+        """Total bytes served across workers."""
+        with self._lock:
+            return self._remote_bytes_served

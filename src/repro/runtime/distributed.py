@@ -1,0 +1,143 @@
+"""Distributed-run builder: N jobs over one shared group and dataset.
+
+The functional analogue of launching one NoPFS rank per GPU: build the
+worker group, give every rank its own staging buffer and cache
+backends, start all prefetchers, and (optionally) drive every rank's
+consumption loop on its own thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..loader.dataset import Dataset
+from .backends import MemoryBackend, StorageBackend
+from .comm import WorkerGroup
+from .job import Job
+
+__all__ = ["DistributedJobGroup"]
+
+
+class DistributedJobGroup:
+    """All ranks of one training job, running in-process.
+
+    Parameters
+    ----------
+    dataset / batch_size / num_epochs / seed:
+        Shared training parameters (see :class:`~repro.runtime.job.Job`).
+    num_workers:
+        ``N`` — ranks to create.
+    tier_factories:
+        Callables building each rank's cache backends, fastest first,
+        e.g. ``[lambda rank: MemoryBackend(64 << 20)]``. Every rank gets
+        fresh instances. Defaults to one memory tier sized to a quarter
+        of the dataset.
+    job_kwargs:
+        Extra keyword arguments forwarded to every :class:`Job`.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_workers: int,
+        batch_size: int,
+        num_epochs: int,
+        seed: int,
+        tier_factories: list[Callable[[int], StorageBackend]] | None = None,
+        **job_kwargs,
+    ) -> None:
+        if num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
+        if tier_factories is None:
+            default_capacity = max(dataset.total_bytes() // 4, 1 << 20)
+            tier_factories = [lambda rank: MemoryBackend(default_capacity)]
+        self.group = WorkerGroup(num_workers)
+        # Construct ranks concurrently: Job setup contains a collective
+        # rendezvous (the allgather of access-sequence metadata), exactly
+        # like real MPI ranks starting together.
+        slots: list[Job | None] = [None] * num_workers
+        errors: list[Exception] = []
+
+        def build(rank: int) -> None:
+            try:
+                tiers = [factory(rank) for factory in tier_factories]
+                slots[rank] = Job(
+                    dataset,
+                    batch_size=batch_size,
+                    num_epochs=num_epochs,
+                    seed=seed,
+                    rank=rank,
+                    group=self.group,
+                    tiers=tiers,
+                    **job_kwargs,
+                )
+            except Exception as exc:
+                errors.append(exc)
+
+        builders = [
+            threading.Thread(target=build, args=(rank,), daemon=True)
+            for rank in range(num_workers)
+        ]
+        for t in builders:
+            t.start()
+        for t in builders:
+            t.join(timeout=300.0)
+        if errors:
+            raise errors[0]
+        if any(job is None for job in slots):
+            raise ConfigurationError("job construction timed out")
+        self.jobs: list[Job] = [job for job in slots if job is not None]
+
+    def start(self) -> "DistributedJobGroup":
+        """Start every rank's prefetchers."""
+        for job in self.jobs:
+            job.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop every rank."""
+        for job in self.jobs:
+            job.stop()
+
+    def __enter__(self) -> "DistributedJobGroup":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def run_consumers(
+        self,
+        consume_fn: Callable[[Job, int, bytes, int], None] | None = None,
+        timeout_s: float = 120.0,
+    ) -> list[dict[str, int]]:
+        """Drive every rank's full consumption loop on its own thread.
+
+        ``consume_fn(job, sample_id, data, label)`` is called for every
+        sample (default: discard). Returns each rank's source statistics.
+        Raises the first worker error encountered, if any.
+        """
+        errors: list[Exception] = []
+
+        def consumer(job: Job) -> None:
+            try:
+                for sample_id, data, label in job:
+                    if consume_fn is not None:
+                        consume_fn(job, sample_id, data, label)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=consumer, args=(job,), daemon=True)
+            for job in self.jobs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout_s)
+            if t.is_alive():
+                raise ConfigurationError("consumer thread timed out")
+        if errors:
+            raise errors[0]
+        return [job.stats.as_dict() for job in self.jobs]

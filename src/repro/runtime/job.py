@@ -1,0 +1,310 @@
+"""The ``Job`` API: the paper's Python-facing middleware object (Sec 5.2.1).
+
+"The Python interface provides the Job class, which represents the
+execution of a machine learning job on a particular dataset. [...] Once
+initialized, the Job exposes two key features: buffer_p, a pointer to
+NoPFS's staging buffer, allowing zero-copy access to samples; and a get
+method, which returns samples and their labels, enabling iterator-style
+access to data."
+
+A :class:`Job` is one worker's view of a distributed run: it owns that
+worker's storage backends, staging buffer and prefetcher threads, and
+talks to its peers through a :class:`~repro.runtime.comm.WorkerGroup`.
+Construct one Job per rank over a shared group (see
+:mod:`repro.runtime.distributed` for the convenience builder).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core import AccessStream, StreamConfig
+from ..errors import ConfigurationError
+from ..loader.dataset import Dataset
+from .backends import StorageBackend
+from .buffer import StagingBuffer
+from .comm import WorkerGroup
+from .metadata import MetadataStore
+from .planner import RuntimePlan, build_runtime_plan
+from .prefetcher import SharedCursor, StagingPrefetcher, TierPrefetcher
+
+__all__ = ["JobStats", "Job"]
+
+
+@dataclass
+class JobStats:
+    """Where this worker's staged samples actually came from."""
+
+    local_hits: int = 0
+    remote_hits: int = 0
+    dataset_reads: int = 0
+    heuristic_false_positives: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, source: str, false_positive: bool = False) -> None:
+        """Count one staged sample by source."""
+        with self._lock:
+            if source == "local":
+                self.local_hits += 1
+            elif source == "remote":
+                self.remote_hits += 1
+            elif source == "dataset":
+                self.dataset_reads += 1
+            else:
+                raise ConfigurationError(f"unknown source {source!r}")
+            if false_positive:
+                self.heuristic_false_positives += 1
+
+    @property
+    def total(self) -> int:
+        """Total staged samples."""
+        return self.local_hits + self.remote_hits + self.dataset_reads
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reporting."""
+        return {
+            "local_hits": self.local_hits,
+            "remote_hits": self.remote_hits,
+            "dataset_reads": self.dataset_reads,
+            "heuristic_false_positives": self.heuristic_false_positives,
+        }
+
+
+class Job:
+    """One worker's NoPFS middleware instance.
+
+    Parameters
+    ----------
+    dataset:
+        The shared dataset (the "PFS" of the functional runtime).
+    batch_size:
+        ``B`` — this worker's batch size.
+    num_epochs:
+        ``E`` — epochs the job will serve.
+    seed:
+        Shared shuffle seed (the clairvoyance key; all ranks must agree).
+    rank / group:
+        This worker's rank and the shared in-process worker group.
+    tiers:
+        This worker's cache backends, fastest first (may be empty).
+    staging_bytes:
+        Staging-buffer capacity in bytes.
+    staging_threads:
+        ``p_0`` — staging prefetcher threads.
+    tier_threads:
+        Prefetch threads per cache tier (``p_j``); length must match
+        ``tiers`` (defaults to one each).
+    preprocess:
+        Optional ``bytes -> bytes`` transform applied before staging
+        (decode/augment stage).
+    use_progress_heuristic:
+        ``True`` reproduces the paper's remote-availability heuristic
+        (estimate from the holder's progress counter; false positives
+        are detected and fall back to the dataset). ``False`` asks the
+        holder directly (exact, in-process shortcut).
+    drop_last:
+        Drop the ragged final global batch each epoch.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        num_epochs: int,
+        seed: int,
+        rank: int,
+        group: WorkerGroup,
+        tiers: list[StorageBackend] | None = None,
+        staging_bytes: int = 64 << 20,
+        staging_threads: int = 2,
+        tier_threads: list[int] | None = None,
+        preprocess: Callable[[bytes], bytes] | None = None,
+        use_progress_heuristic: bool = True,
+        drop_last: bool = True,
+        buffer_timeout_s: float = 30.0,
+    ) -> None:
+        if staging_threads < 1:
+            raise ConfigurationError("staging_threads must be >= 1 (p_0 >= 1)")
+        self.dataset = dataset
+        self.rank = rank
+        self.group = group
+        self.tiers = list(tiers or [])
+        self.tier_threads = list(tier_threads or [1] * len(self.tiers))
+        if len(self.tier_threads) != len(self.tiers):
+            raise ConfigurationError("tier_threads must match tiers")
+        self.stream_config = StreamConfig(
+            seed=seed,
+            num_samples=len(dataset),
+            num_workers=group.size,
+            batch_size=batch_size,
+            num_epochs=num_epochs,
+            drop_last=drop_last,
+        )
+        self.metadata = MetadataStore()
+        self.buffer = StagingBuffer(staging_bytes, timeout_s=buffer_timeout_s)
+        self.stats = JobStats()
+        self._staging_threads = staging_threads
+        self._preprocess = preprocess
+        self._heuristic = use_progress_heuristic
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._consume_seq = 0
+        self._started = False
+
+        # Build this worker's multi-epoch stream and exchange setup data
+        # with the group (the paper's allgather of access sequences).
+        stream = AccessStream(self.stream_config)
+        self._stream_ids = stream.worker_stream(rank)
+        gathered = group.allgather(rank, "stream_lengths", int(self._stream_ids.size))
+        if len(set(gathered)) != 1:
+            raise ConfigurationError("workers disagree on stream length")
+
+        sizes = np.array(
+            [dataset.size(i) for i in range(len(dataset))], dtype=np.float64
+        )
+        self.plan: RuntimePlan = build_runtime_plan(
+            self.stream_config,
+            sizes,
+            [t.capacity_bytes for t in self.tiers],
+        )
+        group.register(rank, self._serve_sample, lambda: self.metadata.progress)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Job":
+        """Spawn the tier and staging prefetcher threads."""
+        if self._started:
+            raise ConfigurationError("job already started")
+        self._started = True
+        tier_lists = self.plan.tier_prefetch_lists(self.rank)
+        for tier, (ids, n_threads) in enumerate(zip(tier_lists, self.tier_threads)):
+            for idx in range(n_threads):
+                t = TierPrefetcher(
+                    tier,
+                    idx,
+                    n_threads,
+                    ids,
+                    self.dataset.read,
+                    self._store_in_tier,
+                    self.metadata.advance_progress,
+                    self._stop,
+                )
+                self._threads.append(t)
+                t.start()
+        cursor = SharedCursor(self._stream_ids.size)
+        for idx in range(self._staging_threads):
+            t = StagingPrefetcher(
+                idx,
+                self._stream_ids,
+                cursor,
+                self._fetch_for_staging,
+                self.buffer.put,
+                self._stop,
+            )
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop all prefetchers and release the staging buffer."""
+        self._stop.set()
+        self.buffer.close()
+        for t in self._threads:
+            t.join(timeout=10.0)
+
+    def __enter__(self) -> "Job":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the consumer API (paper Fig 7) ------------------------------------------
+
+    def get(self) -> tuple[int, bytes, int]:
+        """Next ``(sample_id, data, label)`` of this worker's stream.
+
+        Blocks until the staging prefetchers have deposited it; dropping
+        the slot afterwards frees buffer space (drop-after-use).
+        """
+        if not self._started:
+            raise ConfigurationError("job not started")
+        if self._consume_seq >= self._stream_ids.size:
+            raise StopIteration
+        sample_id, data = self.buffer.get(self._consume_seq)
+        self._consume_seq += 1
+        return sample_id, data, self.dataset.label(sample_id)
+
+    def __iter__(self):
+        """Iterate the remaining stream as ``(id, data, label)`` triples."""
+        while self._consume_seq < self._stream_ids.size:
+            yield self.get()
+
+    @property
+    def samples_per_epoch(self) -> int:
+        """Samples this worker consumes each epoch."""
+        return self.stream_config.samples_per_worker_per_epoch
+
+    @property
+    def total_samples(self) -> int:
+        """Samples across all epochs."""
+        return int(self._stream_ids.size)
+
+    @property
+    def stream_ids(self) -> np.ndarray:
+        """This worker's full clairvoyant access stream (read-only view)."""
+        return self._stream_ids
+
+    # -- internals -----------------------------------------------------------
+
+    def _store_in_tier(self, tier: int, sample_id: int, data: bytes) -> bool:
+        stored = self.tiers[tier].put(sample_id, data)
+        if stored:
+            self.metadata.record(sample_id, tier)
+        return stored
+
+    def _serve_sample(self, sample_id: int) -> bytes | None:
+        tier = self.metadata.tier_of(sample_id)
+        if tier is None:
+            return None
+        return self.tiers[tier].get(sample_id)
+
+    def _remote_probably_cached(self, holder: int, sample_id: int) -> bool:
+        position = int(self.plan.holder_position[sample_id])
+        if position < 0:
+            return False
+        return self.group.progress(holder) > position
+
+    def _fetch_for_staging(self, sample_id: int) -> bytes:
+        # 1. Local cache (fastest tier recorded wins).
+        tier = self.metadata.tier_of(sample_id)
+        if tier is not None:
+            data = self.tiers[tier].get(sample_id)
+            if data is not None:
+                self.stats.record("local")
+                return self._apply_preprocess(data)
+        # 2. Remote holder, gated by the availability heuristic.
+        holder = int(self.plan.holder_of[sample_id])
+        if holder >= 0 and holder != self.rank:
+            if not self._heuristic or self._remote_probably_cached(
+                holder, sample_id
+            ):
+                data = self.group.request_sample(holder, sample_id)
+                if data is not None:
+                    self.stats.record("remote")
+                    return self._apply_preprocess(data)
+                # "the failure of this heuristic is not an error" — fall
+                # through to the dataset and count the false positive.
+                self.stats.record("dataset", false_positive=self._heuristic)
+                return self._apply_preprocess(self.dataset.read(sample_id))
+        # 3. The dataset itself (the PFS path).
+        self.stats.record("dataset")
+        return self._apply_preprocess(self.dataset.read(sample_id))
+
+    def _apply_preprocess(self, data: bytes) -> bytes:
+        if self._preprocess is None:
+            return data
+        return self._preprocess(data)

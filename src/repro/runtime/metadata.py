@@ -1,0 +1,74 @@
+"""Metadata store: catalog of locally cached samples (Sec 5.2.2).
+
+"For tracking samples, a metadata store keeps a catalog of locally
+cached samples."
+
+One :class:`MetadataStore` per worker maps sample ids to the storage
+tier caching them, under a lock shared with the prefetchers and the
+remote-serving path. It also carries the *prefetch progress counter*
+other workers consult through the paper's remote-availability heuristic
+(see :mod:`repro.runtime.comm`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MetadataStore"]
+
+
+class MetadataStore:
+    """Thread-safe sample-id -> storage-tier catalog for one worker."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tier_of: dict[int, int] = {}
+        self._progress = 0
+
+    # -- catalog ---------------------------------------------------------------
+
+    def record(self, sample_id: int, tier: int) -> None:
+        """Register ``sample_id`` as cached in ``tier`` (fastest wins)."""
+        with self._lock:
+            current = self._tier_of.get(sample_id)
+            if current is None or tier < current:
+                self._tier_of[sample_id] = tier
+
+    def forget(self, sample_id: int) -> None:
+        """Remove a sample from the catalog (eviction path)."""
+        with self._lock:
+            self._tier_of.pop(sample_id, None)
+
+    def tier_of(self, sample_id: int) -> int | None:
+        """Tier caching ``sample_id`` locally, or ``None``."""
+        with self._lock:
+            return self._tier_of.get(sample_id)
+
+    def __contains__(self, sample_id: int) -> bool:
+        with self._lock:
+            return sample_id in self._tier_of
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tier_of)
+
+    # -- prefetch progress -------------------------------------------------------
+
+    def advance_progress(self, count: int = 1) -> int:
+        """Bump the prefetch progress counter; returns the new value.
+
+        The counter is the number of entries of this worker's planned
+        prefetch order that have been attempted so far — the quantity the
+        paper's heuristic compares against ("if the local prefetching has
+        reached the corresponding access stream location, then the remote
+        worker likely has, too").
+        """
+        with self._lock:
+            self._progress += count
+            return self._progress
+
+    @property
+    def progress(self) -> int:
+        """Current prefetch progress counter."""
+        with self._lock:
+            return self._progress

@@ -1,0 +1,131 @@
+"""Runtime planner: clairvoyant placement and fetch routing for real jobs.
+
+This module turns the core analysis (:mod:`repro.core`) into the
+concrete tables a running :class:`~repro.runtime.job.Job` consults:
+
+* each worker's tier placement (hottest samples to fastest tiers),
+* the per-tier *prefetch order* (access order — Rule 1),
+* for every sample, the best remote holder ``(worker, tier)``,
+* each sample's position in its holder's prefetch order, which is what
+  the paper's remote-availability heuristic compares against the
+  holder's progress counter.
+
+Because every worker knows the seed, every worker computes identical
+tables — no metadata traffic, exactly the paper's design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import AccessStream, CachePlan, StreamConfig, frequency_placement_sparse
+from ..errors import ConfigurationError
+
+__all__ = ["RuntimePlan", "build_runtime_plan"]
+
+
+class RuntimePlan:
+    """Fetch-routing tables shared by all workers of one job group."""
+
+    def __init__(
+        self,
+        plan: CachePlan,
+        prefetch_orders: list[np.ndarray],
+        holder_of: np.ndarray,
+        holder_position: np.ndarray,
+    ) -> None:
+        self.plan = plan
+        #: Per worker: cached ids in prefetch (access) order, fast tiers first.
+        self.prefetch_orders = prefetch_orders
+        #: Best remote worker caching each sample (-1 = nobody).
+        self.holder_of = holder_of
+        #: Position of each sample in its holder's prefetch order.
+        self.holder_position = holder_position
+
+    def tier_prefetch_lists(self, worker: int) -> list[np.ndarray]:
+        """Per-tier prefetch lists for ``worker``, each in access order."""
+        placement = self.plan.placements[worker]
+        order_pos = {
+            int(sid): pos
+            for pos, sid in enumerate(self.prefetch_orders[worker])
+        }
+        lists = []
+        for ids in placement.class_ids:
+            arr = np.asarray(ids, dtype=np.int64)
+            if arr.size:
+                keys = np.array([order_pos[int(s)] for s in arr])
+                arr = arr[np.argsort(keys)]
+            lists.append(arr)
+        return lists
+
+
+def build_runtime_plan(
+    stream_config: StreamConfig,
+    sizes_bytes: np.ndarray,
+    tier_capacities_bytes: list[int],
+) -> RuntimePlan:
+    """Compute the full routing plan for a job group.
+
+    Parameters
+    ----------
+    stream_config:
+        The shared access-stream configuration (seed, F, N, B, E).
+    sizes_bytes:
+        Per-sample sizes in bytes (shape ``(F,)``).
+    tier_capacities_bytes:
+        Capacity of each cache tier, fastest first (same for every
+        worker, matching the paper's homogeneous-node assumption).
+    """
+    sizes = np.asarray(sizes_bytes, dtype=np.float64)
+    if sizes.shape != (stream_config.num_samples,):
+        raise ConfigurationError("sizes must have shape (F,)")
+    stream = AccessStream(stream_config)
+    n = stream_config.num_workers
+    f = stream_config.num_samples
+
+    placements = []
+    prefetch_orders: list[np.ndarray] = []
+    for worker in range(n):
+        full = stream.worker_stream(worker)
+        uids, first_pos, counts = np.unique(
+            full, return_index=True, return_counts=True
+        )
+        placement = frequency_placement_sparse(
+            uids, counts, sizes[uids], list(map(float, tier_capacities_bytes)), worker
+        )
+        placements.append(placement)
+        # Prefetch order: cached ids sorted by first access (Rule 1),
+        # faster tiers first so hot samples land early.
+        pos_of = dict(zip(uids.tolist(), first_pos.tolist()))
+        ordered_parts = []
+        for ids in placement.class_ids:
+            arr = np.asarray(ids, dtype=np.int64)
+            if arr.size:
+                keys = np.array([pos_of[int(s)] for s in arr])
+                arr = arr[np.argsort(keys)]
+            ordered_parts.append(arr)
+        prefetch_orders.append(
+            np.concatenate(ordered_parts)
+            if ordered_parts
+            else np.empty(0, dtype=np.int64)
+        )
+
+    plan = CachePlan(placements, f, max(len(tier_capacities_bytes), 1))
+
+    # Best holder per sample: fastest tier wins, ties -> lowest rank.
+    holder_of = np.full(f, -1, dtype=np.int32)
+    holder_tier = np.full(f, np.int8(127), dtype=np.int8)
+    for worker, placement in enumerate(placements):
+        for tier, ids in enumerate(placement.class_ids):
+            arr = np.asarray(ids, dtype=np.int64)
+            if arr.size:
+                better = holder_tier[arr] > tier
+                holder_of[arr[better]] = worker
+                holder_tier[arr[better]] = tier
+
+    holder_position = np.full(f, -1, dtype=np.int64)
+    for worker, order in enumerate(prefetch_orders):
+        if order.size:
+            mine = holder_of[order] == worker
+            holder_position[order[mine]] = np.nonzero(mine)[0]
+    return RuntimePlan(plan, prefetch_orders, holder_of, holder_position)

@@ -1,0 +1,126 @@
+"""Prefetcher threads: tier fillers and the staging-buffer producer.
+
+"The core prefetching logic is managed by prefetcher backends, which
+implement all the logic for prefetching to a particular storage class.
+[...] We also implement a special prefetcher for the staging buffer,
+which is filled in a circular manner." (Sec 5.2.2)
+
+Two thread bodies live here:
+
+* :class:`TierPrefetcher` — fills one cache tier with its planned
+  samples *in access order* (Rule 1), reading from the dataset, and
+  advances the worker's progress counter (the heuristic's input).
+* :class:`StagingPrefetcher` — pulls the next positions of the access
+  stream ``R`` from a shared cursor, resolves each sample from the
+  cheapest source (local tier -> remote holder -> dataset), applies the
+  preprocessing callable, and deposits into the staging buffer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["SharedCursor", "TierPrefetcher", "StagingPrefetcher"]
+
+
+class SharedCursor:
+    """A thread-safe monotonically increasing position dispenser."""
+
+    def __init__(self, limit: int) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+        self._limit = int(limit)
+
+    def next(self) -> int | None:
+        """Claim the next position, or ``None`` when exhausted."""
+        with self._lock:
+            if self._next >= self._limit:
+                return None
+            value = self._next
+            self._next += 1
+            return value
+
+    @property
+    def position(self) -> int:
+        """Next unclaimed position."""
+        with self._lock:
+            return self._next
+
+
+class TierPrefetcher(threading.Thread):
+    """Fills one storage tier with its planned samples, access order."""
+
+    def __init__(
+        self,
+        tier: int,
+        thread_index: int,
+        num_threads: int,
+        planned_ids: np.ndarray,
+        read_fn: Callable[[int], bytes],
+        store_fn: Callable[[int, int, bytes], bool],
+        advance_fn: Callable[[], int],
+        stop_event: threading.Event,
+    ) -> None:
+        super().__init__(daemon=True, name=f"tier{tier}-prefetch{thread_index}")
+        self._tier = tier
+        # Round-robin split of the tier's list across its threads keeps
+        # the access-order property per thread.
+        self._ids = planned_ids[thread_index::num_threads]
+        self._read = read_fn
+        self._store = store_fn
+        self._advance = advance_fn
+        self._stop_event = stop_event
+        self.error: Exception | None = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via Job tests
+        try:
+            for sample_id in self._ids:
+                if self._stop_event.is_set():
+                    return
+                data = self._read(int(sample_id))
+                self._store(self._tier, int(sample_id), data)
+                self._advance()
+        except ReproError as exc:
+            self.error = exc
+        except RuntimeError as exc:  # buffer closed during shutdown
+            self.error = exc
+
+
+class StagingPrefetcher(threading.Thread):
+    """Deposits the access stream into the staging buffer, in order."""
+
+    def __init__(
+        self,
+        thread_index: int,
+        stream: np.ndarray,
+        cursor: SharedCursor,
+        fetch_fn: Callable[[int], bytes],
+        put_fn: Callable[[int, int, bytes], None],
+        stop_event: threading.Event,
+    ) -> None:
+        super().__init__(daemon=True, name=f"staging-prefetch{thread_index}")
+        self._stream = stream
+        self._cursor = cursor
+        self._fetch = fetch_fn
+        self._put = put_fn
+        self._stop_event = stop_event
+        self.error: Exception | None = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via Job tests
+        try:
+            while not self._stop_event.is_set():
+                seq = self._cursor.next()
+                if seq is None:
+                    return
+                sample_id = int(self._stream[seq])
+                data = self._fetch(sample_id)
+                self._put(seq, sample_id, data)
+        except ReproError as exc:
+            self.error = exc
+        except RuntimeError as exc:  # buffer closed during shutdown
+            self.error = exc

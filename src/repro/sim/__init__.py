@@ -1,0 +1,54 @@
+"""The Sec 6 I/O performance simulator: engine, policies, results."""
+
+from .config import SimulationConfig
+from .context import ScenarioContext
+from .engine import Simulator, analytic_lower_bound
+from .lockstep import LockstepResult, lockstep_epoch
+from .noise import NoiseConfig, apply_noise
+from .policies import (
+    DeepIOPolicy,
+    DoubleBufferPolicy,
+    LBANNPolicy,
+    LocalityAwarePolicy,
+    NaivePolicy,
+    NoPFSPolicy,
+    ParallelStagingPolicy,
+    PerfectPolicy,
+    Policy,
+    PolicyCapabilities,
+    PreparedPolicy,
+    StagingBufferPolicy,
+    WorkerLookup,
+    fig8_policies,
+    table1_policies,
+)
+from .result import BatchTimeStats, EpochResult, SimulationResult
+
+__all__ = [
+    "SimulationConfig",
+    "ScenarioContext",
+    "Simulator",
+    "analytic_lower_bound",
+    "LockstepResult",
+    "lockstep_epoch",
+    "NoiseConfig",
+    "apply_noise",
+    "BatchTimeStats",
+    "EpochResult",
+    "SimulationResult",
+    "Policy",
+    "PolicyCapabilities",
+    "PreparedPolicy",
+    "WorkerLookup",
+    "PerfectPolicy",
+    "NaivePolicy",
+    "StagingBufferPolicy",
+    "DoubleBufferPolicy",
+    "DeepIOPolicy",
+    "ParallelStagingPolicy",
+    "LBANNPolicy",
+    "LocalityAwarePolicy",
+    "NoPFSPolicy",
+    "fig8_policies",
+    "table1_policies",
+]

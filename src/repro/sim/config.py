@@ -1,0 +1,108 @@
+"""Simulation configuration: dataset x system x training hyperparameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ConfigMixin
+from ..core.stream import StreamConfig
+from ..datasets import DatasetModel
+from ..errors import ConfigurationError
+from ..perfmodel import SystemModel
+from ..rng import DEFAULT_SEED
+from .noise import NoiseConfig
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig(ConfigMixin):
+    """Everything one simulator run needs.
+
+    Attributes
+    ----------
+    dataset:
+        The dataset model (``F`` samples, size distribution).
+    system:
+        The compute/storage environment (defines ``N`` workers).
+    batch_size:
+        ``B`` — per-worker batch size.
+    num_epochs:
+        ``E`` — epochs to simulate.
+    seed:
+        Root seed for the shuffle stream *and* noise streams.
+    noise:
+        Stochastic fetch-time noise parameters.
+    barrier:
+        Model training as bulk-synchronous (per-batch allreduce): a
+        batch completes when its slowest worker does. The paper's "I/O
+        noise becomes a barrier to scalability" behaviour requires this.
+    record_batch_times:
+        Keep every global batch duration (needed for violin plots /
+        Fig 11); summary quantiles are always recorded.
+    network_interference:
+        I/O noise on the compute/communication path: the paper profiled
+        "NCCL allreduces took up to 2x longer when performing I/O ...
+        I/O threads interfere with NCCL's communication threads and I/O
+        traffic goes over the same network as allreduces" (Sec 7.1).
+        Each worker's compute time is inflated by
+        ``1 + network_interference * (non-local byte fraction)`` — local
+        cache hits cause no interference, PFS and remote traffic do.
+    """
+
+    dataset: DatasetModel
+    system: SystemModel
+    batch_size: int
+    num_epochs: int
+    seed: int = DEFAULT_SEED
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    barrier: bool = True
+    record_batch_times: bool = False
+    network_interference: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if self.num_epochs <= 0:
+            raise ConfigurationError("num_epochs must be positive")
+        if self.network_interference < 0:
+            raise ConfigurationError("network_interference must be >= 0")
+        # Validate the derived stream config eagerly (catches B*N > F).
+        self.stream_config  # noqa: B018
+
+    @property
+    def stream_config(self) -> StreamConfig:
+        """The access-stream configuration implied by this simulation."""
+        return StreamConfig(
+            seed=self.seed,
+            num_samples=self.dataset.num_samples,
+            num_workers=self.system.num_workers,
+            batch_size=self.batch_size,
+            num_epochs=self.num_epochs,
+            drop_last=True,
+        )
+
+    @property
+    def iterations_per_epoch(self) -> int:
+        """``T`` — global iterations per epoch."""
+        return self.stream_config.iterations_per_epoch
+
+    @property
+    def scenario(self) -> str:
+        """Which of the paper's four dataset-size regimes applies.
+
+        Returns one of ``"S<d1"``, ``"d1<S<D"``, ``"D<S<ND"``, ``"ND<S"``
+        (Sec 6's scenario taxonomy).
+        """
+        s = self.dataset.total_size_mb
+        classes = self.system.storage_classes
+        d1 = classes[0].capacity_mb if classes else 0.0
+        d_total = self.system.total_cache_mb
+        nd = self.system.aggregate_cache_mb
+        if s < d1:
+            return "S<d1"
+        if s < d_total:
+            return "d1<S<D"
+        if s < nd:
+            return "D<S<ND"
+        return "ND<S"

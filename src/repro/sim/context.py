@@ -1,0 +1,122 @@
+"""Scenario context shared between the engine and the policies.
+
+A :class:`ScenarioContext` wraps one :class:`SimulationConfig` with the
+derived objects every policy needs — the clairvoyant access stream, the
+materialized sample sizes, per-worker frequency counts — plus caching so
+that a nine-policy comparison does not regenerate multi-million-entry
+permutations nine times over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import AccessStream
+from ..errors import ConfigurationError
+from .config import SimulationConfig
+
+__all__ = ["ScenarioContext"]
+
+#: Cache epoch permutations only below this total element count
+#: (E * F); beyond it they are regenerated on demand to bound memory.
+_PERM_CACHE_MAX_ELEMENTS = 80_000_000
+
+
+class ScenarioContext:
+    """Derived state for one simulation scenario.
+
+    Parameters
+    ----------
+    config:
+        The simulation configuration (dataset, system, B, E, seed).
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.stream = AccessStream(config.stream_config)
+        self.sizes_mb = config.dataset.sizes_mb()
+        self.system = config.system
+        self._epoch_cache: dict[int, np.ndarray] = {}
+        self._cache_enabled = (
+            config.num_epochs * config.dataset.num_samples
+            <= _PERM_CACHE_MAX_ELEMENTS
+        )
+        self._freq_cache: list[tuple[np.ndarray, np.ndarray]] | None = None
+
+    # -- stream access -----------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        """``N`` — workers in this scenario."""
+        return self.system.num_workers
+
+    @property
+    def samples_per_worker_per_epoch(self) -> int:
+        """``L = T * B`` — per-worker stream length each epoch."""
+        return self.config.stream_config.samples_per_worker_per_epoch
+
+    def epoch_batches(self, epoch: int) -> np.ndarray:
+        """``(T, N, B)`` batch view of ``epoch`` (cached when small)."""
+        cached = self._epoch_cache.get(epoch)
+        if cached is not None:
+            return cached
+        batches = self.stream.epoch_batches(epoch)
+        if self._cache_enabled:
+            self._epoch_cache[epoch] = batches
+        return batches
+
+    def worker_epoch_ids(self, worker: int, epoch: int) -> np.ndarray:
+        """Worker ``worker``'s in-order sample ids for ``epoch``."""
+        return self.epoch_batches(epoch)[:, worker, :].reshape(-1)
+
+    # -- frequency analysis -------------------------------------------------
+
+    def worker_frequencies_sparse(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-worker ``(accessed_ids, counts)`` over all ``E`` epochs.
+
+        The sparse form keeps memory at O(samples actually accessed per
+        worker) instead of O(N * F), which matters at Sec 7 scales
+        (N=1024). Computed once and cached on the context.
+        """
+        if self._freq_cache is not None:
+            return self._freq_cache
+        n = self.num_workers
+        cfg = self.config
+        per_worker: list[list[np.ndarray]] = [[] for _ in range(n)]
+        for epoch in range(cfg.num_epochs):
+            batches = self.epoch_batches(epoch)
+            for worker in range(n):
+                per_worker[worker].append(batches[:, worker, :].reshape(-1))
+        result: list[tuple[np.ndarray, np.ndarray]] = []
+        for worker in range(n):
+            ids = np.concatenate(per_worker[worker])
+            per_worker[worker] = []  # free as we go
+            uids, counts = np.unique(ids, return_counts=True)
+            result.append((uids, counts))
+        self._freq_cache = result
+        return result
+
+    # -- stream length helpers ----------------------------------------------
+
+    def tiled_epoch_stream(
+        self, ids: np.ndarray, worker: int, epoch: int, tag: str
+    ) -> np.ndarray:
+        """Shuffle ``ids`` deterministically and tile/truncate to ``L``.
+
+        Used by access-order-changing baselines (sharding, DeepIO
+        opportunistic): the worker still performs ``T*B`` accesses per
+        epoch, drawn (with wraparound) from its private set.
+        """
+        if ids.size == 0:
+            raise ConfigurationError(
+                f"worker {worker} has no samples to iterate ({tag})"
+            )
+        from ..rng import generator  # local import to avoid cycles
+
+        rng = generator(self.config.seed, "policy", tag, worker, epoch)
+        shuffled = rng.permutation(ids)
+        length = self.samples_per_worker_per_epoch
+        if shuffled.size >= length:
+            return shuffled[:length]
+        reps = -(-length // shuffled.size)
+        return np.tile(shuffled, reps)[:length]

@@ -1,0 +1,285 @@
+"""The I/O performance simulator (Sec 6).
+
+"We developed a performance simulator based on our performance model to
+evaluate different data loading strategies. The simulator supports
+arbitrary dataset, system, and I/O strategy configurations. We do not
+aim for a precise simulation of training, but rather to capture the
+relative performance of different I/O strategies."
+
+The engine times each epoch of each policy as follows:
+
+1. The policy's :class:`~repro.sim.policies.base.PreparedPolicy` fixes
+   the cache placement, stream rewriting, prestaging cost and PFS usage.
+2. Per epoch, the PFS contention level ``gamma`` is derived from the
+   byte fraction the policy must fetch from the PFS (cold epochs: all of
+   it; warm epochs: the placement's uncovered bytes).
+3. Per worker, every sample's fetch source is resolved vectorially
+   (local tier / fastest remote tier / PFS — Sec 4's three cases),
+   seeded noise is applied, and per-batch read/compute times are
+   aggregated.
+4. The bulk-synchronous lockstep scan (:mod:`repro.sim.lockstep`) turns
+   those into global batch completion times under the allreduce barrier
+   and the staging-buffer lookahead window.
+
+Caches follow the paper's observed dynamics: during epoch 0 every
+policy reads from the PFS while caches fill ("without caching, it is
+always 'the first epoch' for a data loader"); placements activate from
+``warm_epochs`` on. Prestaged policies instead pay an explicit upfront
+cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PolicyError
+from ..perfmodel import Source, resolve_fetch, write_times
+from ..rng import generator
+
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _hash01(ids: np.ndarray) -> np.ndarray:
+    """Deterministic per-sample uniforms in [0, 1) (splitmix-style)."""
+    with np.errstate(over="ignore"):
+        x = ids.astype(np.uint64) * _HASH_MULT
+        x ^= x >> np.uint64(31)
+        x *= np.uint64(0xFF51AFD7ED558CCD)
+        x ^= x >> np.uint64(33)
+    return x.astype(np.float64) / float(2**64)
+from .config import SimulationConfig
+from .context import ScenarioContext
+from .lockstep import lockstep_epoch
+from .noise import apply_noise
+from .policies.base import Policy, PreparedPolicy
+from .result import BatchTimeStats, EpochResult, SimulationResult
+
+__all__ = ["Simulator", "analytic_lower_bound"]
+
+
+def analytic_lower_bound(config: SimulationConfig) -> float:
+    """The paper's "Perfect" lower bound: pure compute, no stalls.
+
+    ``E * (per-worker bytes per epoch) / c`` — the time to push every
+    byte a worker consumes through its compute engine, with I/O and
+    synchronization assumed free (Sec 6's "not realistic in practice").
+    """
+    ctx = ScenarioContext(config)
+    worst = 0.0
+    for worker in range(ctx.num_workers):
+        ids = ctx.worker_epoch_ids(worker, 0)
+        worst = max(worst, float(ctx.sizes_mb[ids].sum()))
+    return config.num_epochs * worst / config.system.compute_mbps
+
+
+class Simulator:
+    """Evaluates I/O policies on one scenario (dataset x system x E x B).
+
+    A single instance caches the scenario's access streams so comparing
+    many policies (Fig 8's nine bars) reuses the expensive state.
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.ctx = ScenarioContext(config)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, policy: Policy) -> SimulationResult:
+        """Simulate ``policy`` and return its full result."""
+        prep = policy.prepare(self.ctx)
+        return self._run_prepared(policy, prep)
+
+    def run_many(self, policies: list[Policy]) -> dict[str, SimulationResult]:
+        """Simulate several policies, skipping unsupported ones.
+
+        Policies raising :class:`~repro.errors.PolicyError` (the paper's
+        "Does not support" / LBANN-overflow cases) are omitted from the
+        result dict rather than aborting the comparison.
+        """
+        out: dict[str, SimulationResult] = {}
+        for policy in policies:
+            try:
+                out[policy.name] = self.run(policy)
+            except PolicyError:
+                continue
+        return out
+
+    # -- internals -----------------------------------------------------------
+
+    def _lookahead_batches(self, prep: PreparedPolicy) -> int | None:
+        if prep.lookahead_batches is not None:
+            return prep.lookahead_batches
+        batch_mb = self.config.batch_size * self.config.dataset.mean_realized_size_mb
+        if batch_mb <= 0:
+            return None
+        return max(1, int(self.config.system.staging.capacity_mb / batch_mb))
+
+    def _uncovered_fraction(self, prep: PreparedPolicy) -> float:
+        if prep.best_map is None:
+            return 1.0
+        sizes = self.ctx.sizes_mb
+        uncovered = prep.best_map < 0
+        total = float(sizes.sum())
+        if total <= 0:
+            return 0.0
+        return float(sizes[uncovered].sum()) / total
+
+    def _epoch_pfs_fraction(self, prep: PreparedPolicy, epoch: int) -> float:
+        if prep.ideal:
+            return 0.0
+        if epoch < prep.warm_epochs:
+            return 1.0
+        if prep.warm_pfs_fraction is not None:
+            return float(prep.warm_pfs_fraction)
+        if not prep.pfs_in_warm:
+            return 0.0
+        return self._uncovered_fraction(prep)
+
+    def _run_prepared(self, policy: Policy, prep: PreparedPolicy) -> SimulationResult:
+        cfg = self.config
+        ctx = self.ctx
+        system = cfg.system
+        n = ctx.num_workers
+        t_iters = cfg.iterations_per_epoch
+        batch = cfg.batch_size
+        p0 = system.staging.threads
+        lookahead = self._lookahead_batches(prep)
+
+        epoch_results: list[EpochResult] = []
+        for epoch in range(cfg.num_epochs):
+            warm = prep.plan is not None and epoch >= prep.warm_epochs
+            fraction = self._epoch_pfs_fraction(prep, epoch)
+            gamma = system.pfs.effective_gamma(n, fraction)
+            pfs_share = float(system.pfs.per_worker_mbps(gamma)) if gamma > 0 else 0.0
+            pfs_latency = system.pfs.per_sample_latency(gamma) if gamma > 0 else 0.0
+            # t(gamma)/gamma is the whole worker's share; with overlap the
+            # p0 staging threads split it (each sees share/p0, and the
+            # cumsum/p0 in the timeline restores the worker total).
+            pfs_share_per_thread = pfs_share / p0 if prep.overlap else pfs_share
+
+            batch_reads = np.zeros((n, t_iters))
+            batch_comps = np.zeros((n, t_iters))
+            fetch_seconds = np.zeros(4)
+            fetch_bytes = np.zeros(4)
+            fetch_counts = np.zeros(4, dtype=np.int64)
+
+            for worker in range(n):
+                use_override = prep.stream_fn is not None and (
+                    warm or prep.warm_epochs == 0
+                )
+                if use_override:
+                    ids = prep.stream_fn(worker, epoch)
+                else:
+                    ids = ctx.worker_epoch_ids(worker, epoch)
+                sizes = ctx.sizes_mb[ids]
+                comps = sizes / system.compute_mbps
+                batch_comps[worker] = comps.reshape(t_iters, batch).sum(axis=1)
+                if prep.ideal:
+                    continue
+
+                if warm:
+                    local_cls = prep.lookups[worker].classes_of(ids)
+                    remote_cls = prep.best_map[ids]
+                else:
+                    local_cls = np.full(ids.shape, -1, dtype=np.int8)
+                    remote_cls = local_cls
+                    if prep.plan is not None and prep.best_map is not None:
+                        # Warm-up remote availability: tier prefetchers run
+                        # ahead of consumption, so a sample may already sit
+                        # in its future holder's cache partway through the
+                        # cold epoch ("NoPFS instead fetches samples from
+                        # remote nodes that have already cached them",
+                        # Sec 7.1). Modelled as: sample k is remotely
+                        # available once the epoch is u_k of the way
+                        # through, u_k a deterministic per-sample uniform.
+                        # PFS contention stays at full cold-epoch level —
+                        # the holder still read the sample from the PFS.
+                        progress = (
+                            np.arange(1, ids.size + 1, dtype=np.float64)
+                            / max(ids.size, 1)
+                        )
+                        available = _hash01(ids) < progress
+                        remote_cls = np.where(
+                            available, prep.best_map[ids], np.int8(-1)
+                        ).astype(np.int8)
+                res = resolve_fetch(
+                    sizes, local_cls, remote_cls, system, pfs_share_per_thread
+                )
+                if np.any(res.sources == int(Source.NONE)):
+                    raise PolicyError(
+                        f"policy {policy.name!r} scheduled a sample with no "
+                        f"available source (epoch {epoch}, worker {worker})"
+                    )
+                fetch = res.fetch_times
+                if pfs_latency > 0:
+                    fetch = fetch + pfs_latency * (
+                        res.sources == int(Source.PFS)
+                    )
+                rng = generator(cfg.seed, "noise", epoch, worker)
+                fetch = apply_noise(fetch, res.sources, cfg.noise, rng)
+                reads = fetch + write_times(sizes, system)
+
+                divisor = float(p0) if prep.overlap else 1.0
+                fetch_seconds += (
+                    np.bincount(res.sources, weights=fetch, minlength=4)[:4]
+                    / divisor
+                )
+                worker_bytes = np.bincount(
+                    res.sources, weights=sizes, minlength=4
+                )[:4]
+                fetch_bytes += worker_bytes
+                fetch_counts += np.bincount(res.sources, minlength=4)[:4]
+
+                # I/O noise on the allreduce path (Sec 7.1): non-local
+                # traffic (PFS + remote) shares the network/cores with
+                # communication and slows the compute step down.
+                if cfg.network_interference > 0:
+                    total_b = worker_bytes.sum()
+                    if total_b > 0:
+                        # PFS traffic (cross-fabric + filesystem) weighs
+                        # fully; one-hop remote fetches at half weight.
+                        nonlocal_frac = (
+                            worker_bytes[int(Source.PFS)]
+                            + 0.5 * worker_bytes[int(Source.REMOTE)]
+                        ) / total_b
+                        batch_comps[worker] *= (
+                            1.0 + cfg.network_interference * nonlocal_frac
+                        )
+
+                per_batch_read = reads.reshape(t_iters, batch).sum(axis=1)
+                if prep.overlap:
+                    batch_reads[worker] = per_batch_read / p0
+                else:
+                    # Synchronous loader: reads serialize with compute.
+                    batch_comps[worker] += per_batch_read
+
+            step = lockstep_epoch(
+                batch_reads,
+                batch_comps,
+                lookahead if prep.overlap else None,
+                barrier=cfg.barrier,
+            )
+            durations = step.batch_durations
+            epoch_results.append(
+                EpochResult(
+                    epoch=epoch,
+                    time_s=step.epoch_time,
+                    stall_mean_s=float(step.worker_stalls.mean()),
+                    stall_max_s=float(step.worker_stalls.max()),
+                    fetch_seconds=tuple((fetch_seconds / n).tolist()),
+                    fetch_bytes=tuple(fetch_bytes.tolist()),
+                    fetch_counts=tuple(int(c) for c in fetch_counts),
+                    batch_stats=BatchTimeStats.from_durations(durations),
+                    gamma=float(gamma),
+                    batch_durations=durations if cfg.record_batch_times else None,
+                )
+            )
+
+        return SimulationResult(
+            policy=policy.name,
+            scenario=cfg.scenario,
+            prestage_time_s=prep.prestage_time_s,
+            accesses_full_dataset=prep.accesses_full_dataset,
+            epochs=tuple(epoch_results),
+        )

@@ -1,0 +1,184 @@
+"""Vectorized bulk-synchronous batch timelines with finite lookahead.
+
+This module evaluates the coupled worker timelines at *batch*
+granularity:
+
+* ``A[i, h]`` — when worker ``i``'s staging threads finish depositing
+  batch ``h``. Unconstrained, this is ``cumsum(r)`` (threads always
+  busy). A finite staging buffer lets prefetch run only ``w`` batches
+  ahead of consumption, so depositing batch ``h`` cannot start before
+  the global consumption of batch ``h - w``:
+  ``A[h] = max(A[h-1], G[h-w]) + r[h]``.
+* ``G[h]`` — global completion of batch ``h`` under the per-batch
+  allreduce barrier: ``G[h] = max(G[h-1], max_i A[i, h]) + max_i d[i, h]``
+  (the straggler's compute bounds everyone — the paper's "training is
+  bulk synchronous due to the allreduces in each mini-batch").
+
+Evaluation strategy (the hot path is fully vectorized):
+
+1. Evaluate the *unconstrained* system (``A0 = cumsum(r)``; ``G0`` via a
+   max-plus scan, one ``np.maximum.accumulate``).
+2. If ``A0[i, h-1] >= G0[h-w]`` everywhere, the window never binds and
+   ``(A0, G0)`` is already the least fixed point — done, no loop.
+3. Otherwise fall back to the exact sequential recurrence over batches
+   (a Python loop over ``T`` with O(N) numpy work per step). This only
+   happens for genuinely I/O-bound, window-limited runs (e.g. the
+   double-buffering baseline under PFS saturation), which is precisely
+   when the window semantics matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["LockstepResult", "lockstep_epoch"]
+
+
+@dataclass(frozen=True)
+class LockstepResult:
+    """Evaluated epoch timeline under barrier + window constraints.
+
+    Attributes
+    ----------
+    global_batch_ends:
+        ``G[h]`` — global completion time of each batch (shape ``(T,)``).
+    epoch_time:
+        ``G[T-1]`` — wall time of the epoch.
+    worker_stalls:
+        Per-worker stall: epoch time minus that worker's pure compute.
+    exact_loop:
+        ``True`` when the sequential fallback ran (window bound).
+    """
+
+    global_batch_ends: np.ndarray
+    epoch_time: float
+    worker_stalls: np.ndarray
+    exact_loop: bool
+
+    @property
+    def batch_durations(self) -> np.ndarray:
+        """Global per-batch durations (``diff`` of the batch ends)."""
+        return np.diff(self.global_batch_ends, prepend=0.0)
+
+
+def _scan_max_plus(base_floor: np.ndarray, increments: np.ndarray) -> np.ndarray:
+    """Evaluate ``X[h] = max(X[h-1], base_floor[h]) + increments[h]``.
+
+    Writing ``Inc[h] = sum_{k<=h} increments[k]``, the recurrence unrolls
+    to ``X[h] = Inc[h] + max_{k<=h}(base_floor[k] - Inc[k-1])``.
+    """
+    inc_cum = np.cumsum(increments)
+    inc_before = inc_cum - increments
+    return inc_cum + np.maximum.accumulate(base_floor - inc_before)
+
+
+def _exact_loop(
+    r: np.ndarray, delta: np.ndarray, w: int
+) -> np.ndarray:
+    """Sequential evaluation of the coupled window/barrier recurrence."""
+    n, t = r.shape
+    g = np.empty(t, dtype=np.float64)
+    a_prev = np.zeros(n, dtype=np.float64)
+    g_prev = 0.0
+    for h in range(t):
+        floor = g[h - w] if h >= w else 0.0
+        a_prev = np.maximum(a_prev, floor) + r[:, h]
+        g_prev = max(g_prev, float(a_prev.max())) + delta[h]
+        g[h] = g_prev
+    return g
+
+
+def lockstep_epoch(
+    batch_read_times: np.ndarray,
+    batch_compute_times: np.ndarray,
+    lookahead_batches: int | None,
+    barrier: bool = True,
+) -> LockstepResult:
+    """Evaluate one epoch of ``N`` workers over ``T`` synchronized batches.
+
+    Parameters
+    ----------
+    batch_read_times:
+        ``r[i, h]`` — staging-deposit time of worker ``i``'s batch ``h``
+        (per-sample read times summed over the batch, divided by ``p_0``).
+    batch_compute_times:
+        ``d[i, h]`` — compute time of worker ``i``'s batch ``h``.
+    lookahead_batches:
+        ``w`` — how many batches prefetch may run ahead of consumption
+        (the staging-buffer depth in batches). ``None`` = unbounded.
+    barrier:
+        Apply the per-batch allreduce barrier. Without it, workers run
+        independently and the epoch ends when the slowest finishes.
+    """
+    r = np.atleast_2d(np.asarray(batch_read_times, dtype=np.float64))
+    d = np.atleast_2d(np.asarray(batch_compute_times, dtype=np.float64))
+    if r.shape != d.shape:
+        raise ConfigurationError("read/compute matrices must have equal shape")
+    n, t = r.shape
+    if t == 0:
+        return LockstepResult(np.empty(0), 0.0, np.zeros(n), False)
+    if lookahead_batches is not None and lookahead_batches < 1:
+        raise ConfigurationError("lookahead_batches must be >= 1 (or None)")
+
+    compute_per_worker = d.sum(axis=1)
+
+    if not barrier:
+        # Independent workers: per-worker fluid bound; the epoch ends when
+        # the slowest worker's I/O or compute chain does.
+        a = np.cumsum(r, axis=1)
+        c = np.cumsum(d, axis=1)
+        ends = np.maximum(a, c)
+        completion = ends[:, -1]
+        epoch_time = float(completion.max())
+        g = np.maximum.accumulate(ends.max(axis=0))
+        return LockstepResult(
+            global_batch_ends=g,
+            epoch_time=epoch_time,
+            worker_stalls=np.maximum(completion - compute_per_worker, 0.0),
+            exact_loop=False,
+        )
+
+    delta = d.max(axis=0)  # straggler compute per batch
+
+    # Unconstrained system: threads always busy, barrier scan over G.
+    a0 = np.cumsum(r, axis=1)
+    g0 = _scan_max_plus(a0.max(axis=0), delta)
+
+    exact = False
+    if lookahead_batches is not None and lookahead_batches < t:
+        w = int(lookahead_batches)
+        # (A0, G0) is the least fixed point iff the window constraint is
+        # already slack there: deposit of batch h may begin only at
+        # G[h-w], i.e. A0[:, h-1] >= G0[h-w] for every h >= w.
+        slack_ok = bool(
+            np.all(a0[:, w - 1 : t - 1].min(axis=0) >= g0[: t - w] - 1e-12)
+        )
+        if not slack_ok:
+            # One Kleene round: lift deposits onto the G0 floors and
+            # re-evaluate G. If G is unchanged, (A1, G0) is a fixed point
+            # (the common compute-bound case: the window delays deposits
+            # without ever delaying consumption). Otherwise the coupling
+            # is real and the exact sequential recurrence decides.
+            floor = np.concatenate([np.zeros(w), g0[:-w]])
+            a1_max = np.full(t, -np.inf)
+            for i in range(n):
+                a1_max = np.maximum(a1_max, _scan_max_plus(floor, r[i]))
+            g1 = _scan_max_plus(a1_max, delta)
+            if np.allclose(g1, g0, rtol=1e-12, atol=1e-12):
+                g0 = g1
+            else:
+                g0 = _exact_loop(r, delta, w)
+                exact = True
+
+    epoch_time = float(g0[-1])
+    stalls = np.maximum(epoch_time - compute_per_worker, 0.0)
+    return LockstepResult(
+        global_batch_ends=g0,
+        epoch_time=epoch_time,
+        worker_stalls=stalls,
+        exact_loop=exact,
+    )

@@ -1,0 +1,114 @@
+"""Stochastic I/O noise: variance and tail events on fetch times.
+
+The paper's evaluation leans heavily on *tail behaviour*: "PyTorch and
+DALI exhibit tail events an order of magnitude larger than NoPFS" and
+"reducing tail events where read performance is catastrophically slow
+due to system contention" (Sec 7.1). A deterministic fluid model cannot
+show any of that, so the simulator multiplies fetch times by seeded,
+mean-preserving lognormal noise — heavy for PFS reads under contention,
+light for local caches — plus rare catastrophic tail events on the PFS.
+
+All noise flows through :func:`repro.rng.generator` keyed by
+``(worker, epoch)``, so simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ConfigMixin
+from ..errors import ConfigurationError
+from ..perfmodel import Source
+
+__all__ = ["NoiseConfig", "apply_noise"]
+
+
+@dataclass(frozen=True)
+class NoiseConfig(ConfigMixin):
+    """Noise model parameters (all multiplicative on fetch times).
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; ``False`` gives the deterministic fluid model.
+    pfs_sigma:
+        Lognormal sigma for PFS fetches (mean-preserving).
+    pfs_tail_prob:
+        Per-sample probability of a catastrophic PFS tail event.
+    pfs_tail_scale:
+        Fetch-time multiplier applied to tail events ("an order of
+        magnitude larger" — default well past 10x).
+    remote_sigma:
+        Lognormal sigma for remote-worker fetches (network jitter).
+    local_sigma:
+        Lognormal sigma for local-cache fetches (tiny).
+    """
+
+    enabled: bool = True
+    pfs_sigma: float = 0.45
+    pfs_tail_prob: float = 0.0015
+    pfs_tail_scale: float = 20.0
+    remote_sigma: float = 0.08
+    local_sigma: float = 0.03
+
+    def __post_init__(self) -> None:
+        for name in ("pfs_sigma", "remote_sigma", "local_sigma"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if not 0.0 <= self.pfs_tail_prob < 1.0:
+            raise ConfigurationError("pfs_tail_prob must be in [0, 1)")
+        if self.pfs_tail_scale < 1.0:
+            raise ConfigurationError("pfs_tail_scale must be >= 1")
+
+    @classmethod
+    def disabled(cls) -> "NoiseConfig":
+        """The deterministic (noise-free) configuration."""
+        return cls(enabled=False)
+
+
+def _lognormal_mean_one(rng: np.random.Generator, sigma: float, n: int) -> np.ndarray:
+    """``n`` lognormal draws with unit mean (``exp(N(-sigma^2/2, sigma))``)."""
+    if sigma == 0.0:
+        return np.ones(n)
+    return rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma, size=n)
+
+
+def apply_noise(
+    fetch_times: np.ndarray,
+    sources: np.ndarray,
+    noise: NoiseConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Return fetch times with per-source noise applied (new array).
+
+    PFS fetches get lognormal jitter plus Bernoulli tail events; remote
+    and local fetches get progressively lighter jitter; ``Source.NONE``
+    entries pass through untouched.
+    """
+    times = np.asarray(fetch_times, dtype=np.float64)
+    if not noise.enabled or times.size == 0:
+        return times.copy()
+    src = np.asarray(sources)
+    out = times.copy()
+
+    pfs = src == int(Source.PFS)
+    n_pfs = int(pfs.sum())
+    if n_pfs:
+        mult = _lognormal_mean_one(rng, noise.pfs_sigma, n_pfs)
+        if noise.pfs_tail_prob > 0:
+            tails = rng.random(n_pfs) < noise.pfs_tail_prob
+            mult = np.where(tails, mult * noise.pfs_tail_scale, mult)
+        out[pfs] *= mult
+
+    remote = src == int(Source.REMOTE)
+    n_remote = int(remote.sum())
+    if n_remote:
+        out[remote] *= _lognormal_mean_one(rng, noise.remote_sigma, n_remote)
+
+    local = src == int(Source.LOCAL)
+    n_local = int(local.sum())
+    if n_local:
+        out[local] *= _lognormal_mean_one(rng, noise.local_sigma, n_local)
+    return out

@@ -1,0 +1,57 @@
+"""All simulated I/O policies (Sec 6's lineup plus the PyTorch variant)."""
+
+from .base import Policy, PolicyCapabilities, PreparedPolicy, WorkerLookup
+from .deepio import DeepIOPolicy
+from .lbann import LBANNPolicy
+from .locality_aware import LocalityAwarePolicy
+from .naive import NaivePolicy
+from .nopfs import NoPFSPolicy
+from .parallel_staging import ParallelStagingPolicy
+from .perfect import PerfectPolicy
+from .staging_buffer import DoubleBufferPolicy, StagingBufferPolicy
+
+__all__ = [
+    "Policy",
+    "PolicyCapabilities",
+    "PreparedPolicy",
+    "WorkerLookup",
+    "PerfectPolicy",
+    "NaivePolicy",
+    "StagingBufferPolicy",
+    "DoubleBufferPolicy",
+    "DeepIOPolicy",
+    "ParallelStagingPolicy",
+    "LBANNPolicy",
+    "LocalityAwarePolicy",
+    "NoPFSPolicy",
+    "fig8_policies",
+    "table1_policies",
+]
+
+
+def fig8_policies() -> list[Policy]:
+    """The Fig 8 bar lineup, in the paper's plot order (sans lower bound)."""
+    return [
+        NaivePolicy(),
+        StagingBufferPolicy(),
+        DeepIOPolicy("ordered"),
+        DeepIOPolicy("opportunistic"),
+        ParallelStagingPolicy(),
+        LBANNPolicy("dynamic"),
+        LBANNPolicy("preloading"),
+        LocalityAwarePolicy(),
+        NoPFSPolicy(),
+    ]
+
+
+def table1_policies() -> list[Policy]:
+    """Frameworks with a Table 1 row, in the paper's row order."""
+    return [
+        DoubleBufferPolicy(),
+        StagingBufferPolicy(),
+        ParallelStagingPolicy(),
+        DeepIOPolicy("ordered"),
+        LBANNPolicy("dynamic"),
+        LocalityAwarePolicy(),
+        NoPFSPolicy(),
+    ]

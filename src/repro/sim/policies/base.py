@@ -1,0 +1,176 @@
+"""Policy interface and Table 1 capability metadata.
+
+Every I/O strategy the paper simulates (Sec 6) is a :class:`Policy`:
+given a :class:`~repro.sim.context.ScenarioContext` it *prepares* a
+:class:`PreparedPolicy` describing its cache placement, prestaging cost,
+stream rewriting and PFS usage; the engine then times every epoch under
+that description.
+
+``capabilities`` carries the Table 1 row for the framework each policy
+models, so the capability matrix is regenerated from code rather than
+transcribed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ...core import CachePlan
+from ..context import ScenarioContext
+
+__all__ = ["PolicyCapabilities", "PreparedPolicy", "Policy", "WorkerLookup"]
+
+
+@dataclass(frozen=True)
+class PolicyCapabilities:
+    """One row of the paper's Table 1."""
+
+    system_scalability: bool
+    dataset_scalability: bool
+    full_randomization: bool
+    hardware_independence: bool
+    ease_of_use: bool
+
+    def as_row(self) -> tuple[str, ...]:
+        """Check/cross marks in Table 1 column order."""
+        mark = lambda b: "yes" if b else "no"
+        return (
+            mark(self.system_scalability),
+            mark(self.dataset_scalability),
+            mark(self.full_randomization),
+            mark(self.hardware_independence),
+            mark(self.ease_of_use),
+        )
+
+
+class WorkerLookup:
+    """O(log C) membership/class lookup over one worker's cached ids.
+
+    Avoids materializing an O(F) class map per worker, which matters at
+    Sec 7 scales (1024 workers): memory and build time stay proportional
+    to what the worker actually caches.
+    """
+
+    def __init__(self, class_ids: tuple[np.ndarray, ...]) -> None:
+        ids_parts: list[np.ndarray] = []
+        label_parts: list[np.ndarray] = []
+        for class_idx, ids in enumerate(class_ids):
+            arr = np.asarray(ids, dtype=np.int64)
+            if arr.size:
+                ids_parts.append(arr)
+                label_parts.append(np.full(arr.size, class_idx, dtype=np.int8))
+        if ids_parts:
+            all_ids = np.concatenate(ids_parts)
+            all_labels = np.concatenate(label_parts)
+            order = np.argsort(all_ids, kind="stable")
+            self._ids = all_ids[order]
+            self._labels = all_labels[order]
+        else:
+            self._ids = np.empty(0, dtype=np.int64)
+            self._labels = np.empty(0, dtype=np.int8)
+
+    @property
+    def num_cached(self) -> int:
+        """How many samples this worker caches."""
+        return int(self._ids.size)
+
+    def classes_of(self, query_ids: np.ndarray) -> np.ndarray:
+        """Cache tier of each queried id (``-1`` when not cached)."""
+        query = np.asarray(query_ids)
+        if self._ids.size == 0:
+            return np.full(query.shape, -1, dtype=np.int8)
+        pos = np.searchsorted(self._ids, query)
+        pos_clipped = np.minimum(pos, self._ids.size - 1)
+        hit = self._ids[pos_clipped] == query
+        out = np.where(hit, self._labels[pos_clipped], np.int8(-1))
+        return out.astype(np.int8, copy=False)
+
+
+@dataclass
+class PreparedPolicy:
+    """A policy instantiated for one scenario, ready to be timed.
+
+    Attributes
+    ----------
+    name:
+        Policy name (for results).
+    plan:
+        Cache placement active from epoch ``warm_epochs`` on (``None``
+        for cacheless policies).
+    warm_epochs:
+        Epochs before the placement becomes usable. First-touch policies
+        use 1 (caches fill during epoch 0, every fetch is cold);
+        prestaged policies use 0 and pay ``prestage_time_s`` up front.
+    overlap:
+        ``False`` models a fully synchronous loader (Naive): reads
+        serialize with compute instead of overlapping.
+    pfs_in_warm:
+        Whether warm epochs may still hit the PFS (uncached samples).
+        Policies that "never access the PFS" after staging set False.
+    warm_pfs_fraction:
+        Byte fraction fetched from the PFS in warm epochs, if the policy
+        knows it up front (stream rewriters); ``None`` lets the engine
+        derive it from the placement's coverage.
+    prestage_time_s:
+        Upfront staging cost before epoch 0 (sharding, preloading).
+    accesses_full_dataset:
+        ``False`` when the policy skips samples (the paper's "Does not
+        access entire dataset" annotations in Fig 8d/e).
+    lookahead_batches:
+        Prefetch depth in batches; ``None`` derives it from the staging
+        buffer capacity (NoPFS-style deep buffers). Double-buffering
+        loaders use small fixed values (PyTorch: 2).
+    stream_fn:
+        Optional replacement for the clairvoyant per-worker stream —
+        ``stream_fn(worker, epoch) -> ids`` — used by policies that
+        change the access order.
+    ideal:
+        Perfect/no-I/O baseline: skip fetching entirely.
+    """
+
+    name: str
+    plan: CachePlan | None = None
+    warm_epochs: int = 1
+    overlap: bool = True
+    pfs_in_warm: bool = True
+    warm_pfs_fraction: float | None = None
+    prestage_time_s: float = 0.0
+    accesses_full_dataset: bool = True
+    lookahead_batches: int | None = None
+    stream_fn: Callable[[int, int], np.ndarray] | None = None
+    ideal: bool = False
+    lookups: list[WorkerLookup] = field(default_factory=list)
+    best_map: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.plan is not None and not self.lookups:
+            self.lookups = [
+                WorkerLookup(p.class_ids) for p in self.plan.placements
+            ]
+            self.best_map = self.plan.best_class_map()
+
+
+class Policy(abc.ABC):
+    """An I/O strategy the simulator can evaluate."""
+
+    #: Machine-readable policy name (result keys, CLI).
+    name: str = "abstract"
+    #: Human-readable name as used in the paper's figures.
+    display_name: str = "Abstract"
+    #: Table 1 row, when the policy corresponds to one.
+    capabilities: PolicyCapabilities | None = None
+
+    @abc.abstractmethod
+    def prepare(self, ctx: ScenarioContext) -> PreparedPolicy:
+        """Instantiate this policy for a scenario.
+
+        May raise :class:`~repro.errors.PolicyError` when the scenario is
+        unsupported (e.g. LBANN with a dataset exceeding aggregate RAM).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,85 @@
+"""The LBANN data store (Jacobs et al. 2019) — in-memory, single-owner.
+
+"LBANN: This simulates the LBANN data store (dynamic and preloading
+approaches). As this only caches data in memory, it will fail if the
+dataset exceeds the aggregate worker memory." (Sec 6)
+
+Each sample is cached by exactly one worker ("a simple first-touch
+policy for caching samples, and caches each sample in only one
+location" — Sec 7.1): the worker that reads it first in epoch 0
+(dynamic) or the worker it is assigned to during preloading. Later
+epochs fetch locally when the worker owns the sample and from the
+owner's memory otherwise — which is why "at larger scales, many samples
+need to be fetched from remote nodes", LBANN's disadvantage vs NoPFS.
+"""
+
+from __future__ import annotations
+
+from ...core import CachePlan, partition_placement
+from ...errors import ConfigurationError, PolicyError
+from ..context import ScenarioContext
+from .base import Policy, PolicyCapabilities, PreparedPolicy
+from .parallel_staging import staging_phase_time
+
+__all__ = ["LBANNPolicy"]
+
+#: Accept datasets up to this factor beyond aggregate RAM before
+#: declaring the store unsupported (the paper's OpenImages scenario is a
+#: few percent over 4 x 120 GB and still simulated; ImageNet-22k at 3x
+#: is "Does not support").
+_OVERFLOW_TOLERANCE = 1.1
+
+
+class LBANNPolicy(Policy):
+    """LBANN data store in ``dynamic`` or ``preloading`` mode."""
+
+    capabilities = PolicyCapabilities(
+        system_scalability=True,
+        dataset_scalability=False,
+        full_randomization=True,
+        hardware_independence=False,
+        ease_of_use=False,
+    )
+
+    def __init__(self, mode: str = "dynamic") -> None:
+        if mode not in ("dynamic", "preloading"):
+            raise ConfigurationError(f"unknown LBANN mode {mode!r}")
+        self.mode = mode
+        self.name = f"lbann_{mode}"
+        self.display_name = f"LBANN ({mode.capitalize()})"
+
+    def prepare(self, ctx: ScenarioContext) -> PreparedPolicy:
+        """Single-owner first-touch placement into RAM only."""
+        caps = ctx.system.hierarchy.capacities_mb
+        ram_mb = caps[0] if caps else 0.0
+        aggregate_ram = ram_mb * ctx.num_workers
+        total = ctx.config.dataset.total_size_mb
+        if total > aggregate_ram * _OVERFLOW_TOLERANCE:
+            raise PolicyError(
+                f"LBANN data store requires the dataset ({total:.0f} MB) to "
+                f"fit in aggregate memory ({aggregate_ram:.0f} MB)"
+            )
+        memory_caps = ([ram_mb] + [0.0] * (len(caps) - 1)) if caps else []
+        placements = []
+        staged_bytes = []
+        staged_counts = []
+        for worker in range(ctx.num_workers):
+            first_touch = ctx.worker_epoch_ids(worker, 0)
+            placement = partition_placement(
+                first_touch, ctx.sizes_mb, memory_caps, worker
+            )
+            placements.append(placement)
+            staged_bytes.append(placement.cached_bytes(ctx.sizes_mb))
+            staged_counts.append(int(placement.cached_ids.size))
+        plan = CachePlan(
+            placements, ctx.config.dataset.num_samples, max(len(memory_caps), 1)
+        )
+        if self.mode == "dynamic":
+            # Caches fill during epoch 0; overflow re-reads the PFS.
+            return PreparedPolicy(name=self.name, plan=plan, warm_epochs=1)
+        return PreparedPolicy(
+            name=self.name,
+            plan=plan,
+            warm_epochs=0,
+            prestage_time_s=staging_phase_time(ctx, staged_bytes, staged_counts),
+        )

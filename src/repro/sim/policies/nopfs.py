@@ -1,0 +1,57 @@
+"""NoPFS: clairvoyant, frequency-ranked, hierarchy-aware caching (Sec 5).
+
+The policy this whole library reproduces:
+
+1. Compute every worker's exact multi-epoch access stream from the
+   shared PRNG seed (clairvoyance).
+2. Rank each worker's samples by its own access frequency and fill its
+   storage classes hottest-to-fastest ("A worker fetches samples with
+   the largest r_k to its fastest storage class, and so on for slower
+   classes until either it has cached the entire dataset or filled its
+   local storage").
+3. At fetch time choose the fastest of local tier, remote worker's tier
+   (``min(b_c, r_j/p_j)``) and the PFS — every worker knows everyone's
+   placement, so no metadata traffic is needed.
+4. Fill the staging buffer strictly in access order (Rule 1), dropping
+   samples after use.
+
+Caches fill during epoch 0 (no separate staging phase — "NoPFS does not
+require an initialization phase").
+"""
+
+from __future__ import annotations
+
+from ...core import CachePlan, frequency_placement_sparse
+from ..context import ScenarioContext
+from .base import Policy, PolicyCapabilities, PreparedPolicy
+
+__all__ = ["NoPFSPolicy"]
+
+
+class NoPFSPolicy(Policy):
+    """The paper's policy: near-optimal prefetching plus distributed caching."""
+
+    name = "nopfs"
+    display_name = "NoPFS"
+    capabilities = PolicyCapabilities(
+        system_scalability=True,
+        dataset_scalability=True,
+        full_randomization=True,
+        hardware_independence=True,
+        ease_of_use=True,
+    )
+
+    def prepare(self, ctx: ScenarioContext) -> PreparedPolicy:
+        """Frequency-ranked placement over the full storage hierarchy."""
+        caps = ctx.system.hierarchy.capacities_mb
+        placements = []
+        for worker, (ids, counts) in enumerate(ctx.worker_frequencies_sparse()):
+            placements.append(
+                frequency_placement_sparse(
+                    ids, counts, ctx.sizes_mb[ids], caps, worker
+                )
+            )
+        plan = CachePlan(
+            placements, ctx.config.dataset.num_samples, max(len(caps), 1)
+        )
+        return PreparedPolicy(name=self.name, plan=plan, warm_epochs=1)

@@ -1,0 +1,36 @@
+"""Training-side models: compute rates, accuracy dynamics, real SGD."""
+
+from .accuracy import AccuracyModel, AccuracyStage, goyal_resnet50_schedule
+from .compute import (
+    COSMOFLOW_V100,
+    RESNET50_22K_V100,
+    RESNET50_P100,
+    RESNET50_V100,
+    ComputeModel,
+)
+from .endtoend import (
+    EndToEndComparison,
+    TrainingCurve,
+    compare_curves,
+    compose_curve,
+)
+from .sgd import MLPClassifier, TrainResult, batch_to_features, train_classifier
+
+__all__ = [
+    "ComputeModel",
+    "RESNET50_P100",
+    "RESNET50_V100",
+    "RESNET50_22K_V100",
+    "COSMOFLOW_V100",
+    "AccuracyModel",
+    "AccuracyStage",
+    "goyal_resnet50_schedule",
+    "TrainingCurve",
+    "EndToEndComparison",
+    "compose_curve",
+    "compare_curves",
+    "MLPClassifier",
+    "TrainResult",
+    "batch_to_features",
+    "train_classifier",
+]

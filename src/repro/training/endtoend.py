@@ -1,0 +1,93 @@
+"""End-to-end training composition: epoch times x accuracy (Fig 16).
+
+Combines simulated per-epoch wall times of two loaders with the
+accuracy model to produce the paper's accuracy-vs-time comparison: the
+same per-epoch learning curve, compressed in wall-clock by the faster
+loader ("due to the speedup, NoPFS's curve is compressed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .accuracy import AccuracyModel
+
+__all__ = ["TrainingCurve", "EndToEndComparison", "compose_curve", "compare_curves"]
+
+
+@dataclass(frozen=True)
+class TrainingCurve:
+    """Accuracy-vs-wall-clock trajectory of one training run."""
+
+    label: str
+    epoch_end_times_s: np.ndarray
+    top1_at_epoch_end: np.ndarray
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall time of the full run."""
+        return float(self.epoch_end_times_s[-1])
+
+    @property
+    def final_top1(self) -> float:
+        """Final validation accuracy (%)."""
+        return float(self.top1_at_epoch_end[-1])
+
+    def time_to_accuracy_s(self, threshold_top1: float) -> float | None:
+        """First wall time at which ``threshold_top1`` is reached."""
+        hits = np.nonzero(self.top1_at_epoch_end >= threshold_top1)[0]
+        if hits.size == 0:
+            return None
+        return float(self.epoch_end_times_s[hits[0]])
+
+
+def compose_curve(
+    label: str, epoch_times_s: np.ndarray, accuracy: AccuracyModel
+) -> TrainingCurve:
+    """Build a :class:`TrainingCurve` from per-epoch wall times."""
+    times = np.asarray(epoch_times_s, dtype=np.float64)
+    if times.ndim != 1 or times.size == 0 or np.any(times <= 0):
+        raise ConfigurationError("epoch_times_s must be positive and 1-D")
+    ends = np.cumsum(times)
+    epochs = np.arange(1, times.size + 1, dtype=np.float64)
+    return TrainingCurve(label, ends, np.asarray(accuracy.top1(epochs)))
+
+
+@dataclass(frozen=True)
+class EndToEndComparison:
+    """Two loaders, same learning dynamics, different clocks."""
+
+    baseline: TrainingCurve
+    contender: TrainingCurve
+
+    @property
+    def speedup(self) -> float:
+        """Baseline total time over contender total time (paper: 1.42x)."""
+        return self.baseline.total_time_s / self.contender.total_time_s
+
+    def speedup_to_accuracy(self, threshold_top1: float) -> float | None:
+        """Speedup measured at a time-to-accuracy threshold."""
+        b = self.baseline.time_to_accuracy_s(threshold_top1)
+        c = self.contender.time_to_accuracy_s(threshold_top1)
+        if b is None or c is None:
+            return None
+        return b / c
+
+
+def compare_curves(
+    baseline_times_s: np.ndarray,
+    contender_times_s: np.ndarray,
+    accuracy: AccuracyModel,
+    baseline_label: str = "PyTorch",
+    contender_label: str = "NoPFS",
+) -> EndToEndComparison:
+    """Compose both curves over the shared accuracy dynamics."""
+    if len(baseline_times_s) != len(contender_times_s):
+        raise ConfigurationError("runs must train the same number of epochs")
+    return EndToEndComparison(
+        baseline=compose_curve(baseline_label, baseline_times_s, accuracy),
+        contender=compose_curve(contender_label, contender_times_s, accuracy),
+    )

@@ -1,0 +1,96 @@
+"""Unit conventions and conversion helpers.
+
+The whole library follows the paper's conventions (Table 2):
+
+* **sizes** are megabytes (MB, 1e6 bytes would be ambiguous; we follow the
+  paper's informal usage and treat 1 MB = 2**20 bytes for conversions from
+  byte counts, but all model arithmetic stays in MB so the base never
+  matters),
+* **throughputs** are MB/s,
+* **times** are seconds.
+
+Helpers here convert to/from human-friendly magnitudes and format values
+for harness output.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "BYTES_PER_MB",
+    "mb",
+    "from_bytes",
+    "to_bytes",
+    "fmt_size",
+    "fmt_time",
+    "fmt_rate",
+]
+
+#: One kilobyte expressed in MB.
+KB = 1.0 / 1024.0
+#: One megabyte (the base size unit).
+MB = 1.0
+#: One gigabyte expressed in MB.
+GB = 1024.0
+#: One terabyte expressed in MB.
+TB = 1024.0 * 1024.0
+#: Bytes per MB used when converting real byte counts.
+BYTES_PER_MB = 1 << 20
+
+
+def mb(value: float, unit: str = "MB") -> float:
+    """Convert ``value`` expressed in ``unit`` to MB.
+
+    ``unit`` is one of ``"B"``, ``"KB"``, ``"MB"``, ``"GB"``, ``"TB"``
+    (case-insensitive).
+    """
+    factors = {"b": 1.0 / BYTES_PER_MB, "kb": KB, "mb": MB, "gb": GB, "tb": TB}
+    key = unit.lower()
+    if key not in factors:
+        raise ValueError(f"unknown size unit {unit!r}")
+    return float(value) * factors[key]
+
+
+def from_bytes(nbytes: float) -> float:
+    """Convert a byte count to MB."""
+    return float(nbytes) / BYTES_PER_MB
+
+
+def to_bytes(size_mb: float) -> int:
+    """Convert a size in MB to a whole number of bytes."""
+    return int(round(float(size_mb) * BYTES_PER_MB))
+
+
+def fmt_size(size_mb: float) -> str:
+    """Format a size in MB with an adaptive unit (``"1.32 GB"`` style)."""
+    size_mb = float(size_mb)
+    if size_mb >= TB:
+        return f"{size_mb / TB:.2f} TB"
+    if size_mb >= GB:
+        return f"{size_mb / GB:.2f} GB"
+    if size_mb >= 1.0:
+        return f"{size_mb:.2f} MB"
+    return f"{size_mb / KB:.2f} KB"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration in seconds with an adaptive unit."""
+    seconds = float(seconds)
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.2f} h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.2f} min"
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1e3:.2f} ms"
+
+
+def fmt_rate(mb_per_s: float) -> str:
+    """Format a throughput in MB/s with an adaptive unit."""
+    mb_per_s = float(mb_per_s)
+    if mb_per_s >= GB:
+        return f"{mb_per_s / GB:.2f} GB/s"
+    return f"{mb_per_s:.2f} MB/s"

@@ -1,0 +1,129 @@
+"""Cao-rule predicates and the Bélády reference simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    belady_evictions,
+    furthest_future_use,
+    next_uncached_index,
+    next_use_index,
+    staging_order_is_rule1,
+    violates_do_no_harm,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNextUse:
+    def test_simple(self):
+        stream = np.array([1, 2, 1, 3, 2])
+        np.testing.assert_array_equal(next_use_index(stream), [2, 4, 5, 5, 5])
+
+    def test_no_reuse(self):
+        stream = np.array([1, 2, 3])
+        np.testing.assert_array_equal(next_use_index(stream), [3, 3, 3])
+
+    def test_empty(self):
+        assert next_use_index(np.array([], dtype=int)).size == 0
+
+
+class TestRulePredicates:
+    def test_next_uncached(self):
+        stream = np.array([5, 6, 7, 8])
+        assert next_uncached_index(stream, 0, {5, 6}) == 2
+        assert next_uncached_index(stream, 0, {5, 6, 7, 8}) is None
+        assert next_uncached_index(stream, 3, set()) == 3
+
+    def test_furthest_future_use(self):
+        stream = np.array([1, 2, 3, 1, 2])
+        # From pos 1: 2 used at 1, 3 at 2, 1 at 3 -> victim 1 (furthest).
+        assert furthest_future_use(stream, 1, {1, 2, 3}) == 1
+        # From pos 3: 1 used at 3, 2 at 4, 3 never again -> victim 3.
+        assert furthest_future_use(stream, 3, {1, 2, 3}) == 3
+
+    def test_furthest_tie_break(self):
+        stream = np.array([9, 9])
+        # 4 and 5 both never used: smaller id wins.
+        assert furthest_future_use(stream, 0, {4, 5}) == 4
+
+    def test_furthest_empty(self):
+        with pytest.raises(ConfigurationError):
+            furthest_future_use(np.array([1]), 0, set())
+
+    def test_do_no_harm(self):
+        stream = np.array([1, 2, 3])
+        assert violates_do_no_harm(stream, 0, evicted=1, prefetched=3)
+        assert not violates_do_no_harm(stream, 0, evicted=3, prefetched=1)
+        assert not violates_do_no_harm(stream, 0, evicted=7, prefetched=8)
+
+    def test_rule1_staging_order(self):
+        stream = np.array([4, 2, 7])
+        assert staging_order_is_rule1(stream, np.array([4, 2, 7]))
+        assert not staging_order_is_rule1(stream, np.array([2, 4, 7]))
+        assert not staging_order_is_rule1(stream, np.array([4, 2]))
+
+
+class TestBelady:
+    def test_cold_misses_only_when_cache_fits(self):
+        stream = np.array([1, 2, 3, 1, 2, 3])
+        misses, evictions = belady_evictions(stream, cache_size=3)
+        assert misses == 3
+        assert evictions == []
+
+    def test_eviction_is_furthest(self):
+        # cache=2: after [1,2], access 3 evicts the entry reused later.
+        stream = np.array([1, 2, 3, 1])
+        misses, evictions = belady_evictions(stream, 2)
+        assert evictions[0] == 2  # 2 never reused; 1 reused at pos 3
+        assert misses == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            belady_evictions(np.array([1]), 0)
+
+    def test_belady_not_worse_than_lru(self):
+        """Property spot-check: Bélády misses <= LRU misses."""
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 20, 400)
+        opt_misses, _ = belady_evictions(stream, 5)
+
+        # Reference LRU.
+        cache: dict[int, int] = {}
+        lru_misses = 0
+        for t, s in enumerate(stream):
+            s = int(s)
+            if s in cache:
+                cache[s] = t
+                continue
+            lru_misses += 1
+            if len(cache) >= 5:
+                victim = min(cache, key=cache.get)
+                del cache[victim]
+            cache[s] = t
+        assert opt_misses <= lru_misses
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=200),
+    cache=st.integers(min_value=1, max_value=8),
+)
+def test_property_belady_dominates_lru(data, cache):
+    """Property: the clairvoyant policy never misses more than LRU."""
+    stream = np.asarray(data)
+    opt_misses, _ = belady_evictions(stream, cache)
+    lru: dict[int, int] = {}
+    lru_misses = 0
+    for t, s in enumerate(stream):
+        s = int(s)
+        if s in lru:
+            lru[s] = t
+            continue
+        lru_misses += 1
+        if len(lru) >= cache:
+            victim = min(lru, key=lru.get)
+            del lru[victim]
+        lru[s] = t
+    assert opt_misses <= lru_misses

@@ -1,0 +1,70 @@
+"""EpochShuffler determinism and permutation properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EpochShuffler
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_is_permutation(self):
+        perm = EpochShuffler(0, 1000).permutation(0)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(1000))
+
+    def test_deterministic_across_instances(self):
+        a = EpochShuffler(42, 500).permutation(3)
+        b = EpochShuffler(42, 500).permutation(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_epochs_differ(self):
+        sh = EpochShuffler(42, 500)
+        assert not np.array_equal(sh.permutation(0), sh.permutation(1))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(
+            EpochShuffler(1, 500).permutation(0),
+            EpochShuffler(2, 500).permutation(0),
+        )
+
+    def test_random_access_matches_sequential(self):
+        """Epoch e is computable without computing epochs 0..e-1."""
+        sh = EpochShuffler(7, 200)
+        later = sh.permutation(5)
+        fresh = EpochShuffler(7, 200).permutation(5)
+        np.testing.assert_array_equal(later, fresh)
+
+    def test_permutations_stack(self):
+        sh = EpochShuffler(7, 100)
+        stack = sh.permutations(3)
+        assert stack.shape == (3, 100)
+        for e in range(3):
+            np.testing.assert_array_equal(stack[e], sh.permutation(e))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpochShuffler(0, 0)
+        with pytest.raises(ConfigurationError):
+            EpochShuffler(0, 10).permutation(-1)
+        with pytest.raises(ConfigurationError):
+            EpochShuffler(0, 10).permutations(0)
+
+    def test_properties(self):
+        sh = EpochShuffler(9, 33)
+        assert sh.seed == 9
+        assert sh.num_samples == 33
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n=st.integers(min_value=1, max_value=2000),
+    epoch=st.integers(min_value=0, max_value=100),
+)
+def test_always_a_permutation(seed, n, epoch):
+    """Property: every (seed, F, epoch) yields a valid permutation of F."""
+    perm = EpochShuffler(seed, n).permutation(epoch)
+    assert perm.shape == (n,)
+    np.testing.assert_array_equal(np.sort(perm), np.arange(n))

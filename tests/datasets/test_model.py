@@ -1,0 +1,109 @@
+"""DatasetModel behaviour and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import DatasetModel
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ConfigurationError):
+            DatasetModel("x", 0, 1.0)
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(ConfigurationError):
+            DatasetModel("x", 10, 0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            DatasetModel("x", 10, 1.0, -0.1)
+
+    def test_rejects_bad_min_size(self):
+        with pytest.raises(ConfigurationError):
+            DatasetModel("x", 10, 1.0, min_size_mb=2.0)
+
+
+class TestSizes:
+    def test_constant_sizes_when_sigma_zero(self):
+        ds = DatasetModel("x", 100, 17.0, 0.0)
+        sizes = ds.sizes_mb()
+        assert sizes.shape == (100,)
+        np.testing.assert_allclose(sizes, 17.0)
+
+    def test_sizes_deterministic(self):
+        a = DatasetModel("x", 1000, 0.1, 0.05, seed=1).sizes_mb()
+        b = DatasetModel("x", 1000, 0.1, 0.05, seed=1).sizes_mb()
+        np.testing.assert_array_equal(a, b)
+
+    def test_sizes_depend_on_seed(self):
+        a = DatasetModel("x", 1000, 0.1, 0.05, seed=1).sizes_mb()
+        b = DatasetModel("x", 1000, 0.1, 0.05, seed=2).sizes_mb()
+        assert not np.array_equal(a, b)
+
+    def test_sizes_positive(self):
+        ds = DatasetModel("x", 50_000, 0.1077, 0.1)  # sigma ~ mu: heavy truncation
+        assert (ds.sizes_mb() > 0).all()
+
+    def test_mean_approximately_mu(self):
+        ds = DatasetModel("x", 200_000, 0.1077, 0.1)
+        assert ds.mean_realized_size_mb == pytest.approx(0.1077, rel=0.02)
+
+    def test_sizes_readonly(self):
+        ds = DatasetModel("x", 10, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            ds.sizes_mb()[0] = 99.0
+
+    def test_sizes_cached(self):
+        ds = DatasetModel("x", 10, 1.0, 0.1)
+        assert ds.sizes_mb() is ds.sizes_mb()
+
+    def test_total_size(self):
+        ds = DatasetModel("x", 100, 2.0, 0.0)
+        assert ds.total_size_mb == pytest.approx(200.0)
+
+
+class TestDerived:
+    def test_iterations_drop_last(self):
+        ds = DatasetModel("x", 105, 1.0)
+        assert ds.iterations_per_epoch(10) == 10
+
+    def test_iterations_keep_last(self):
+        ds = DatasetModel("x", 105, 1.0)
+        assert ds.iterations_per_epoch(10, drop_last=False) == 11
+
+    def test_iterations_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            DatasetModel("x", 10, 1.0).iterations_per_epoch(0)
+
+    def test_scaled_counts(self):
+        ds = DatasetModel("x", 1000, 1.0).scaled(0.1)
+        assert ds.num_samples == 100
+        assert ds.mean_size_mb == 1.0
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ConfigurationError):
+            DatasetModel("x", 10, 1.0).scaled(0)
+
+    def test_serialization_roundtrip(self):
+        ds = DatasetModel("x", 1000, 0.5, 0.1, seed=42)
+        clone = DatasetModel.from_dict(ds.to_dict())
+        np.testing.assert_array_equal(ds.sizes_mb(), clone.sizes_mb())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    mu=st.floats(min_value=0.01, max_value=100.0),
+    sigma_rel=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_sizes_always_valid(n, mu, sigma_rel):
+    """Property: sizes are positive, finite, length-F, for any parameters."""
+    ds = DatasetModel("prop", n, mu, mu * sigma_rel)
+    sizes = ds.sizes_mb()
+    assert sizes.shape == (n,)
+    assert np.isfinite(sizes).all()
+    assert (sizes >= ds.min_size_mb).all()

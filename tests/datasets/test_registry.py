@@ -1,0 +1,82 @@
+"""Paper dataset presets must match Sec 6.1 exactly."""
+
+import pytest
+
+from repro import units
+from repro.datasets import (
+    cosmoflow,
+    cosmoflow512,
+    get_dataset,
+    imagenet1k,
+    imagenet22k,
+    list_datasets,
+    mnist,
+    openimages,
+)
+
+
+class TestPresetParameters:
+    def test_mnist(self):
+        ds = mnist()
+        assert ds.num_samples == 50_000
+        assert ds.mean_size_mb == pytest.approx(0.76 / 1024)
+        assert ds.std_size_mb == 0.0
+
+    def test_imagenet1k(self):
+        ds = imagenet1k()
+        assert ds.num_samples == 1_281_167
+        assert ds.mean_size_mb == 0.1077
+        assert ds.std_size_mb == 0.1
+
+    def test_openimages(self):
+        ds = openimages()
+        assert ds.num_samples == 1_743_042
+        assert ds.mean_size_mb == 0.2937
+
+    def test_imagenet22k(self):
+        ds = imagenet22k()
+        assert ds.num_samples == 14_197_122
+        assert ds.std_size_mb == 0.2
+
+    def test_cosmoflow(self):
+        ds = cosmoflow()
+        assert ds.num_samples == 262_144
+        assert ds.mean_size_mb == 17.0
+
+    def test_cosmoflow512(self):
+        ds = cosmoflow512()
+        assert ds.num_samples == 10_000
+        assert ds.mean_size_mb == 1000.0
+
+
+class TestPaperTotals:
+    """The paper quotes approximate totals; presets must land near them."""
+
+    def test_mnist_total_40mb(self):
+        assert mnist().total_size_mb == pytest.approx(40, rel=0.1)
+
+    def test_imagenet1k_total_135gb(self):
+        assert imagenet1k().total_size_mb == pytest.approx(135 * units.GB, rel=0.05)
+
+    def test_openimages_total_500gb(self):
+        assert openimages().total_size_mb == pytest.approx(500 * units.GB, rel=0.05)
+
+    def test_cosmoflow_total_4tb(self):
+        assert cosmoflow().total_size_mb == pytest.approx(4 * units.TB, rel=0.15)
+
+    def test_cosmoflow512_total_10tb(self):
+        assert cosmoflow512().total_size_mb == pytest.approx(10 * units.TB, rel=0.05)
+
+
+class TestLookup:
+    def test_all_listed_resolvable(self):
+        for name in list_datasets():
+            assert get_dataset(name).name == name
+
+    def test_alias_forms(self):
+        assert get_dataset("ImageNet-1k").name == "imagenet1k"
+        assert get_dataset("imagenet_22k").name == "imagenet22k"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("cifar10")

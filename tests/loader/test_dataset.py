@@ -1,0 +1,103 @@
+"""Dataset implementations: generation, reading, labels, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loader import BinaryFolderDataset, InMemoryDataset, SyntheticFileDataset
+
+
+class TestInMemory:
+    def test_roundtrip(self):
+        ds = InMemoryDataset([b"aa", b"bbb"], [0, 1])
+        assert len(ds) == 2
+        assert ds.read(1) == b"bbb"
+        assert ds.size(1) == 3
+        assert ds.label(1) == 1
+        assert ds.total_bytes() == 5
+
+    def test_random_generation(self):
+        ds = InMemoryDataset.random(20, 16, num_classes=4, seed=1)
+        assert len(ds) == 20
+        assert ds.size(0) == 16
+        assert ds.num_classes == 4
+
+    def test_random_deterministic(self):
+        a = InMemoryDataset.random(5, 8, seed=2)
+        b = InMemoryDataset.random(5, 8, seed=2)
+        assert a.read(3) == b.read(3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InMemoryDataset([])
+        with pytest.raises(ConfigurationError):
+            InMemoryDataset([b"a"], [0, 1])
+        ds = InMemoryDataset([b"a"])
+        with pytest.raises(ConfigurationError):
+            ds.read(5)
+
+
+class TestSyntheticFile:
+    def test_generate_and_open(self, tmp_path):
+        ds = SyntheticFileDataset.generate(
+            tmp_path / "d", num_samples=10, mean_bytes=64, num_classes=2, seed=3
+        )
+        assert len(ds) == 10
+        assert ds.size(0) == 64
+        assert len(ds.read(0)) == 64
+        assert ds.num_classes == 2
+
+    def test_reopen_from_manifest(self, tmp_path):
+        SyntheticFileDataset.generate(tmp_path / "d", 5, 32, seed=3)
+        reopened = SyntheticFileDataset(tmp_path / "d")
+        assert len(reopened) == 5
+        assert len(reopened.read(4)) == 32
+
+    def test_variable_sizes(self, tmp_path):
+        ds = SyntheticFileDataset.generate(
+            tmp_path / "d", 30, mean_bytes=100, std_bytes=40, seed=4
+        )
+        sizes = {ds.size(i) for i in range(30)}
+        assert len(sizes) > 1
+        assert all(s >= 16 for s in sizes)
+        assert all(ds.size(i) == len(ds.read(i)) for i in range(30))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SyntheticFileDataset(tmp_path)
+
+    def test_latency_applied(self, tmp_path):
+        import time
+
+        SyntheticFileDataset.generate(tmp_path / "d", 3, 16, seed=5)
+        slow = SyntheticFileDataset(tmp_path / "d", latency_s=0.02)
+        t0 = time.perf_counter()
+        slow.read(0)
+        assert time.perf_counter() - t0 >= 0.02
+
+    def test_generate_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SyntheticFileDataset.generate(tmp_path / "d", 0, 16)
+
+
+class TestBinaryFolder:
+    def test_generate_and_scan(self, tmp_path):
+        ds = BinaryFolderDataset.generate(
+            tmp_path / "r", num_classes=3, samples_per_class=4, sample_bytes=32
+        )
+        assert len(ds) == 12
+        assert ds.num_classes == 3
+        assert ds.classes == ["class_0000", "class_0001", "class_0002"]
+        assert len(ds.read(0)) == 32
+
+    def test_labels_by_directory(self, tmp_path):
+        ds = BinaryFolderDataset.generate(tmp_path / "r", 2, 3, 8)
+        labels = [ds.label(i) for i in range(len(ds))]
+        assert labels == [0, 0, 0, 1, 1, 1]
+
+    def test_empty_root_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BinaryFolderDataset(tmp_path)
+
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BinaryFolderDataset(tmp_path / "nope")

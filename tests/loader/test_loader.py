@@ -1,0 +1,151 @@
+"""Loader equivalence: all three loaders serve identical streams."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamConfig
+from repro.errors import ConfigurationError
+from repro.loader import (
+    ClairvoyantDistributedSampler,
+    DoubleBufferLoader,
+    InMemoryDataset,
+    NaiveLoader,
+    NoPFSDataLoader,
+    collate_batch,
+)
+from repro.runtime import DistributedJobGroup
+
+
+def setup(n=120, workers=2, batch=5, epochs=2, seed=13):
+    ds = InMemoryDataset.random(n, 32, num_classes=4, seed=1)
+    cfg = StreamConfig(seed, n, workers, batch, epochs)
+    return ds, cfg
+
+
+class TestSampler:
+    def test_partition(self):
+        ds, cfg = setup()
+        all_ids = np.concatenate(
+            [ClairvoyantDistributedSampler(cfg, r).indices(0) for r in range(2)]
+        )
+        assert np.unique(all_ids).size == all_ids.size
+
+    def test_set_epoch(self):
+        ds, cfg = setup()
+        s = ClairvoyantDistributedSampler(cfg, 0)
+        s.set_epoch(1)
+        np.testing.assert_array_equal(s.indices(), s.indices(1))
+        assert not np.array_equal(s.indices(0), s.indices(1))
+
+    def test_len_and_iter(self):
+        ds, cfg = setup()
+        s = ClairvoyantDistributedSampler(cfg, 0)
+        assert len(list(s)) == len(s)
+
+    def test_validation(self):
+        ds, cfg = setup()
+        with pytest.raises(ConfigurationError):
+            ClairvoyantDistributedSampler(cfg, 9)
+        with pytest.raises(ConfigurationError):
+            ClairvoyantDistributedSampler(cfg, 0).set_epoch(-1)
+
+
+class TestCollate:
+    def test_contiguous(self):
+        batch = collate_batch([(1, b"ab", 0), (2, b"cd", 1)])
+        assert batch.is_contiguous
+        assert batch.data.shape == (2, 2)
+        np.testing.assert_array_equal(batch.ids, [1, 2])
+        np.testing.assert_array_equal(batch.labels, [0, 1])
+        assert len(batch) == 2
+
+    def test_ragged(self):
+        batch = collate_batch([(1, b"ab", 0), (2, b"cde", 1)])
+        assert not batch.is_contiguous
+        assert [len(d) for d in batch.data] == [2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            collate_batch([])
+
+
+class TestLoaderEquivalence:
+    def test_naive_vs_double_buffer_identical(self):
+        ds, cfg = setup()
+        for rank in range(2):
+            naive = [b.ids.tolist() for b in NaiveLoader(ds, cfg, rank)]
+            dbl = [b.ids.tolist() for b in DoubleBufferLoader(ds, cfg, rank)]
+            assert naive == dbl
+
+    def test_nopfs_matches_naive_order(self):
+        """Same seed => NoPFS serves exactly the PyTorch-sampler order."""
+        ds, cfg = setup()
+        grp = DistributedJobGroup(
+            ds,
+            num_workers=cfg.num_workers,
+            batch_size=cfg.batch_size,
+            num_epochs=cfg.num_epochs,
+            seed=cfg.seed,
+            staging_bytes=4096,
+        )
+        naive_ids = [b.ids.tolist() for b in NaiveLoader(ds, cfg, 0)]
+        with grp:
+            nopfs_ids = [
+                b.ids.tolist() for b in NoPFSDataLoader(grp.jobs[0])
+            ]
+        assert nopfs_ids == naive_ids
+
+    def test_nopfs_batch_content(self):
+        ds, cfg = setup(workers=1, epochs=1)
+        grp = DistributedJobGroup(
+            ds, num_workers=1, batch_size=5, num_epochs=1, seed=13,
+            staging_bytes=4096,
+        )
+        with grp:
+            loader = NoPFSDataLoader(grp.jobs[0])
+            for batch in loader.epoch(0):
+                for row, sid in enumerate(batch.ids):
+                    np.testing.assert_array_equal(
+                        batch.data[row],
+                        np.frombuffer(ds.read(int(sid)), dtype=np.uint8),
+                    )
+                    assert batch.labels[row] == ds.label(int(sid))
+
+    def test_nopfs_epoch_order_enforced(self):
+        ds, cfg = setup(workers=1)
+        grp = DistributedJobGroup(
+            ds, num_workers=1, batch_size=5, num_epochs=2, seed=13,
+            staging_bytes=4096,
+        )
+        with grp:
+            loader = NoPFSDataLoader(grp.jobs[0])
+            with pytest.raises(ConfigurationError):
+                next(loader.epoch(1))
+
+    def test_double_buffer_validation(self):
+        ds, cfg = setup()
+        with pytest.raises(ConfigurationError):
+            DoubleBufferLoader(ds, cfg, 0, prefetch_factor=0)
+
+    def test_double_buffer_propagates_errors(self):
+        ds, cfg = setup()
+
+        class Broken(InMemoryDataset):
+            def read(self, sample_id):
+                raise RuntimeError("disk on fire")
+
+        broken = Broken([b"xx"] * 120, [0] * 120)
+        loader = DoubleBufferLoader(broken, cfg, 0)
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            list(loader.epoch(0))
+
+    def test_batches_per_epoch(self):
+        ds, cfg = setup()
+        grp = DistributedJobGroup(
+            ds, num_workers=2, batch_size=5, num_epochs=2, seed=13,
+            staging_bytes=4096,
+        )
+        loader = NoPFSDataLoader(grp.jobs[0])
+        assert loader.batches_per_epoch == cfg.iterations_per_epoch
+        grp.start()
+        grp.stop()

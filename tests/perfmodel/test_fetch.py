@@ -1,0 +1,134 @@
+"""Fetch-resolution tests: the Sec 4 three-case fetch model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel import (
+    Source,
+    remote_bandwidths,
+    resolve_fetch,
+    sec6_cluster,
+    write_times,
+)
+from repro.units import GB
+
+SYS = sec6_cluster()
+
+
+class TestWriteTimes:
+    def test_preprocessing_bound(self):
+        """With beta=200 << w0 per thread, preprocessing dominates."""
+        out = write_times(np.array([2.0]), SYS)
+        assert out[0] == pytest.approx(2.0 / 200.0)
+
+    def test_vectorized(self):
+        sizes = np.array([1.0, 2.0, 4.0])
+        np.testing.assert_allclose(write_times(sizes, SYS), sizes / 200.0)
+
+
+class TestRemoteBandwidths:
+    def test_ram_per_thread_below_network(self):
+        """Remote RAM: min(b_c=24 GB/s, 85 GB/s / 4 threads) = 21.25 GB/s."""
+        rates = remote_bandwidths(SYS)
+        assert rates[0] == pytest.approx(min(24_000.0, 85 * GB / 4))
+
+    def test_ssd_is_device_bound(self):
+        """Remote SSD: 4 GB/s / 2 threads = 2 GB/s < network."""
+        rates = remote_bandwidths(SYS)
+        assert rates[1] == pytest.approx(2 * GB)
+
+
+class TestResolveFetch:
+    def test_local_ram_wins(self):
+        res = resolve_fetch(
+            np.array([1.0]),
+            local_class=np.array([0]),
+            remote_class=np.array([-1]),
+            system=SYS,
+            pfs_share_mbps=385.0,
+        )
+        assert res.sources[0] == Source.LOCAL
+        assert res.bandwidths[0] == pytest.approx(85 * GB / 4)
+
+    def test_remote_ram_beats_local_ssd(self):
+        """The paper's counterintuitive case: remote memory > local SSD."""
+        res = resolve_fetch(
+            np.array([1.0]),
+            local_class=np.array([1]),  # local SSD: 2 GB/s
+            remote_class=np.array([0]),  # remote RAM: min(24 GB/s, 21 GB/s)
+            system=SYS,
+            pfs_share_mbps=385.0,
+        )
+        assert res.sources[0] == Source.REMOTE
+
+    def test_pfs_when_uncached(self):
+        res = resolve_fetch(
+            np.array([1.0]),
+            local_class=np.array([-1]),
+            remote_class=np.array([-1]),
+            system=SYS,
+            pfs_share_mbps=385.0,
+        )
+        assert res.sources[0] == Source.PFS
+        assert res.fetch_times[0] == pytest.approx(1.0 / 385.0)
+
+    def test_none_when_no_source(self):
+        res = resolve_fetch(
+            np.array([1.0]),
+            local_class=np.array([-1]),
+            remote_class=np.array([-1]),
+            system=SYS,
+            pfs_share_mbps=0.0,
+            pfs_available=False,
+        )
+        assert res.sources[0] == Source.NONE
+        assert np.isinf(res.fetch_times[0])
+
+    def test_local_priority_on_tie(self):
+        """At equal bandwidth, prefer LOCAL over REMOTE over PFS."""
+        res = resolve_fetch(
+            np.array([1.0]),
+            local_class=np.array([1]),
+            remote_class=np.array([1]),  # same class remote: same 2 GB/s
+            system=SYS,
+            pfs_share_mbps=0.0,
+        )
+        assert res.sources[0] == Source.LOCAL
+
+    def test_vectorized_mixed(self):
+        sizes = np.ones(4)
+        res = resolve_fetch(
+            sizes,
+            local_class=np.array([0, -1, 1, -1]),
+            remote_class=np.array([-1, 0, 0, -1]),
+            system=SYS,
+            pfs_share_mbps=385.0,
+        )
+        assert list(res.sources) == [
+            Source.LOCAL,
+            Source.REMOTE,
+            Source.REMOTE,
+            Source.PFS,
+        ]
+        assert np.all(res.fetch_times > 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fetch(
+                np.ones(2),
+                np.array([0]),
+                np.array([0]),
+                SYS,
+                100.0,
+            )
+
+    def test_empty_stream(self):
+        res = resolve_fetch(
+            np.empty(0),
+            np.empty(0, dtype=int),
+            np.empty(0, dtype=int),
+            SYS,
+            100.0,
+        )
+        assert res.fetch_times.size == 0

@@ -1,0 +1,141 @@
+"""Timeline recurrence tests: vectorized scan vs reference loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.perfmodel import (
+    Timeline,
+    batch_completion_times,
+    overlapped_timeline,
+    serial_timeline,
+)
+
+
+def reference_recurrence(reads, comps, p0):
+    """Direct (slow) evaluation of the paper's t_{i,f} recurrence."""
+    avail = np.cumsum(reads) / p0
+    t = np.empty_like(avail)
+    for f in range(len(reads)):
+        if f == 0:
+            t[f] = avail[0]
+        else:
+            t[f] = max(avail[f], t[f - 1] + comps[f - 1])
+    return t
+
+
+class TestOverlapped:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        reads = rng.uniform(0.1, 2.0, 200)
+        comps = rng.uniform(0.1, 2.0, 200)
+        tl = overlapped_timeline(reads, comps, staging_threads=3)
+        np.testing.assert_allclose(
+            tl.consume_times, reference_recurrence(reads, comps, 3)
+        )
+
+    def test_io_bound(self):
+        """Slow reads, instant compute: completion = sum(reads)/p0 + d."""
+        reads = np.full(10, 1.0)
+        comps = np.full(10, 1e-6)
+        tl = overlapped_timeline(reads, comps, 1)
+        assert tl.completion == pytest.approx(10.0, rel=1e-3)
+        assert tl.stall_fraction > 0.99
+
+    def test_compute_bound(self):
+        """Fast reads: completion ~= total compute, no stalls."""
+        reads = np.full(10, 1e-6)
+        comps = np.full(10, 1.0)
+        tl = overlapped_timeline(reads, comps, 1)
+        assert tl.completion == pytest.approx(10.0, rel=1e-3)
+        assert tl.stall_total == pytest.approx(0.0, abs=1e-3)
+
+    def test_more_threads_not_slower(self):
+        rng = np.random.default_rng(1)
+        reads = rng.uniform(0.5, 1.5, 100)
+        comps = rng.uniform(0.1, 0.3, 100)
+        t1 = overlapped_timeline(reads, comps, 1).completion
+        t4 = overlapped_timeline(reads, comps, 4).completion
+        assert t4 <= t1 + 1e-9
+
+    def test_completion_at_least_compute(self):
+        rng = np.random.default_rng(2)
+        reads = rng.uniform(0, 1, 50)
+        comps = rng.uniform(0, 1, 50)
+        tl = overlapped_timeline(reads, comps, 2)
+        assert tl.completion >= tl.compute_total - 1e-12
+        assert tl.stall_total >= -1e-12
+
+    def test_empty(self):
+        tl = overlapped_timeline(np.empty(0), np.empty(0), 1)
+        assert tl.completion == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            overlapped_timeline(np.ones(3), np.ones(4), 1)
+        with pytest.raises(ConfigurationError):
+            overlapped_timeline(np.ones(3), np.ones(3), 0)
+
+
+class TestSerial:
+    def test_serial_sum(self):
+        reads = np.array([1.0, 2.0])
+        comps = np.array([0.5, 0.5])
+        tl = serial_timeline(reads, comps)
+        assert tl.completion == pytest.approx(4.0)
+        np.testing.assert_allclose(tl.consume_times, [1.0, 3.5])
+
+    def test_serial_never_faster_than_overlapped(self):
+        rng = np.random.default_rng(3)
+        reads = rng.uniform(0.1, 1.0, 100)
+        comps = rng.uniform(0.1, 1.0, 100)
+        assert (
+            serial_timeline(reads, comps).completion
+            >= overlapped_timeline(reads, comps, 1).completion - 1e-9
+        )
+
+    def test_empty(self):
+        assert serial_timeline(np.empty(0), np.empty(0)).completion == 0.0
+
+
+class TestBatchTimes:
+    def test_batch_completions(self):
+        reads = np.full(6, 1e-9)
+        comps = np.full(6, 1.0)
+        tl = overlapped_timeline(reads, comps, 1)
+        ends = batch_completion_times(tl, comps, 2)
+        np.testing.assert_allclose(ends, [2.0, 4.0, 6.0], rtol=1e-6)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(4)
+        reads = rng.uniform(0.1, 1.0, 64)
+        comps = rng.uniform(0.1, 1.0, 64)
+        tl = overlapped_timeline(reads, comps, 2)
+        ends = batch_completion_times(tl, comps, 8)
+        assert np.all(np.diff(ends) > 0)
+
+    def test_validation(self):
+        tl = overlapped_timeline(np.ones(6), np.ones(6), 1)
+        with pytest.raises(ConfigurationError):
+            batch_completion_times(tl, np.ones(6), 4)
+        with pytest.raises(ConfigurationError):
+            batch_completion_times(tl, np.ones(6), 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=80),
+    p0=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_scan_equals_reference(n, p0, seed):
+    """Property: the max-plus scan equals the direct recurrence."""
+    rng = np.random.default_rng(seed)
+    reads = rng.uniform(0.0, 2.0, n)
+    comps = rng.uniform(0.0, 2.0, n)
+    tl = overlapped_timeline(reads, comps, p0)
+    np.testing.assert_allclose(
+        tl.consume_times, reference_recurrence(reads, comps, p0), rtol=1e-10, atol=1e-12
+    )

@@ -1,0 +1,97 @@
+"""Storage class / hierarchy model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel import (
+    StagingBufferModel,
+    StorageClassModel,
+    StorageHierarchy,
+    ThroughputCurve,
+)
+from repro.units import GB
+
+
+def ram(capacity=120 * GB):
+    return StorageClassModel(
+        "ram", capacity, ThroughputCurve.from_mapping({4: 85 * GB}), prefetch_threads=4
+    )
+
+
+def ssd(capacity=900 * GB):
+    return StorageClassModel(
+        "ssd",
+        capacity,
+        ThroughputCurve.from_mapping({2: 4 * GB}),
+        write=ThroughputCurve.from_mapping({2: 2 * GB}),
+        prefetch_threads=2,
+    )
+
+
+def staging():
+    return StagingBufferModel(
+        5 * GB, ThroughputCurve.from_mapping({8: 111 * GB}), threads=8
+    )
+
+
+class TestStorageClass:
+    def test_per_thread_rates(self):
+        assert ram().read_per_thread_mbps == pytest.approx(85 * GB / 4)
+        assert ssd().read_per_thread_mbps == pytest.approx(4 * GB / 2)
+
+    def test_write_falls_back_to_read(self):
+        assert ram().write_per_thread_mbps == ram().read_per_thread_mbps
+
+    def test_explicit_write_curve(self):
+        assert ssd().write_per_thread_mbps == pytest.approx(2 * GB / 2)
+
+    def test_with_capacity(self):
+        assert ram().with_capacity(64 * GB).capacity_mb == 64 * GB
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StorageClassModel("x", -1.0, ThroughputCurve.constant(1.0))
+        with pytest.raises(ConfigurationError):
+            StorageClassModel(
+                "x", 1.0, ThroughputCurve.constant(1.0), prefetch_threads=0
+            )
+
+
+class TestStagingBuffer:
+    def test_write_per_thread(self):
+        assert staging().write_per_thread_mbps == pytest.approx(111 * GB / 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StagingBufferModel(0.0, ThroughputCurve.constant(1.0))
+        with pytest.raises(ConfigurationError):
+            StagingBufferModel(1.0, ThroughputCurve.constant(1.0), threads=0)
+
+
+class TestHierarchy:
+    def test_totals(self):
+        h = StorageHierarchy(staging(), (ram(), ssd()))
+        assert h.total_cache_mb == pytest.approx(1020 * GB)
+        assert h.num_classes == 2
+        assert h.capacities_mb == [120 * GB, 900 * GB]
+
+    def test_read_per_thread_vector(self):
+        h = StorageHierarchy(staging(), (ram(), ssd()))
+        rates = h.read_per_thread()
+        assert rates[0] > rates[1]
+
+    def test_rejects_misordered_tiers(self):
+        with pytest.raises(ConfigurationError):
+            StorageHierarchy(staging(), (ssd(), ram()))
+
+    def test_empty_hierarchy(self):
+        h = StorageHierarchy(staging())
+        assert h.total_cache_mb == 0.0
+        assert h.read_per_thread().size == 0
+
+    def test_with_class_capacities(self):
+        h = StorageHierarchy(staging(), (ram(), ssd()))
+        h2 = h.with_class_capacities([64 * GB, 128 * GB])
+        assert h2.capacities_mb == [64 * GB, 128 * GB]
+        with pytest.raises(ConfigurationError):
+            h.with_class_capacities([1.0])

@@ -1,0 +1,119 @@
+"""ThroughputCurve interpolation/extrapolation behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.perfmodel import ThroughputCurve
+
+PAPER_PFS = {1: 330.0, 2: 730.0, 4: 1540.0, 8: 2870.0}
+
+
+class TestConstruction:
+    def test_from_mapping_sorted(self):
+        curve = ThroughputCurve.from_mapping({4: 40.0, 1: 10.0})
+        assert curve.points == ((1.0, 10.0), (4.0, 40.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputCurve(points=())
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputCurve(points=((0.0, 10.0),))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputCurve(points=((2.0, 10.0), (1.0, 5.0)))
+
+    def test_rejects_negative_bw(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputCurve(points=((1.0, -5.0),))
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputCurve(points=((1.0, 5.0),), extrapolation="quadratic")
+
+    def test_serialization_roundtrip(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS)
+        clone = ThroughputCurve.from_dict(curve.to_dict())
+        assert clone == curve
+
+
+class TestEvaluation:
+    def test_exact_points(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS)
+        for gamma, bw in PAPER_PFS.items():
+            assert curve.aggregate(gamma) == pytest.approx(bw)
+
+    def test_interpolation_between_points(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS)
+        assert curve.aggregate(3) == pytest.approx((730 + 1540) / 2)
+
+    def test_below_first_point_through_origin(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS)
+        assert curve.aggregate(0.5) == pytest.approx(165.0)
+        assert curve.aggregate(0) == 0.0
+
+    def test_clamp_extrapolation(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS)
+        assert curve.aggregate(64) == pytest.approx(2870.0)
+
+    def test_linear_extrapolation(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS, extrapolation="linear")
+        assert curve.aggregate(16) > 2870.0
+
+    def test_array_input(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS)
+        out = curve.aggregate(np.array([1, 2, 4, 8]))
+        np.testing.assert_allclose(out, [330, 730, 1540, 2870])
+
+    def test_per_unit(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS)
+        assert curve.per_unit(4) == pytest.approx(1540 / 4)
+        assert curve.per_unit(0) == 0.0
+
+    def test_per_unit_decreases_under_contention(self):
+        """Past saturation, each client's share shrinks."""
+        curve = ThroughputCurve.from_mapping(PAPER_PFS)
+        shares = [curve.per_unit(g) for g in (8, 16, 64, 256)]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputCurve.from_mapping(PAPER_PFS).aggregate(-1)
+
+    def test_constant(self):
+        curve = ThroughputCurve.constant(500.0)
+        assert curve.aggregate(1) == 500.0
+        assert curve.aggregate(10) == 500.0
+
+    def test_scaled(self):
+        curve = ThroughputCurve.from_mapping(PAPER_PFS).scaled(2.0)
+        assert curve.aggregate(8) == pytest.approx(5740.0)
+        with pytest.raises(ConfigurationError):
+            curve.scaled(0)
+
+    def test_saturation(self):
+        assert ThroughputCurve.from_mapping(PAPER_PFS).saturation_mbps == 2870.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    counts=st.lists(
+        st.floats(min_value=0.1, max_value=1e4),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    ),
+)
+def test_property_monotone_nondecreasing_aggregate(counts):
+    """Property: with clamp extrapolation and nondecreasing points, the
+    aggregate is nondecreasing in the client count."""
+    pts = {float(i + 1): float(100 * (i + 1)) for i in range(4)}
+    curve = ThroughputCurve.from_mapping(pts)
+    xs = np.sort(np.asarray(counts))
+    ys = np.asarray(curve.aggregate(xs))
+    assert np.all(np.diff(ys) >= -1e-9)

@@ -1,0 +1,102 @@
+"""Storage backend capacity enforcement and concurrency safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import FilesystemBackend, MemoryBackend
+
+
+@pytest.fixture(params=["memory", "filesystem"])
+def backend(request, tmp_path):
+    def make(capacity):
+        if request.param == "memory":
+            return MemoryBackend(capacity)
+        return FilesystemBackend(capacity, tmp_path / "cache")
+
+    return make
+
+
+class TestCapacity:
+    def test_put_get(self, backend):
+        b = backend(1024)
+        assert b.put(1, b"hello")
+        assert b.get(1) == b"hello"
+        assert 1 in b and len(b) == 1
+
+    def test_capacity_enforced(self, backend):
+        b = backend(100)
+        assert b.put(1, b"x" * 60)
+        assert not b.put(2, b"x" * 60)  # would exceed
+        assert 2 not in b
+        assert b.used_bytes == 60
+
+    def test_reput_noop(self, backend):
+        b = backend(100)
+        assert b.put(1, b"abc")
+        assert b.put(1, b"abc")
+        assert b.used_bytes == 3
+
+    def test_delete_frees(self, backend):
+        b = backend(100)
+        b.put(1, b"x" * 60)
+        assert b.delete(1)
+        assert b.used_bytes == 0
+        assert b.put(2, b"x" * 60)
+
+    def test_delete_missing(self, backend):
+        assert not backend(100).delete(5)
+
+    def test_get_missing(self, backend):
+        assert backend(100).get(5) is None
+
+    def test_clear(self, backend):
+        b = backend(100)
+        b.put(1, b"ab")
+        b.put(2, b"cd")
+        b.clear()
+        assert len(b) == 0 and b.used_bytes == 0
+        assert b.get(1) is None
+
+    def test_sample_ids(self, backend):
+        b = backend(100)
+        b.put(3, b"a")
+        b.put(7, b"b")
+        assert sorted(b.sample_ids()) == [3, 7]
+
+    def test_zero_capacity_rejects_all(self, backend):
+        b = backend(0)
+        assert not b.put(1, b"a")
+
+    def test_negative_capacity_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBackend(-1)
+
+
+class TestFilesystemSpecifics:
+    def test_files_on_disk(self, tmp_path):
+        b = FilesystemBackend(1024, tmp_path / "c")
+        b.put(9, b"data")
+        assert (tmp_path / "c" / "sample_9.bin").exists()
+        b.delete(9)
+        assert not (tmp_path / "c" / "sample_9.bin").exists()
+
+
+class TestConcurrency:
+    def test_parallel_puts_respect_capacity(self, backend):
+        b = backend(1000)
+
+        def writer(base):
+            for i in range(50):
+                b.put(base + i, b"x" * 10)
+
+        threads = [
+            threading.Thread(target=writer, args=(k * 100,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert b.used_bytes <= 1000
+        assert len(b) == b.used_bytes // 10

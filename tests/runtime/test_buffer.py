@@ -1,0 +1,133 @@
+"""Staging buffer: ordering, capacity, drop-after-use, liveness."""
+
+import threading
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.runtime import StagingBuffer
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        buf = StagingBuffer(1024)
+        buf.put(0, 42, b"abc")
+        sample_id, data = buf.get(0)
+        assert (sample_id, data) == (42, b"abc")
+
+    def test_drop_after_use_frees_space(self):
+        buf = StagingBuffer(1024)
+        buf.put(0, 1, b"x" * 100)
+        assert buf.used_bytes == 100
+        buf.get(0)
+        assert buf.used_bytes == 0
+        assert len(buf) == 0
+
+    def test_peak_tracking(self):
+        buf = StagingBuffer(1024)
+        buf.put(0, 1, b"x" * 100)
+        buf.put(1, 2, b"x" * 200)
+        buf.get(0)
+        assert buf.peak_used_bytes == 300
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StagingBuffer(0)
+
+    def test_duplicate_seq_rejected(self):
+        buf = StagingBuffer(1024)
+        buf.put(0, 1, b"a")
+        with pytest.raises(CapacityError):
+            buf.put(0, 2, b"b")
+
+    def test_replayed_seq_rejected_after_consume(self):
+        buf = StagingBuffer(1024)
+        buf.put(0, 1, b"a")
+        buf.get(0)
+        with pytest.raises(CapacityError):
+            buf.put(0, 1, b"a")
+
+
+class TestOrderedDeposits:
+    def test_out_of_order_put_waits_for_predecessor(self):
+        buf = StagingBuffer(1024, timeout_s=5.0)
+        done = []
+
+        def later():
+            buf.put(1, 11, b"b")
+            done.append(1)
+
+        t = threading.Thread(target=later, daemon=True)
+        t.start()
+        t.join(timeout=0.2)
+        assert not done  # seq 1 must wait for seq 0
+        buf.put(0, 10, b"a")
+        t.join(timeout=5.0)
+        assert done == [1]
+        assert buf.get(0)[0] == 10
+        assert buf.get(1)[0] == 11
+
+    def test_no_starvation_under_full_buffer(self):
+        """The original deadlock: later seqs must not squeeze out the one
+        the consumer needs."""
+        buf = StagingBuffer(capacity_bytes=300, timeout_s=5.0)
+        n = 20
+        errors = []
+
+        def producer(seqs):
+            try:
+                for s in seqs:
+                    buf.put(s, s, b"x" * 100)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        # Two producers with interleaved sequence claims.
+        t1 = threading.Thread(target=producer, args=(range(0, n, 2),), daemon=True)
+        t2 = threading.Thread(target=producer, args=(range(1, n, 2),), daemon=True)
+        t1.start()
+        t2.start()
+        got = [buf.get(s)[0] for s in range(n)]
+        t1.join(5)
+        t2.join(5)
+        assert got == list(range(n))
+        assert not errors
+
+    def test_oversized_sample_admitted_when_empty(self):
+        buf = StagingBuffer(10)
+        buf.put(0, 1, b"x" * 100)  # larger than capacity, buffer empty
+        assert buf.get(0)[1] == b"x" * 100
+
+
+class TestLifecycle:
+    def test_close_unblocks_consumer(self):
+        buf = StagingBuffer(1024, timeout_s=10.0)
+        result = []
+
+        def consumer():
+            try:
+                buf.get(0)
+            except RuntimeError as exc:
+                result.append(exc)
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        buf.close()
+        t.join(timeout=5.0)
+        assert result and isinstance(result[0], RuntimeError)
+
+    def test_put_after_close_raises(self):
+        buf = StagingBuffer(1024)
+        buf.close()
+        with pytest.raises(RuntimeError):
+            buf.put(0, 1, b"a")
+
+    def test_get_timeout(self):
+        buf = StagingBuffer(1024, timeout_s=0.05)
+        with pytest.raises(CapacityError):
+            buf.get(5)
+
+    def test_close_idempotent(self):
+        buf = StagingBuffer(1024)
+        buf.close()
+        buf.close()
+        assert buf.closed

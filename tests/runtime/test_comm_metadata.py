@@ -1,0 +1,95 @@
+"""WorkerGroup rendezvous/serving and MetadataStore tests."""
+
+import threading
+
+import pytest
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.runtime import MetadataStore, WorkerGroup
+
+
+class TestMetadataStore:
+    def test_record_and_lookup(self):
+        md = MetadataStore()
+        md.record(5, tier=1)
+        assert md.tier_of(5) == 1
+        assert 5 in md and len(md) == 1
+
+    def test_fastest_tier_wins(self):
+        md = MetadataStore()
+        md.record(5, tier=1)
+        md.record(5, tier=0)
+        assert md.tier_of(5) == 0
+        md.record(5, tier=2)  # slower tier does not downgrade
+        assert md.tier_of(5) == 0
+
+    def test_forget(self):
+        md = MetadataStore()
+        md.record(5, tier=0)
+        md.forget(5)
+        assert md.tier_of(5) is None
+
+    def test_progress_counter(self):
+        md = MetadataStore()
+        assert md.progress == 0
+        assert md.advance_progress() == 1
+        assert md.advance_progress(3) == 4
+        assert md.progress == 4
+
+
+class TestWorkerGroup:
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerGroup(0)
+        with pytest.raises(ConfigurationError):
+            WorkerGroup(2, network_delay_s_per_mb=-1)
+
+    def test_rank_validation(self):
+        g = WorkerGroup(2)
+        with pytest.raises(CommunicationError):
+            g.allgather(5, "k", 1)
+        with pytest.raises(CommunicationError):
+            g.request_sample(5, 0)
+
+    def test_allgather_threaded(self):
+        g = WorkerGroup(3, timeout_s=5.0)
+        results = [None] * 3
+
+        def worker(rank):
+            results[rank] = g.allgather(rank, "key", rank * 10)
+
+        threads = [threading.Thread(target=worker, args=(r,)) for r in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5)
+        assert results[0] == results[1] == results[2] == [0, 10, 20]
+
+    def test_allgather_double_contribution(self):
+        g = WorkerGroup(1)
+        g.allgather(0, "k", 1)
+        with pytest.raises(CommunicationError):
+            g.allgather(0, "k", 2)
+
+    def test_allgather_timeout(self):
+        g = WorkerGroup(2, timeout_s=0.05)
+        with pytest.raises(CommunicationError):
+            g.allgather(0, "k", 1)
+
+    def test_serve_roundtrip(self):
+        g = WorkerGroup(2)
+        store = {7: b"payload"}
+        g.register(1, store.get, lambda: 3)
+        assert g.request_sample(1, 7) == b"payload"
+        assert g.request_sample(1, 8) is None
+        assert g.progress(1) == 3
+        assert g.remote_requests == 2
+        assert g.remote_bytes_served == len(b"payload")
+
+    def test_unregistered_target(self):
+        g = WorkerGroup(2)
+        with pytest.raises(CommunicationError):
+            g.request_sample(0, 1)
+
+    def test_unregistered_progress_is_zero(self):
+        assert WorkerGroup(2).progress(1) == 0

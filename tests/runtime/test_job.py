@@ -1,0 +1,181 @@
+"""Job integration tests: the functional middleware end to end."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import AccessStream
+from repro.errors import ConfigurationError
+from repro.loader import InMemoryDataset
+from repro.runtime import DistributedJobGroup, MemoryBackend, WorkerGroup, Job
+
+
+def small_dataset(n=120, size=64, classes=4):
+    return InMemoryDataset.random(n, size, num_classes=classes, seed=9)
+
+
+def make_group(ds=None, workers=2, batch=5, epochs=2, seed=21, **kw):
+    ds = ds or small_dataset()
+    kw.setdefault("staging_bytes", 2048)
+    kw.setdefault("staging_threads", 2)
+    return DistributedJobGroup(
+        ds, num_workers=workers, batch_size=batch, num_epochs=epochs, seed=seed, **kw
+    )
+
+
+class TestSingleWorker:
+    def test_serves_exact_stream(self):
+        ds = small_dataset()
+        grp = make_group(ds, workers=1)
+        job = grp.jobs[0]
+        expected = AccessStream(job.stream_config).worker_stream(0)
+        with grp:
+            served = [job.get()[0] for _ in range(job.total_samples)]
+        np.testing.assert_array_equal(served, expected)
+
+    def test_data_matches_dataset(self):
+        ds = small_dataset()
+        grp = make_group(ds, workers=1)
+        with grp:
+            for _ in range(20):
+                sid, data, label = grp.jobs[0].get()
+                assert data == ds.read(sid)
+                assert label == ds.label(sid)
+
+    def test_stop_iteration_at_end(self):
+        grp = make_group(workers=1, epochs=1)
+        job = grp.jobs[0]
+        with grp:
+            for _ in range(job.total_samples):
+                job.get()
+            with pytest.raises(StopIteration):
+                job.get()
+
+    def test_get_before_start_rejected(self):
+        grp = make_group(workers=1)
+        with pytest.raises(ConfigurationError):
+            grp.jobs[0].get()
+        grp.start()
+        grp.stop()
+
+    def test_double_start_rejected(self):
+        grp = make_group(workers=1)
+        grp.start()
+        with pytest.raises(ConfigurationError):
+            grp.jobs[0].start()
+        grp.stop()
+
+
+class TestDistributed:
+    def test_exactly_once_per_epoch(self):
+        """The core SGD contract: one epoch covers the dataset once."""
+        ds = small_dataset()
+        grp = make_group(ds, workers=3, batch=4, epochs=2)
+        per_worker: dict[int, list[int]] = {0: [], 1: [], 2: []}
+
+        def consume(job):
+            for sid, _, _ in job:
+                per_worker[job.rank].append(sid)
+
+        with grp:
+            threads = [
+                threading.Thread(target=consume, args=(j,)) for j in grp.jobs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+        L = grp.jobs[0].samples_per_epoch
+        epoch0 = sum((ids[:L] for ids in per_worker.values()), [])
+        assert len(set(epoch0)) == len(epoch0)
+
+    def test_stats_accounting(self):
+        grp = make_group(workers=2, tier_factories=[lambda r: MemoryBackend(2048)])
+        with grp:
+            stats = grp.run_consumers()
+        for job, s in zip(grp.jobs, stats):
+            assert (
+                s["local_hits"] + s["remote_hits"] + s["dataset_reads"]
+                == job.total_samples
+            )
+
+    def test_remote_hits_with_small_caches(self):
+        """Tight per-worker caches force cross-worker fetches."""
+        ds = small_dataset(n=200, size=64)
+        grp = make_group(
+            ds,
+            workers=2,
+            epochs=3,
+            tier_factories=[lambda r: MemoryBackend(64 * 60)],
+        )
+        with grp:
+            stats = grp.run_consumers()
+        assert sum(s["remote_hits"] for s in stats) > 0
+
+    def test_warm_epochs_avoid_dataset(self):
+        """With caches big enough for everything, later epochs are
+        served without touching the dataset (the paper's 'read from the
+        PFS as few times as necessary')."""
+        ds = small_dataset(n=100, size=64)
+        grp = make_group(
+            ds,
+            workers=2,
+            epochs=3,
+            tier_factories=[lambda r: MemoryBackend(1 << 20)],
+        )
+        per_job_sources = []
+
+        def consume(job, counts=None):
+            L = job.samples_per_epoch
+            for i, _ in enumerate(job):
+                pass
+
+        with grp:
+            grp.run_consumers()
+            stats = [j.stats.as_dict() for j in grp.jobs]
+        for s in stats:
+            # tier prefetchers read each cached sample once from the
+            # dataset; the staging path may add a few cold reads in
+            # epoch 0, but far fewer than one per consumed sample.
+            assert s["dataset_reads"] < grp.jobs[0].total_samples / 2
+
+    def test_heuristic_false_positives_counted_not_fatal(self):
+        ds = small_dataset(n=300, size=64)
+        grp = make_group(
+            ds,
+            workers=2,
+            epochs=2,
+            tier_factories=[lambda r: MemoryBackend(64 * 80)],
+            use_progress_heuristic=True,
+        )
+        with grp:
+            stats = grp.run_consumers()
+        for s in stats:
+            assert s["heuristic_false_positives"] >= 0  # never crashes
+
+    def test_exact_mode(self):
+        grp = make_group(workers=2, use_progress_heuristic=False)
+        with grp:
+            stats = grp.run_consumers()
+        for s in stats:
+            assert s["heuristic_false_positives"] == 0
+
+    def test_deterministic_stream_across_runs(self):
+        ds = small_dataset()
+        grp_a = make_group(ds, workers=2, seed=77)
+        grp_b = make_group(ds, workers=2, seed=77)
+        np.testing.assert_array_equal(
+            grp_a.jobs[0].stream_ids, grp_b.jobs[0].stream_ids
+        )
+        grp_c = make_group(ds, workers=2, seed=78)
+        assert not np.array_equal(grp_a.jobs[0].stream_ids, grp_c.jobs[0].stream_ids)
+
+    def test_validation(self):
+        ds = small_dataset()
+        with pytest.raises(ConfigurationError):
+            DistributedJobGroup(ds, num_workers=0, batch_size=4, num_epochs=1, seed=1)
+        group = WorkerGroup(1)
+        with pytest.raises(ConfigurationError):
+            Job(ds, batch_size=4, num_epochs=1, seed=1, rank=0, group=group,
+                staging_threads=0)

@@ -1,0 +1,82 @@
+"""Runtime planner: routing tables derived from clairvoyance."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccessStream, StreamConfig
+from repro.errors import ConfigurationError
+from repro.runtime import build_runtime_plan
+
+
+def make_plan(f=300, n=3, b=4, e=4, caps=(4000, 8000), seed=5):
+    cfg = StreamConfig(seed, f, n, b, e)
+    sizes = np.full(f, 100.0)  # 100 B each
+    return cfg, build_runtime_plan(cfg, sizes, list(caps))
+
+
+class TestPlacement:
+    def test_shapes(self):
+        cfg, plan = make_plan()
+        assert plan.plan.num_workers == 3
+        assert plan.holder_of.shape == (300,)
+        assert plan.holder_position.shape == (300,)
+        assert len(plan.prefetch_orders) == 3
+
+    def test_capacity_respected(self):
+        cfg, plan = make_plan(caps=(500, 1000))
+        for w, placement in enumerate(plan.plan.placements):
+            assert len(placement.class_ids[0]) * 100 <= 500
+            assert len(placement.class_ids[1]) * 100 <= 1000
+
+    def test_prefetch_order_is_access_order_within_tier(self):
+        cfg, plan = make_plan()
+        stream = AccessStream(cfg)
+        for w in range(3):
+            full = stream.worker_stream(w)
+            first_pos = {}
+            for pos, sid in enumerate(full):
+                first_pos.setdefault(int(sid), pos)
+            for tier_list in plan.tier_prefetch_lists(w):
+                positions = [first_pos[int(s)] for s in tier_list]
+                assert positions == sorted(positions)
+
+    def test_prefetch_order_covers_cached(self):
+        cfg, plan = make_plan()
+        for w, placement in enumerate(plan.plan.placements):
+            assert set(plan.prefetch_orders[w].tolist()) == set(
+                placement.cached_ids.tolist()
+            )
+
+    def test_holder_consistency(self):
+        """Every sample with a holder is in that holder's placement, at
+        the recorded prefetch position."""
+        cfg, plan = make_plan()
+        for sid in range(300):
+            holder = int(plan.holder_of[sid])
+            if holder < 0:
+                assert plan.holder_position[sid] == -1
+                continue
+            pos = int(plan.holder_position[sid])
+            assert plan.prefetch_orders[holder][pos] == sid
+
+    def test_holder_prefers_fastest_tier(self):
+        cfg, plan = make_plan(caps=(300, 20000))
+        # samples cached in someone's tier 0 should have a tier-0 holder
+        tier0_ids = set()
+        for placement in plan.plan.placements:
+            tier0_ids |= set(placement.class_ids[0].tolist())
+        for sid in tier0_ids:
+            holder = int(plan.holder_of[sid])
+            assert sid in set(
+                plan.plan.placements[holder].class_ids[0].tolist()
+            )
+
+    def test_validation(self):
+        cfg = StreamConfig(0, 100, 2, 4, 2)
+        with pytest.raises(ConfigurationError):
+            build_runtime_plan(cfg, np.ones(50), [1000])
+
+    def test_no_tiers(self):
+        cfg = StreamConfig(0, 100, 2, 4, 2)
+        plan = build_runtime_plan(cfg, np.full(100, 10.0), [])
+        assert (plan.holder_of == -1).all()

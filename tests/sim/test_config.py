@@ -1,0 +1,68 @@
+"""SimulationConfig validation and scenario classification."""
+
+import pytest
+
+from repro.datasets import DatasetModel
+from repro.errors import ConfigurationError
+from repro.perfmodel import sec6_cluster
+from repro.sim import SimulationConfig
+from repro.units import GB, TB
+
+
+def make(total_mb, n_samples=10_000, **kw):
+    ds = DatasetModel("x", n_samples, total_mb / n_samples)
+    base = dict(dataset=ds, system=sec6_cluster(), batch_size=8, num_epochs=2)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestValidation:
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            make(100.0, batch_size=0)
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ConfigurationError):
+            make(100.0, num_epochs=0)
+
+    def test_rejects_negative_interference(self):
+        with pytest.raises(ConfigurationError):
+            make(100.0, network_interference=-1.0)
+
+    def test_rejects_batch_exceeding_dataset(self):
+        with pytest.raises(ConfigurationError):
+            make(100.0, n_samples=16, batch_size=8)  # N*B = 32 > 16
+
+    def test_stream_config_derived(self):
+        cfg = make(100.0)
+        sc = cfg.stream_config
+        assert sc.num_workers == 4
+        assert sc.batch_size == 8
+        assert sc.drop_last
+
+    def test_iterations(self):
+        cfg = make(100.0)
+        assert cfg.iterations_per_epoch == 10_000 // 32
+
+
+class TestScenarios:
+    """The paper's four dataset-size regimes (Sec 6)."""
+
+    def test_fits_in_ram(self):
+        assert make(40.0).scenario == "S<d1"  # MNIST-like
+
+    def test_fits_in_one_worker(self):
+        assert make(500 * GB).scenario == "d1<S<D"
+
+    def test_fits_in_cluster(self):
+        assert make(1.5 * TB).scenario == "D<S<ND"
+
+    def test_exceeds_cluster(self):
+        assert make(6 * TB).scenario == "ND<S"
+
+    def test_boundaries_use_d1_then_D_then_ND(self):
+        # d1 = 120 GB, D = 1020 GB, ND = 4080 GB in the Sec 6.1 cluster.
+        assert make(119 * GB).scenario == "S<d1"
+        assert make(121 * GB).scenario == "d1<S<D"
+        assert make(1025 * GB).scenario == "D<S<ND"
+        assert make(4081 * GB).scenario == "ND<S"

@@ -1,0 +1,90 @@
+"""ScenarioContext caching and stream-helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetModel
+from repro.errors import ConfigurationError
+from repro.perfmodel import sec6_cluster
+from repro.sim import ScenarioContext, SimulationConfig
+
+
+def ctx(n_samples=2_000, epochs=3, batch=8):
+    ds = DatasetModel("x", n_samples, 0.1)
+    cfg = SimulationConfig(
+        dataset=ds, system=sec6_cluster(), batch_size=batch, num_epochs=epochs
+    )
+    return ScenarioContext(cfg)
+
+
+class TestStreams:
+    def test_worker_ids_match_access_stream(self):
+        c = ctx()
+        expected = c.stream.worker_epoch_stream(2, 1)
+        np.testing.assert_array_equal(c.worker_epoch_ids(2, 1), expected)
+
+    def test_epoch_batches_cached(self):
+        c = ctx()
+        assert c.epoch_batches(0) is c.epoch_batches(0)
+
+    def test_lengths(self):
+        c = ctx()
+        assert c.worker_epoch_ids(0, 0).size == c.samples_per_worker_per_epoch
+
+
+class TestFrequencies:
+    def test_sparse_counts_match_dense(self):
+        c = ctx()
+        sparse = c.worker_frequencies_sparse()
+        for worker in range(c.num_workers):
+            dense = c.stream.worker_frequencies(worker)
+            ids, counts = sparse[worker]
+            rebuilt = np.zeros_like(dense)
+            rebuilt[ids] = counts
+            np.testing.assert_array_equal(rebuilt, dense)
+
+    def test_cached(self):
+        c = ctx()
+        assert c.worker_frequencies_sparse() is c.worker_frequencies_sparse()
+
+
+class TestTiledStream:
+    def test_length_is_L(self):
+        c = ctx()
+        ids = np.arange(10)
+        out = c.tiled_epoch_stream(ids, 0, 0, "t")
+        assert out.size == c.samples_per_worker_per_epoch
+
+    def test_truncates_large_sets(self):
+        c = ctx()
+        ids = np.arange(c.samples_per_worker_per_epoch * 3)
+        out = c.tiled_epoch_stream(ids, 0, 0, "t")
+        assert out.size == c.samples_per_worker_per_epoch
+        assert np.unique(out).size == out.size  # no repeats when enough ids
+
+    def test_only_draws_from_pool(self):
+        c = ctx()
+        ids = np.array([3, 7, 11])
+        out = c.tiled_epoch_stream(ids, 0, 0, "t")
+        assert set(out.tolist()) <= {3, 7, 11}
+
+    def test_deterministic_and_epoch_dependent(self):
+        c = ctx()
+        ids = np.arange(50)
+        a = c.tiled_epoch_stream(ids, 1, 2, "t")
+        b = c.tiled_epoch_stream(ids, 1, 2, "t")
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c.tiled_epoch_stream(ids, 1, 3, "t"))
+
+    def test_worker_dependent(self):
+        c = ctx()
+        ids = np.arange(50)
+        assert not np.array_equal(
+            c.tiled_epoch_stream(ids, 0, 0, "t"),
+            c.tiled_epoch_stream(ids, 1, 0, "t"),
+        )
+
+    def test_empty_pool_rejected(self):
+        c = ctx()
+        with pytest.raises(ConfigurationError):
+            c.tiled_epoch_stream(np.empty(0, dtype=np.int64), 0, 0, "t")

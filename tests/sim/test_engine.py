@@ -1,0 +1,196 @@
+"""End-to-end simulator invariants: the relations the paper's plots rest on."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetModel
+from repro.perfmodel import Source, sec6_cluster
+from repro.sim import (
+    NaivePolicy,
+    NoiseConfig,
+    NoPFSPolicy,
+    PerfectPolicy,
+    SimulationConfig,
+    Simulator,
+    StagingBufferPolicy,
+    analytic_lower_bound,
+    fig8_policies,
+)
+from repro.units import GB, TB
+
+
+def make_config(total_mb=200.0, n_samples=2_000, epochs=3, seed=7, **kw):
+    ds = DatasetModel("x", n_samples, total_mb / n_samples, 0.02)
+    base = dict(
+        dataset=ds,
+        system=sec6_cluster(),
+        batch_size=8,
+        num_epochs=epochs,
+        seed=seed,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+class TestBasicRuns:
+    def test_result_shape(self):
+        sim = Simulator(make_config())
+        res = sim.run(NoPFSPolicy())
+        assert res.policy == "nopfs"
+        assert len(res.epochs) == 3
+        assert res.total_time_s > 0
+        assert res.scenario == "S<d1"
+
+    def test_run_many_skips_unsupported(self):
+        cfg = make_config(total_mb=1.5 * TB, n_samples=20_000)
+        out = Simulator(cfg).run_many(fig8_policies())
+        assert "lbann_dynamic" not in out  # paper's "Does not support"
+        assert "nopfs" in out
+
+    def test_batch_times_recorded_when_asked(self):
+        cfg = make_config(record_batch_times=True)
+        res = Simulator(cfg).run(NoPFSPolicy())
+        assert res.epochs[0].batch_durations is not None
+        assert res.epochs[0].batch_durations.size == cfg.iterations_per_epoch
+
+    def test_batch_times_not_recorded_by_default(self):
+        res = Simulator(make_config()).run(NoPFSPolicy())
+        assert res.epochs[0].batch_durations is None
+
+
+class TestDominanceRelations:
+    """Orderings that must hold for the paper's conclusions to emerge."""
+
+    def test_lower_bound_below_everything(self):
+        cfg = make_config()
+        lb = analytic_lower_bound(cfg)
+        results = Simulator(cfg).run_many(fig8_policies() + [PerfectPolicy()])
+        for name, res in results.items():
+            assert res.total_time_s >= lb - 1e-9, name
+
+    def test_naive_is_worst(self):
+        cfg = make_config()
+        results = Simulator(cfg).run_many(fig8_policies())
+        naive = results["naive"].total_time_s
+        for name, res in results.items():
+            assert res.total_time_s <= naive + 1e-9, name
+
+    def test_nopfs_beats_staging_buffer(self):
+        """Caching must beat cacheless prefetching on a cacheable dataset."""
+        cfg = make_config(total_mb=500.0, epochs=4)
+        sim = Simulator(cfg)
+        nopfs = sim.run(NoPFSPolicy()).total_time_s
+        sb = sim.run(StagingBufferPolicy()).total_time_s
+        assert nopfs <= sb + 1e-9
+
+    def test_perfect_close_to_analytic_bound(self):
+        cfg = make_config(noise=NoiseConfig.disabled())
+        lb = analytic_lower_bound(cfg)
+        perfect = Simulator(cfg).run(PerfectPolicy()).total_time_s
+        # Perfect adds only barrier straggler penalty over the bound.
+        assert lb <= perfect <= lb * 1.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = Simulator(make_config(seed=3)).run(NoPFSPolicy())
+        b = Simulator(make_config(seed=3)).run(NoPFSPolicy())
+        assert a.total_time_s == b.total_time_s
+        np.testing.assert_array_equal(a.epoch_times_s, b.epoch_times_s)
+
+    def test_different_seed_differs(self):
+        a = Simulator(make_config(seed=3)).run(StagingBufferPolicy())
+        b = Simulator(make_config(seed=4)).run(StagingBufferPolicy())
+        assert a.total_time_s != b.total_time_s
+
+    def test_noise_free_determinism(self):
+        cfg = make_config(noise=NoiseConfig.disabled())
+        a = Simulator(cfg).run(NoPFSPolicy())
+        b = Simulator(cfg).run(NoPFSPolicy())
+        assert a.total_time_s == b.total_time_s
+
+
+class TestAccounting:
+    def test_fetch_bytes_cover_stream(self):
+        """Every byte a worker consumes must be fetched from somewhere."""
+        cfg = make_config()
+        sim = Simulator(cfg)
+        res = sim.run(NoPFSPolicy())
+        for e in res.epochs:
+            epoch_bytes = sum(
+                float(sim.ctx.sizes_mb[sim.ctx.worker_epoch_ids(w, e.epoch)].sum())
+                for w in range(cfg.system.num_workers)
+            )
+            assert sum(e.fetch_bytes[:3]) == pytest.approx(epoch_bytes, rel=1e-6)
+
+    def test_epoch0_cold_sources(self):
+        """Cold start: no local hits; PFS plus warm-up remote fetches
+        (prefetchers running ahead on other workers)."""
+        res = Simulator(make_config()).run(NoPFSPolicy())
+        first = res.epochs[0]
+        assert first.fetch_bytes[int(Source.LOCAL)] == 0
+        assert first.fetch_bytes[int(Source.PFS)] > 0
+        # contention accounting stays at full cold level regardless
+        assert first.gamma == 4.0
+
+    def test_warm_epochs_mostly_cached_small_dataset(self):
+        res = Simulator(make_config()).run(NoPFSPolicy())
+        warm = res.epochs[-1]
+        assert warm.fetch_bytes[int(Source.PFS)] == 0
+        assert warm.fetch_bytes[int(Source.LOCAL)] > 0
+
+    def test_staging_buffer_always_pfs(self):
+        res = Simulator(make_config()).run(StagingBufferPolicy())
+        for e in res.epochs:
+            assert e.fetch_bytes[int(Source.PFS)] > 0
+            assert e.fetch_bytes[int(Source.LOCAL)] == 0
+
+    def test_breakdown_sums_to_total(self):
+        res = Simulator(make_config()).run(NoPFSPolicy())
+        bd = res.location_breakdown_s()
+        assert sum(bd.values()) == pytest.approx(res.total_time_s, rel=1e-9)
+        assert all(v >= 0 for v in bd.values())
+
+    def test_fetch_shares_sum_to_one(self):
+        res = Simulator(make_config()).run(NoPFSPolicy())
+        assert sum(res.fetch_shares().values()) == pytest.approx(1.0)
+
+    def test_gamma_drops_after_warmup(self):
+        res = Simulator(make_config()).run(NoPFSPolicy())
+        assert res.epochs[0].gamma == 4.0
+        assert res.epochs[-1].gamma == 0.0
+
+    def test_stalls_nonnegative(self):
+        for policy in fig8_policies():
+            res = Simulator(make_config()).run(policy)
+            for e in res.epochs:
+                assert e.stall_mean_s >= 0
+                assert e.stall_max_s >= e.stall_mean_s - 1e-12
+
+
+class TestEpochDynamics:
+    def test_first_epoch_slowest_for_nopfs(self):
+        """Warm epochs must be faster than the cold first epoch."""
+        res = Simulator(make_config(total_mb=2000.0)).run(NoPFSPolicy())
+        times = res.epoch_times_s
+        assert times[0] >= times[1:].max()
+
+    def test_median_skips_first_epoch(self):
+        res = Simulator(make_config()).run(NoPFSPolicy())
+        med_all = res.median_epoch_time_s(skip_first=False)
+        med_warm = res.median_epoch_time_s(skip_first=True)
+        assert med_warm <= med_all
+
+    def test_scaling_contention(self):
+        """More workers -> more PFS contention for cacheless loaders."""
+        t_small = (
+            Simulator(make_config(n_samples=4_000, total_mb=4_000.0))
+            .run(StagingBufferPolicy())
+            .epochs[-1]
+            .gamma
+        )
+        bigger = make_config(
+            n_samples=4_000, total_mb=4_000.0, system=sec6_cluster(num_workers=8)
+        )
+        t_big = Simulator(bigger).run(StagingBufferPolicy()).epochs[-1].gamma
+        assert t_big > t_small

@@ -1,0 +1,98 @@
+"""Noise model tests: determinism, mean preservation, tails."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel import Source
+from repro.rng import generator
+from repro.sim import NoiseConfig, apply_noise
+
+
+def sources(n, kind):
+    return np.full(n, int(kind), dtype=np.int8)
+
+
+class TestConfig:
+    def test_defaults_enabled(self):
+        assert NoiseConfig().enabled
+
+    def test_disabled_factory(self):
+        assert not NoiseConfig.disabled().enabled
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(pfs_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(pfs_tail_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(pfs_tail_scale=0.5)
+
+    def test_serialization(self):
+        cfg = NoiseConfig(pfs_sigma=0.3)
+        assert NoiseConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestApply:
+    def test_disabled_passthrough(self):
+        times = np.ones(100)
+        out = apply_noise(times, sources(100, Source.PFS), NoiseConfig.disabled(), generator(0, "n"))
+        np.testing.assert_array_equal(out, times)
+        assert out is not times  # copy, caller may mutate
+
+    def test_deterministic(self):
+        times = np.ones(1000)
+        src = sources(1000, Source.PFS)
+        a = apply_noise(times, src, NoiseConfig(), generator(1, "n"))
+        b = apply_noise(times, src, NoiseConfig(), generator(1, "n"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_sensitivity(self):
+        times = np.ones(1000)
+        src = sources(1000, Source.PFS)
+        a = apply_noise(times, src, NoiseConfig(), generator(1, "n"))
+        b = apply_noise(times, src, NoiseConfig(), generator(2, "n"))
+        assert not np.array_equal(a, b)
+
+    def test_mean_preserving_pfs(self):
+        times = np.ones(200_000)
+        src = sources(200_000, Source.PFS)
+        cfg = NoiseConfig(pfs_tail_prob=0.0)  # isolate the lognormal part
+        out = apply_noise(times, src, cfg, generator(3, "n"))
+        assert out.mean() == pytest.approx(1.0, rel=0.02)
+
+    def test_tails_present(self):
+        times = np.ones(100_000)
+        src = sources(100_000, Source.PFS)
+        cfg = NoiseConfig(pfs_tail_prob=0.01, pfs_tail_scale=20.0)
+        out = apply_noise(times, src, cfg, generator(4, "n"))
+        # Order-of-magnitude events must exist (paper Sec 7.1).
+        assert (out > 10.0).sum() > 100
+
+    def test_local_noise_light(self):
+        times = np.ones(50_000)
+        out_local = apply_noise(times, sources(50_000, Source.LOCAL), NoiseConfig(), generator(5, "n"))
+        out_pfs = apply_noise(times, sources(50_000, Source.PFS), NoiseConfig(), generator(5, "n"))
+        assert out_local.std() < out_pfs.std()
+
+    def test_none_untouched(self):
+        times = np.full(10, 7.0)
+        out = apply_noise(times, sources(10, Source.NONE), NoiseConfig(), generator(6, "n"))
+        np.testing.assert_array_equal(out, times)
+
+    def test_mixed_sources(self):
+        times = np.ones(6)
+        src = np.array([0, 1, 2, 0, 1, 2], dtype=np.int8)
+        out = apply_noise(times, src, NoiseConfig(), generator(7, "n"))
+        assert out.shape == times.shape
+        assert (out > 0).all()
+
+    def test_empty(self):
+        out = apply_noise(np.empty(0), np.empty(0, dtype=np.int8), NoiseConfig(), generator(8, "n"))
+        assert out.size == 0
+
+    def test_zero_sigma_identity(self):
+        cfg = NoiseConfig(pfs_sigma=0.0, pfs_tail_prob=0.0, remote_sigma=0.0, local_sigma=0.0)
+        times = np.linspace(0.1, 1.0, 50)
+        out = apply_noise(times, sources(50, Source.PFS), cfg, generator(9, "n"))
+        np.testing.assert_allclose(out, times)

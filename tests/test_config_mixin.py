@@ -1,0 +1,102 @@
+"""ConfigMixin serialization machinery, across every library config."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ConfigMixin, asdict_shallow
+from repro.datasets import imagenet1k
+from repro.errors import ConfigurationError
+from repro.perfmodel import (
+    PFSModel,
+    StagingBufferModel,
+    StorageClassModel,
+    SystemModel,
+    ThroughputCurve,
+    lassen,
+    piz_daint,
+    sec6_cluster,
+)
+from repro.sim import NoiseConfig, SimulationConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class _Sample(ConfigMixin):
+    a: int
+    b: str = "x"
+
+
+class TestMixin:
+    def test_roundtrip(self):
+        s = _Sample(3, "y")
+        assert _Sample.from_dict(s.to_dict()) == s
+
+    def test_json_roundtrip(self):
+        s = _Sample(3)
+        assert _Sample.from_json(s.to_json()) == s
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _Sample.from_dict({"a": 1, "nope": 2})
+
+    def test_asdict_shallow(self):
+        assert asdict_shallow(_Sample(1)) == {"a": 1, "b": "x"}
+        with pytest.raises(ConfigurationError):
+            asdict_shallow(42)
+
+
+class TestNestedConfigs:
+    """Every real config must survive a dict round-trip intact."""
+
+    def test_throughput_curve(self):
+        c = ThroughputCurve.from_mapping({1: 330.0, 8: 2870.0})
+        assert ThroughputCurve.from_dict(c.to_dict()) == c
+
+    def test_pfs_model(self):
+        p = PFSModel("x", ThroughputCurve.constant(100.0), latency_s=1e-3)
+        clone = PFSModel.from_dict(p.to_dict())
+        assert clone == p
+        assert clone.per_sample_latency(4) == p.per_sample_latency(4)
+
+    def test_storage_class(self):
+        s = StorageClassModel(
+            "ssd",
+            100.0,
+            ThroughputCurve.constant(10.0),
+            write=ThroughputCurve.constant(5.0),
+            prefetch_threads=2,
+        )
+        clone = StorageClassModel.from_dict(s.to_dict())
+        assert clone == s
+        assert clone.write_per_thread_mbps == s.write_per_thread_mbps
+
+    def test_staging_buffer(self):
+        s = StagingBufferModel(100.0, ThroughputCurve.constant(10.0), threads=4)
+        assert StagingBufferModel.from_dict(s.to_dict()) == s
+
+    @pytest.mark.parametrize("preset", [sec6_cluster, piz_daint, lassen])
+    def test_system_model_roundtrip(self, preset):
+        """Full machine models (nested tuples of configs) round-trip."""
+        system = preset()
+        clone = SystemModel.from_dict(system.to_dict())
+        assert clone == system
+        assert clone.total_cache_mb == system.total_cache_mb
+        assert clone.pfs.aggregate_mbps(4) == system.pfs.aggregate_mbps(4)
+
+    def test_system_model_json(self):
+        system = sec6_cluster()
+        assert SystemModel.from_json(system.to_json()) == system
+
+    def test_simulation_config_roundtrip(self):
+        cfg = SimulationConfig(
+            dataset=imagenet1k(),
+            system=sec6_cluster(),
+            batch_size=32,
+            num_epochs=5,
+            noise=NoiseConfig(pfs_sigma=0.3),
+        )
+        clone = SimulationConfig.from_dict(cfg.to_dict())
+        assert clone.dataset == cfg.dataset
+        assert clone.system == cfg.system
+        assert clone.noise == cfg.noise
+        assert clone.scenario == cfg.scenario

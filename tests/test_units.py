@@ -1,0 +1,55 @@
+"""Unit-conversion and formatting tests."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_mb_identity(self):
+        assert units.mb(5.0, "MB") == 5.0
+
+    def test_kb(self):
+        assert units.mb(1024.0, "KB") == pytest.approx(1.0)
+
+    def test_gb(self):
+        assert units.mb(2, "GB") == 2048.0
+
+    def test_tb(self):
+        assert units.mb(1, "TB") == 1024.0 * 1024.0
+
+    def test_bytes(self):
+        assert units.mb(units.BYTES_PER_MB, "B") == pytest.approx(1.0)
+
+    def test_case_insensitive(self):
+        assert units.mb(1, "gb") == units.mb(1, "GB")
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValueError):
+            units.mb(1, "PB")
+
+    def test_byte_roundtrip(self):
+        assert units.from_bytes(units.to_bytes(3.5)) == pytest.approx(3.5)
+
+    def test_constants_consistent(self):
+        assert units.GB == 1024 * units.MB
+        assert units.TB == 1024 * units.GB
+        assert units.KB == units.MB / 1024
+
+
+class TestFormatting:
+    def test_fmt_size_scales(self):
+        assert "KB" in units.fmt_size(0.5)
+        assert "MB" in units.fmt_size(10)
+        assert "GB" in units.fmt_size(2048)
+        assert "TB" in units.fmt_size(3 * units.TB)
+
+    def test_fmt_time_scales(self):
+        assert "ms" in units.fmt_time(0.005)
+        assert units.fmt_time(5) == "5.00 s"
+        assert "min" in units.fmt_time(90)
+        assert "h" in units.fmt_time(7200)
+
+    def test_fmt_rate(self):
+        assert "MB/s" in units.fmt_rate(100)
+        assert "GB/s" in units.fmt_rate(3000)
