@@ -1,0 +1,54 @@
+"""Sweep-engine throughput: cells/sec cold vs warm, serial vs parallel.
+
+Benchmarks the :mod:`repro.sweep` layer itself on a Fig 8-shaped grid
+(the nine-policy lineup on ImageNet-1k), reporting simulation
+throughput in grid cells per second, the parallel speedup, and the
+warm-cache hit rate (which should be 100%: a repeated sweep performs
+zero re-simulations).
+"""
+
+import tempfile
+
+from repro.datasets import imagenet1k
+from repro.experiments.common import policy_cells, scaled_scenario
+from repro.perfmodel import sec6_cluster
+from repro.sim import fig8_policies
+from repro.sweep import SweepRunner
+
+
+def _grid(seed: int = 1):
+    config = scaled_scenario(
+        imagenet1k(seed),
+        sec6_cluster(),
+        batch_size=32,
+        num_epochs=3,
+        scale=0.02,
+        seed=seed,
+    )
+    return policy_cells(config, fig8_policies())
+
+
+def test_sweep_throughput(benchmark, report):
+    """Cold serial sweep: the baseline cells/sec of the engine."""
+    cells = _grid()
+    outcome = benchmark.pedantic(
+        SweepRunner(n_jobs=1).run, args=(cells,), rounds=1, iterations=1
+    )
+    lines = [f"serial cold:   {outcome.stats.render()}"]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cached = SweepRunner(n_jobs=1, cache_dir=tmp)
+        cold = cached.run(cells)
+        warm = cached.run(cells)
+        lines.append(f"cached cold:   {cold.stats.render()}")
+        lines.append(f"cached warm:   {warm.stats.render()}")
+        assert warm.stats.misses == 0, "warm cache must not re-simulate"
+        assert warm.stats.hit_rate == 1.0
+        assert warm.stats.cells_per_sec > cold.stats.cells_per_sec
+
+    parallel = SweepRunner(n_jobs=2).run(cells)
+    lines.append(f"parallel cold: {parallel.stats.render()}")
+    for tag, result in outcome.results.items():
+        assert parallel.results[tag] == result, f"parallel result differs for {tag}"
+
+    report("sweep", "\n".join(lines))

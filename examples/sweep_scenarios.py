@@ -1,0 +1,52 @@
+"""Sweep as many scenarios as you can imagine — in parallel, cached.
+
+Declares a ScenarioGrid over two datasets, two cluster sizes, three
+policies and two batch sizes (24 simulations), fans it out over worker
+processes with results memoized on disk, and prints a ranking. Run it
+twice: the second invocation answers from the cache without simulating
+anything.
+
+Run:  python examples/sweep_scenarios.py [n_jobs] [cache_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets import imagenet1k, mnist
+from repro.experiments.common import format_table
+from repro.perfmodel import sec6_cluster
+from repro.sim import NaivePolicy, NoPFSPolicy, StagingBufferPolicy
+from repro.sweep import ScenarioGrid, SweepRunner
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    cache_dir = sys.argv[2] if len(sys.argv) > 2 else ".sweep-cache"
+
+    grid = ScenarioGrid(
+        datasets=[mnist(0), imagenet1k(0).scaled(0.002)],
+        systems=[sec6_cluster(num_workers=2), sec6_cluster(num_workers=4)],
+        policies=[NaivePolicy(), StagingBufferPolicy(), NoPFSPolicy()],
+        batch_sizes=[16, 32],
+        epoch_counts=[3],
+    )
+    print(f"grid: {len(grid)} cells -> {cache_dir} (n_jobs={n_jobs})")
+
+    runner = SweepRunner(n_jobs=n_jobs, cache_dir=cache_dir)
+    outcome = runner.run(grid)
+    print(outcome.stats.render(), "\n")
+
+    rows = [
+        (dataset, f"{system} (N={workers})", policy, batch, res.total_time_s,
+         res.median_epoch_time_s())
+        for (dataset, system, workers, policy, batch, _, _), res in sorted(
+            outcome.results.items(), key=lambda kv: kv[1].total_time_s
+        )
+    ]
+    headers = ("dataset", "system", "policy", "B", "total (s)", "median epoch (s)")
+    print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

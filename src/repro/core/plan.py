@@ -20,7 +20,7 @@ paper's "samples should be well-distributed among workers" conclusion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,12 @@
+"""CLI entry: ``python -m repro.experiments`` runs the full-paper driver.
+
+A dedicated ``__main__`` (rather than ``-m repro.experiments.paper``)
+because the package ``__init__`` imports every figure module — running
+a pre-imported submodule with ``-m`` trips runpy's double-import
+warning under ``PYTHONWARNINGS=error``.
+"""
+
+from .paper import main
+
+if __name__ == "__main__":
+    main()

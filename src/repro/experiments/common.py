@@ -1,4 +1,4 @@
-"""Shared harness utilities: scaling, configuration, table formatting.
+"""Shared harness utilities: scaling, grids, configuration, formatting.
 
 Every experiment module supports a ``scale`` knob that shrinks the
 dataset *and the cache capacities by the same factor*, preserving the
@@ -6,19 +6,37 @@ paper's dataset-size regime (``S`` vs ``d1``/``D``/``ND``) while making
 multi-terabyte scenarios runnable on a laptop. Reported comparisons are
 ratio-based (policy time over lower bound), which the scaling leaves
 invariant; absolute times are also printed for transparency.
+
+Experiments no longer drive the simulator directly: each module
+*declares* its scenario grid as :class:`~repro.sweep.grid.SweepCell`
+lists (:func:`policy_cells` covers the common "many policies, one
+config" shape) and consumes a :class:`~repro.sweep.runner.SweepOutcome`
+from a :class:`~repro.sweep.runner.SweepRunner`. Callers that do not
+pass a runner get a serial, uncached one (:func:`resolve_runner`);
+passing a shared runner — as :mod:`repro.experiments.paper` does —
+parallelizes and memoizes every figure's grid through one cache.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Hashable, Sequence
 
 from ..datasets import DatasetModel
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, PolicyError
 from ..perfmodel import SystemModel
 from ..rng import DEFAULT_SEED
-from ..sim import SimulationConfig
+from ..sim import Policy, SimulationConfig
+from ..sweep import SweepCell, SweepOutcome, SweepRunner
 
-__all__ = ["scaled_scenario", "format_table", "fmt", "ratio"]
+__all__ = [
+    "scaled_scenario",
+    "policy_cells",
+    "resolve_runner",
+    "require_supported",
+    "format_table",
+    "fmt",
+    "ratio",
+]
 
 
 def scaled_scenario(
@@ -53,6 +71,44 @@ def scaled_scenario(
         seed=seed,
         **config_kwargs,
     )
+
+
+def policy_cells(
+    config: SimulationConfig,
+    policies: Sequence[Policy],
+    tag_fn: Callable[[Policy], Hashable] | None = None,
+) -> list[SweepCell]:
+    """Grid cells comparing ``policies`` on one scenario (Fig 8 shape).
+
+    Tags default to the policy names, so the sweep outcome indexes like
+    the old ``Simulator.run_many`` dict did.
+    """
+    tag_of = tag_fn or (lambda p: p.name)
+    return [SweepCell(tag=tag_of(p), config=config, policy=p) for p in policies]
+
+
+def resolve_runner(runner: SweepRunner | None) -> SweepRunner:
+    """The caller's runner, or a serial uncached fallback."""
+    return runner if runner is not None else SweepRunner(n_jobs=1, cache_dir=None)
+
+
+def require_supported(outcome: SweepOutcome, context: str) -> SweepOutcome:
+    """Fail loudly when a figure's lineup must run on every cell.
+
+    Figures whose policies are expected to always support their
+    scenario (fig9/11/12/13/16) previously aborted on
+    :class:`~repro.errors.PolicyError`; the sweep runner records
+    rejections instead, so restore the loud failure rather than
+    surfacing a cryptic ``KeyError`` at render time. (Fig 8 and the
+    scaling harness handle unsupported cells by design.)
+    """
+    if outcome.unsupported:
+        details = "; ".join(
+            f"{tag!r}: {outcome.errors.get(tag) or 'no reason recorded'}"
+            for tag in outcome.unsupported
+        )
+        raise PolicyError(f"{context}: unsupported sweep cells — {details}")
+    return outcome
 
 
 def fmt(value, digits: int = 2) -> str:

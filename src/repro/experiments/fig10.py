@@ -95,6 +95,7 @@ def run(
     scale: float = 0.25,
     num_epochs: int = 5,
     seed: int = DEFAULT_SEED,
+    runner=None,
 ) -> Fig10Result:
     """Regenerate one Fig 10 panel ('piz_daint' or 'lassen')."""
     if machine == "piz_daint":
@@ -109,6 +110,7 @@ def run(
             num_epochs=num_epochs,
             scale=scale,
             seed=seed,
+            runner=runner,
         )
     elif machine == "lassen":
         sweep = run_scaling(
@@ -122,6 +124,7 @@ def run(
             num_epochs=num_epochs,
             scale=scale,
             seed=seed,
+            runner=runner,
         )
     else:
         raise ConfigurationError(f"unknown machine {machine!r}")

@@ -22,10 +22,10 @@ from ..sim import (
     BatchTimeStats,
     DoubleBufferPolicy,
     NoPFSPolicy,
-    Simulator,
 )
+from ..sweep import SweepCell
 from ..training import RESNET50_P100
-from .common import format_table, scaled_scenario
+from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
 __all__ = ["Fig11Result", "run"]
 
@@ -71,6 +71,7 @@ def run(
     scale: float = 0.25,
     num_epochs: int = 3,
     seed: int = DEFAULT_SEED,
+    runner=None,
 ) -> Fig11Result:
     """Regenerate the epoch-0 comparison."""
     dataset = imagenet1k(seed)
@@ -79,21 +80,21 @@ def run(
         ("PyTorch", lambda: DoubleBufferPolicy(2)),
         ("NoPFS", lambda: NoPFSPolicy()),
     ]
-    epoch0: dict[tuple[int, str], BatchTimeStats] = {}
-    warm: dict[tuple[int, str], BatchTimeStats] = {}
+    cells: list[SweepCell] = []
     for gpus in gpu_counts:
         system = piz_daint(gpus).replace(compute_mbps=compute)
         config = scaled_scenario(
             dataset, system, batch_size=64, num_epochs=num_epochs,
             scale=scale, seed=seed,
         )
-        sim = Simulator(config)
         for label, factory in specs:
-            res = sim.run(factory())
-            epoch0[(gpus, label)] = res.epochs[0].batch_stats
-            warm[(gpus, label)] = BatchTimeStats.merge(
-                [e.batch_stats for e in res.epochs[1:]]
-            )
+            cells.append(SweepCell(tag=(gpus, label), config=config, policy=factory()))
+    outcome = require_supported(resolve_runner(runner).run(cells), "fig11")
+    epoch0: dict[tuple[int, str], BatchTimeStats] = {}
+    warm: dict[tuple[int, str], BatchTimeStats] = {}
+    for tag, res in outcome.results.items():
+        epoch0[tag] = res.epochs[0].batch_stats
+        warm[tag] = BatchTimeStats.merge([e.batch_stats for e in res.epochs[1:]])
     return Fig11Result(
         epoch0=epoch0,
         warm=warm,

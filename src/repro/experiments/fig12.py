@@ -16,10 +16,11 @@ from dataclasses import dataclass
 from ..datasets import imagenet1k
 from ..perfmodel import piz_daint
 from ..rng import DEFAULT_SEED
-from ..sim import NoPFSPolicy, Simulator
+from ..sim import NoPFSPolicy
+from ..sweep import SweepCell
 from ..training import RESNET50_P100
 from . import paper
-from .common import format_table, scaled_scenario
+from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
 __all__ = ["Fig12Result", "run"]
 
@@ -71,21 +72,22 @@ def run(
     scale: float = 0.25,
     num_epochs: int = 5,
     seed: int = DEFAULT_SEED,
+    runner=None,
 ) -> Fig12Result:
     """Regenerate the NoPFS fetch-location/stall breakdown."""
     dataset = imagenet1k(seed)
     compute = RESNET50_P100.mbps(dataset)
-    stalls: dict[int, float] = {}
-    shares: dict[int, dict[str, float]] = {}
+    cells = []
     for gpus in gpu_counts:
         system = piz_daint(gpus).replace(compute_mbps=compute)
         config = scaled_scenario(
             dataset, system, batch_size=64, num_epochs=num_epochs,
             scale=scale, seed=seed,
         )
-        res = Simulator(config).run(NoPFSPolicy())
-        stalls[gpus] = res.total_stall_s
-        shares[gpus] = res.fetch_shares()
+        cells.append(SweepCell(tag=gpus, config=config, policy=NoPFSPolicy()))
+    outcome = require_supported(resolve_runner(runner).run(cells), "fig12")
+    stalls = {gpus: res.total_stall_s for gpus, res in outcome.results.items()}
+    shares = {gpus: res.fetch_shares() for gpus, res in outcome.results.items()}
     return Fig12Result(
         stall_s=stalls, shares=shares, gpu_counts=tuple(gpu_counts), scale=scale
     )

@@ -18,10 +18,10 @@ from ..sim import (
     DoubleBufferPolicy,
     NoPFSPolicy,
     PerfectPolicy,
-    Simulator,
 )
+from ..sweep import SweepCell
 from ..training import RESNET50_V100
-from .common import format_table, scaled_scenario
+from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
 __all__ = ["Fig13Result", "run"]
 
@@ -65,6 +65,7 @@ def run(
     scale: float = 0.25,
     num_epochs: int = 4,
     seed: int = DEFAULT_SEED,
+    runner=None,
 ) -> Fig13Result:
     """Regenerate the batch-size sweep."""
     dataset = imagenet1k(seed)
@@ -74,16 +75,16 @@ def run(
         ("NoPFS", lambda: NoPFSPolicy()),
         ("No I/O", lambda: PerfectPolicy()),
     ]
-    stats: dict[tuple[int, str], BatchTimeStats] = {}
+    cells = []
     for batch in batch_sizes:
         config = scaled_scenario(
             dataset, system, batch_size=batch, num_epochs=num_epochs,
             scale=scale, seed=seed,
         )
-        sim = Simulator(config)
         for label, factory in specs:
-            res = sim.run(factory())
-            stats[(batch, label)] = res.batch_stats()
+            cells.append(SweepCell(tag=(batch, label), config=config, policy=factory()))
+    outcome = require_supported(resolve_runner(runner).run(cells), "fig13")
+    stats = {tag: res.batch_stats() for tag, res in outcome.results.items()}
     return Fig13Result(
         stats=stats,
         batch_sizes=tuple(batch_sizes),

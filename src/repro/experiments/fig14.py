@@ -47,6 +47,7 @@ def run(
     scale: float = 0.05,
     num_epochs: int = 3,
     seed: int = DEFAULT_SEED,
+    runner=None,
 ) -> Fig14Result:
     """Regenerate the ImageNet-22k sweep (paper uses 3 epochs)."""
     dataset = imagenet22k(seed)
@@ -66,6 +67,7 @@ def run(
         num_epochs=num_epochs,
         scale=scale,
         seed=seed,
+        runner=runner,
     )
     return Fig14Result(sweep=sweep)
 

@@ -58,6 +58,7 @@ def run(
     scale: float = 0.10,
     num_epochs: int = 3,
     seed: int = DEFAULT_SEED,
+    runner=None,
 ) -> Fig15Result:
     """Regenerate the CosmoFlow sweep.
 
@@ -83,6 +84,7 @@ def run(
         num_epochs=num_epochs,
         scale=scale,
         seed=seed,
+        runner=runner,
     )
     return Fig15Result(sweep=sweep)
 

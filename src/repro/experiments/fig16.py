@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from ..datasets import imagenet1k
 from ..perfmodel import lassen
 from ..rng import DEFAULT_SEED
-from ..sim import DoubleBufferPolicy, NoPFSPolicy, Simulator
+from ..sim import DoubleBufferPolicy, NoPFSPolicy
+from ..sweep import SweepCell
 from ..training import (
     RESNET50_V100,
     EndToEndComparison,
@@ -25,7 +26,7 @@ from ..training import (
     goyal_resnet50_schedule,
 )
 from . import paper
-from .common import fmt, format_table, scaled_scenario
+from .common import fmt, format_table, require_supported, resolve_runner, scaled_scenario
 
 __all__ = ["Fig16Result", "run"]
 
@@ -87,6 +88,7 @@ def run(
     num_epochs: int = 90,
     scale: float = 0.25,
     seed: int = DEFAULT_SEED,
+    runner=None,
 ) -> Fig16Result:
     """Regenerate the end-to-end comparison."""
     dataset = imagenet1k(seed)
@@ -95,9 +97,17 @@ def run(
         dataset, system, batch_size=batch_size, num_epochs=num_epochs,
         scale=scale, seed=seed,
     )
-    sim = Simulator(config)
-    pytorch = sim.run(DoubleBufferPolicy(2))
-    nopfs = sim.run(NoPFSPolicy())
+    outcome = require_supported(
+        resolve_runner(runner).run(
+            [
+                SweepCell(tag="pytorch", config=config, policy=DoubleBufferPolicy(2)),
+                SweepCell(tag="nopfs", config=config, policy=NoPFSPolicy()),
+            ]
+        ),
+        "fig16",
+    )
+    pytorch = outcome["pytorch"]
+    nopfs = outcome["nopfs"]
     comparison = compare_curves(
         pytorch.epoch_times_s,
         nopfs.epoch_times_s,

@@ -37,11 +37,12 @@ from ..datasets import (
 from ..errors import ConfigurationError
 from ..perfmodel import sec6_cluster
 from ..rng import DEFAULT_SEED
-from ..sim import SimulationResult, Simulator, analytic_lower_bound, fig8_policies
+from ..sim import SimulationConfig, SimulationResult, analytic_lower_bound, fig8_policies
+from ..sweep import SweepCell, SweepRunner
 from . import paper
-from .common import format_table, scaled_scenario
+from .common import format_table, policy_cells, resolve_runner, scaled_scenario
 
-__all__ = ["PanelSpec", "Fig8Panel", "PANELS", "run", "run_all"]
+__all__ = ["PanelSpec", "Fig8Panel", "PANELS", "cells", "run", "run_all"]
 
 
 @dataclass(frozen=True)
@@ -134,8 +135,9 @@ class Fig8Panel:
         )
 
 
-def run(panel: str, scale: float | None = None, seed: int = DEFAULT_SEED) -> Fig8Panel:
-    """Regenerate one Fig 8 panel (``scale=None`` uses the bench default)."""
+def _panel_config(
+    panel: str, scale: float | None, seed: int
+) -> tuple[PanelSpec, float, SimulationConfig]:
     spec = PANELS.get(panel)
     if spec is None:
         raise ConfigurationError(f"unknown Fig 8 panel {panel!r}")
@@ -149,24 +151,51 @@ def run(panel: str, scale: float | None = None, seed: int = DEFAULT_SEED) -> Fig
         scale=scale,
         seed=seed,
     )
-    sim = Simulator(config)
-    results = sim.run_many(fig8_policies())
-    unsupported = tuple(
-        p.name for p in fig8_policies() if p.name not in results
-    )
+    return spec, scale, config
+
+
+def _panel_grid(
+    panel: str, scale: float | None, seed: int
+) -> tuple[float, SimulationConfig, list[SweepCell]]:
+    """The single grid-construction path shared by :func:`cells`/:func:`run`."""
+    _, scale, config = _panel_config(panel, scale, seed)
+    return scale, config, policy_cells(config, fig8_policies())
+
+
+def cells(
+    panel: str, scale: float | None = None, seed: int = DEFAULT_SEED
+) -> list[SweepCell]:
+    """One panel's sweep grid: the nine-policy lineup on its scenario."""
+    return _panel_grid(panel, scale, seed)[2]
+
+
+def run(
+    panel: str,
+    scale: float | None = None,
+    seed: int = DEFAULT_SEED,
+    runner: SweepRunner | None = None,
+) -> Fig8Panel:
+    """Regenerate one Fig 8 panel (``scale=None`` uses the bench default)."""
+    scale, config, grid = _panel_grid(panel, scale, seed)
+    outcome = resolve_runner(runner).run(grid)
     return Fig8Panel(
         panel=panel,
         scenario=config.scenario,
         scale=scale,
         lower_bound_s=analytic_lower_bound(config),
-        results=results,
-        unsupported=unsupported,
+        results=dict(outcome.results),
+        unsupported=outcome.unsupported,
     )
 
 
-def run_all(scale: float | None = None, seed: int = DEFAULT_SEED) -> dict[str, Fig8Panel]:
-    """Regenerate every panel."""
-    return {panel: run(panel, scale=scale, seed=seed) for panel in PANELS}
+def run_all(
+    scale: float | None = None,
+    seed: int = DEFAULT_SEED,
+    runner: SweepRunner | None = None,
+) -> dict[str, Fig8Panel]:
+    """Regenerate every panel through one (shared) sweep runner."""
+    runner = resolve_runner(runner)
+    return {panel: run(panel, scale=scale, seed=seed, runner=runner) for panel in PANELS}
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -17,12 +17,13 @@ from dataclasses import dataclass
 from ..datasets import imagenet22k
 from ..perfmodel import sec6_cluster
 from ..rng import DEFAULT_SEED
-from ..sim import NoiseConfig, NoPFSPolicy, Simulator, analytic_lower_bound
+from ..sim import NoiseConfig, NoPFSPolicy, analytic_lower_bound
+from ..sweep import SweepCell, SweepRunner
 from ..units import GB
 from . import paper
-from .common import format_table, scaled_scenario
+from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
-__all__ = ["Fig9Result", "run", "DEFAULT_RAM_GB", "DEFAULT_SSD_GB"]
+__all__ = ["Fig9Result", "cells", "run", "DEFAULT_RAM_GB", "DEFAULT_SSD_GB"]
 
 DEFAULT_RAM_GB = (0, 32, 64, 128, 256, 512)
 DEFAULT_SSD_GB = (0, 128, 256, 512, 1024)
@@ -87,26 +88,26 @@ class Fig9Result:
         )
 
 
-def run(
+def cells(
     scale: float = 0.01,
     ram_gb: tuple[int, ...] = DEFAULT_RAM_GB,
     ssd_gb: tuple[int, ...] = DEFAULT_SSD_GB,
     num_epochs: int = 5,
     seed: int = DEFAULT_SEED,
-) -> Fig9Result:
-    """Sweep the storage design space with the NoPFS policy."""
+) -> list[SweepCell]:
+    """The design-space grid: one NoPFS cell per (RAM GB, SSD GB) point.
+
+    Deterministic (noise-free) runs: hardware rankings should not
+    depend on noise draws. The allreduce-interference term stays on —
+    it is what makes storage capacity matter at 5x compute — at the
+    cost of <=~3% non-monotonicity where remote-RAM fetches displace
+    local-SSD reads (see EXPERIMENTS.md).
+    """
     base_system = sec6_cluster().with_compute_factor(5.0)
-    times: dict[tuple[int, int], float] = {}
-    lower = None
+    out: list[SweepCell] = []
     for ram in ram_gb:
         for ssd in ssd_gb:
             system = base_system.with_class_capacities([ram * GB, ssd * GB])
-            # Deterministic (noise-free) runs: hardware rankings should
-            # not depend on noise draws. The allreduce-interference term
-            # stays on — it is what makes storage capacity matter at 5x
-            # compute — at the cost of <=~3% non-monotonicity where
-            # remote-RAM fetches displace local-SSD reads (see
-            # EXPERIMENTS.md).
             config = scaled_scenario(
                 imagenet22k(seed),
                 system,
@@ -116,12 +117,25 @@ def run(
                 seed=seed,
                 noise=NoiseConfig.disabled(),
             )
-            if lower is None:
-                lower = analytic_lower_bound(config)
-            times[(ram, ssd)] = Simulator(config).run(NoPFSPolicy()).total_time_s
+            out.append(SweepCell(tag=(ram, ssd), config=config, policy=NoPFSPolicy()))
+    return out
+
+
+def run(
+    scale: float = 0.01,
+    ram_gb: tuple[int, ...] = DEFAULT_RAM_GB,
+    ssd_gb: tuple[int, ...] = DEFAULT_SSD_GB,
+    num_epochs: int = 5,
+    seed: int = DEFAULT_SEED,
+    runner: SweepRunner | None = None,
+) -> Fig9Result:
+    """Sweep the storage design space with the NoPFS policy."""
+    grid = cells(scale=scale, ram_gb=ram_gb, ssd_gb=ssd_gb, num_epochs=num_epochs, seed=seed)
+    outcome = require_supported(resolve_runner(runner).run(grid), "fig9")
+    times = {tag: res.total_time_s for tag, res in outcome.results.items()}
     return Fig9Result(
         times_s=times,
-        lower_bound_s=float(lower),
+        lower_bound_s=analytic_lower_bound(grid[0].config),
         scale=scale,
         ram_gb=tuple(ram_gb),
         ssd_gb=tuple(ssd_gb),

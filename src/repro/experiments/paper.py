@@ -1,14 +1,33 @@
-"""Published numbers from the paper, for side-by-side reporting.
+"""Published numbers from the paper, plus the full-paper driver.
 
-Everything here is transcribed from the paper's figures and text so the
-harness can print paper-vs-measured without re-reading the PDF. Units:
-Fig 8a is seconds, the remaining Fig 8 panels are hours; Fig 9 is
-hours; Fig 16 is minutes.
+The first half of this module transcribes the paper's figures and text
+so the harness can print paper-vs-measured without re-reading the PDF.
+Units: Fig 8a is seconds, the remaining Fig 8 panels are hours; Fig 9
+is hours; Fig 16 is minutes.
+
+The second half (:func:`run_figures` / ``python -m
+repro.experiments``) regenerates every table and figure through
+ONE shared :class:`~repro.sweep.runner.SweepRunner`: each figure module
+declares its scenario grid, the runner fans all cells out over a
+process pool (``--jobs``) and memoizes each cell's result on disk
+(``--cache-dir``), so a repeated invocation with a warm cache
+re-simulates nothing.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..errors import ConfigurationError
+from ..rng import DEFAULT_SEED
+from ..sweep import SweepRunner, SweepStats
+from .common import resolve_runner
+
 __all__ = [
+    "PaperRun",
+    "run_figures",
     "FIG8",
     "FIG8_UNSUPPORTED",
     "FIG9_HOURS",
@@ -120,3 +139,157 @@ TABLE1_ROWS: dict[str, tuple[str, str, str, str, str]] = {
     "locality_aware": ("yes", "yes", "yes", "no", "no"),
     "nopfs": ("yes", "yes", "yes", "yes", "yes"),
 }
+
+
+# ---------------------------------------------------------------------------
+# Full-paper driver
+# ---------------------------------------------------------------------------
+
+#: Laptop-fast parameters per figure — same scales the test-suite uses,
+#: chosen so every paper-vs-measured *shape* survives the shrink.
+QUICK_PARAMS: dict[str, dict[str, Any]] = {
+    "table1": {},
+    "fig3": dict(num_samples=100_000, num_epochs=30, num_workers=8),
+    "fig8": dict(scale=0.02),
+    "fig9": dict(scale=0.005, ram_gb=(0, 64, 256), ssd_gb=(0, 256, 1024), num_epochs=3),
+    "fig10_piz_daint": dict(gpu_counts=(32, 128), scale=0.1, num_epochs=3),
+    "fig10_lassen": dict(gpu_counts=(32, 128), scale=0.1, num_epochs=3),
+    "fig11": dict(gpu_counts=(32, 64), scale=0.1, num_epochs=3),
+    "fig12": dict(gpu_counts=(32, 128), scale=0.1, num_epochs=4),
+    "fig13": dict(batch_sizes=(32, 96), gpus=64, scale=0.1, num_epochs=3),
+    "fig14": dict(gpu_counts=(32, 256), scale=0.02, num_epochs=3),
+    "fig15": dict(gpu_counts=(32, 128), scale=0.05, num_epochs=3),
+    "fig16": dict(gpus=128, scale=0.1, num_epochs=30),
+}
+
+#: The figure modules' own defaults (full bench scales).
+FULL_PARAMS: dict[str, dict[str, Any]] = {name: {} for name in QUICK_PARAMS}
+
+
+@dataclass(frozen=True)
+class PaperRun:
+    """Everything one driver invocation regenerated, plus sweep stats."""
+
+    results: dict[str, Any]
+    sweep_stats: SweepStats
+
+    def render(self) -> str:
+        """All regenerated tables/figures plus the sweep summary."""
+        sections: list[str] = []
+        for name, result in self.results.items():
+            if isinstance(result, dict):  # fig8: one panel per key
+                body = "\n\n".join(panel.render() for panel in result.values())
+            else:
+                body = result.render()
+            sections.append(f"=== {name} ===\n{body}")
+        sections.append(f"=== sweep ===\n{self.sweep_stats.render()}")
+        return "\n\n".join(sections)
+
+
+def _figure_builders(runner: SweepRunner, seed: int) -> dict[str, Callable[..., Any]]:
+    # Imported lazily: the figure modules import this module at load time.
+    from . import (
+        fig3,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        fig15,
+        fig16,
+        table1,
+    )
+
+    # Defaults are merged *under* the caller's kwargs, so overrides may
+    # rebind any kwarg the target figure accepts (simulation figures
+    # take seed/runner; table1 and fig3 only their own parameters —
+    # unknown kwargs surface as the figure's TypeError).
+    shared = {"seed": seed, "runner": runner}
+    return {
+        "table1": lambda **kw: table1.run(**kw),
+        "fig3": lambda **kw: fig3.run(**{"seed": seed, **kw}),
+        "fig8": lambda **kw: fig8.run_all(**{**shared, **kw}),
+        "fig9": lambda **kw: fig9.run(**{**shared, **kw}),
+        "fig10_piz_daint": lambda **kw: fig10.run("piz_daint", **{**shared, **kw}),
+        "fig10_lassen": lambda **kw: fig10.run("lassen", **{**shared, **kw}),
+        "fig11": lambda **kw: fig11.run(**{**shared, **kw}),
+        "fig12": lambda **kw: fig12.run(**{**shared, **kw}),
+        "fig13": lambda **kw: fig13.run(**{**shared, **kw}),
+        "fig14": lambda **kw: fig14.run(**{**shared, **kw}),
+        "fig15": lambda **kw: fig15.run(**{**shared, **kw}),
+        "fig16": lambda **kw: fig16.run(**{**shared, **kw}),
+    }
+
+
+def run_figures(
+    runner: SweepRunner | None = None,
+    profile: str = "quick",
+    figures: list[str] | None = None,
+    seed: int = DEFAULT_SEED,
+    overrides: Mapping[str, Mapping[str, Any]] | None = None,
+) -> PaperRun:
+    """Regenerate the paper's tables/figures through one shared sweep.
+
+    Every simulation-backed figure declares its grid and consumes
+    results from the same ``runner`` (one configuration, one cache) —
+    so with a cache-backed runner a second invocation performs zero
+    re-simulations, and with ``n_jobs > 1`` each figure's grid fans
+    out over ``n_jobs`` worker processes.
+
+    ``profile`` selects parameter sets (``"quick"`` laptop scales or
+    ``"full"`` bench defaults); ``overrides`` merges per-figure kwargs
+    on top. ``figures`` restricts the run to a subset, in the given
+    order.
+    """
+    if profile not in ("quick", "full"):
+        raise ConfigurationError(f"unknown profile {profile!r}")
+    params = QUICK_PARAMS if profile == "quick" else FULL_PARAMS
+    runner = resolve_runner(runner)
+    builders = _figure_builders(runner, seed)
+    names = list(figures) if figures is not None else list(builders)
+    unknown = [n for n in names if n not in builders]
+    if unknown:
+        raise ConfigurationError(f"unknown figures: {unknown}; known: {sorted(builders)}")
+    bad_overrides = [n for n in (overrides or {}) if n not in builders]
+    if bad_overrides:
+        raise ConfigurationError(
+            f"overrides for unknown figures: {bad_overrides}; known: {sorted(builders)}"
+        )
+
+    before = dataclasses.replace(runner.lifetime)
+    results = {}
+    for name in names:
+        kwargs = dict(params.get(name, {}))
+        kwargs.update(dict((overrides or {}).get(name, {})))
+        results[name] = builders[name](**kwargs)
+    return PaperRun(results=results, sweep_stats=runner.lifetime.minus(before))
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI entry
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's figures through the shared sweep engine."
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="sweep worker processes")
+    parser.add_argument(
+        "--cache-dir", default=None, help="on-disk result cache (default: no cache)"
+    )
+    parser.add_argument("--profile", choices=("quick", "full"), default="quick")
+    parser.add_argument(
+        "--figures", default=None, help="comma-separated subset (e.g. fig8,fig9)"
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+
+    runner = SweepRunner(n_jobs=args.jobs, cache_dir=args.cache_dir)
+    figures = [f.strip() for f in args.figures.split(",")] if args.figures else None
+    run = run_figures(runner=runner, profile=args.profile, figures=figures, seed=args.seed)
+    print(run.render())
+
+
+# No `if __name__ == "__main__"` guard here on purpose: the supported
+# CLI is `python -m repro.experiments` (see __main__.py) — running this
+# pre-imported submodule with -m trips runpy's double-import warning.

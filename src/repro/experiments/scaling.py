@@ -12,18 +12,17 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..datasets import DatasetModel
-from ..errors import PolicyError
 from ..perfmodel import SystemModel
 from ..rng import DEFAULT_SEED
 from ..sim import (
     BatchTimeStats,
     Policy,
     SimulationResult,
-    Simulator,
 )
-from .common import format_table, scaled_scenario
+from ..sweep import SweepCell, SweepRunner
+from .common import format_table, resolve_runner, scaled_scenario
 
-__all__ = ["PolicySpec", "ScalePoint", "ScalingResult", "run_scaling"]
+__all__ = ["PolicySpec", "ScalePoint", "ScalingResult", "scaling_cells", "run_scaling"]
 
 
 @dataclass(frozen=True)
@@ -107,9 +106,8 @@ class ScalingResult:
         )
 
 
-def run_scaling(
+def scaling_cells(
     machine_factory: Callable[[int], SystemModel],
-    machine_name: str,
     dataset: DatasetModel,
     compute_mbps: float,
     specs: Sequence[PolicySpec],
@@ -118,9 +116,14 @@ def run_scaling(
     num_epochs: int,
     scale: float,
     seed: int = DEFAULT_SEED,
-) -> ScalingResult:
-    """Sweep ``specs`` over ``gpu_counts`` on one machine model."""
-    points: dict[tuple[int, str], ScalePoint] = {}
+) -> list[SweepCell]:
+    """The sweep grid of a scaling plot: one cell per (gpus, framework).
+
+    Framework system tweaks (DALI's faster preprocessing) are folded
+    into each cell's config at declaration time, so the grid fully
+    describes the sweep.
+    """
+    out: list[SweepCell] = []
     for gpus in gpu_counts:
         system = machine_factory(gpus).replace(compute_mbps=compute_mbps)
         for spec in specs:
@@ -133,20 +136,52 @@ def run_scaling(
                 scale=scale,
                 seed=seed,
             )
-            try:
-                result = Simulator(config).run(spec.policy_factory())
-            except PolicyError:
-                points[(gpus, spec.label)] = ScalePoint(
-                    gpus, spec.label, None, None, None
-                )
-                continue
-            points[(gpus, spec.label)] = ScalePoint(
-                gpus,
-                spec.label,
-                result.median_epoch_time_s(),
-                result.batch_stats(),
-                result,
+            out.append(
+                SweepCell(tag=(gpus, spec.label), config=config, policy=spec.policy_factory())
             )
+    return out
+
+
+def run_scaling(
+    machine_factory: Callable[[int], SystemModel],
+    machine_name: str,
+    dataset: DatasetModel,
+    compute_mbps: float,
+    specs: Sequence[PolicySpec],
+    gpu_counts: Sequence[int],
+    batch_size: int,
+    num_epochs: int,
+    scale: float,
+    seed: int = DEFAULT_SEED,
+    runner: SweepRunner | None = None,
+) -> ScalingResult:
+    """Sweep ``specs`` over ``gpu_counts`` on one machine model."""
+    grid = scaling_cells(
+        machine_factory,
+        dataset,
+        compute_mbps,
+        specs,
+        gpu_counts,
+        batch_size,
+        num_epochs,
+        scale,
+        seed=seed,
+    )
+    outcome = resolve_runner(runner).run(grid)
+    points: dict[tuple[int, str], ScalePoint] = {}
+    for gpus in gpu_counts:
+        for spec in specs:
+            result = outcome.get((gpus, spec.label))
+            if result is None:
+                points[(gpus, spec.label)] = ScalePoint(gpus, spec.label, None, None, None)
+            else:
+                points[(gpus, spec.label)] = ScalePoint(
+                    gpus,
+                    spec.label,
+                    result.median_epoch_time_s(),
+                    result.batch_stats(),
+                    result,
+                )
     return ScalingResult(
         machine=machine_name,
         dataset=dataset.name,

@@ -35,6 +35,14 @@ import numpy as np
 from ..errors import PolicyError
 from ..perfmodel import Source, resolve_fetch, write_times
 from ..rng import generator
+from .config import SimulationConfig
+from .context import ScenarioContext
+from .lockstep import lockstep_epoch
+from .noise import apply_noise
+from .policies.base import Policy, PreparedPolicy
+from .result import BatchTimeStats, EpochResult, SimulationResult
+
+__all__ = ["Simulator", "analytic_lower_bound"]
 
 _HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
 
@@ -47,14 +55,6 @@ def _hash01(ids: np.ndarray) -> np.ndarray:
         x *= np.uint64(0xFF51AFD7ED558CCD)
         x ^= x >> np.uint64(33)
     return x.astype(np.float64) / float(2**64)
-from .config import SimulationConfig
-from .context import ScenarioContext
-from .lockstep import lockstep_epoch
-from .noise import apply_noise
-from .policies.base import Policy, PreparedPolicy
-from .result import BatchTimeStats, EpochResult, SimulationResult
-
-__all__ = ["Simulator", "analytic_lower_bound"]
 
 
 def analytic_lower_bound(config: SimulationConfig) -> float:

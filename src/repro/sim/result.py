@@ -5,11 +5,19 @@ need: epoch times (Figs 8, 10, 14, 15), per-batch time distributions
 (the violin plots and their "Max:" annotations), stall times and
 fetch-location shares (Fig 12), and the stacked time-per-location bars
 of Fig 8.
+
+Every result type round-trips through plain dicts/JSON
+(``to_dict``/``from_dict``, ``to_json``/``from_json``) *losslessly* —
+floats survive via the shortest-round-trip repr that :mod:`json` uses —
+so :mod:`repro.sweep` can memoize simulation outcomes on disk and hand
+back results bitwise-identical to a fresh run.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -70,6 +78,29 @@ class BatchTimeStats:
             max=max(p.max for p in parts),
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (lossless; see module docstring)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BatchTimeStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            p50=float(data["p50"]),
+            p95=float(data["p95"]),
+            p99=float(data["p99"]),
+            max=float(data["max"]),
+        )
+
 
 @dataclass(frozen=True)
 class EpochResult:
@@ -91,7 +122,10 @@ class EpochResult:
     fetch_counts: tuple[int, int, int, int]
     batch_stats: BatchTimeStats
     gamma: float
-    batch_durations: np.ndarray | None = field(default=None, repr=False)
+    # compare=False: ndarray equality is elementwise, which would make
+    # dataclass `==` raise for record_batch_times runs; compare raw
+    # durations explicitly (np.array_equal) when they matter.
+    batch_durations: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def fetch_fraction_bytes(self, source: Source) -> float:
         """Share of this epoch's fetched bytes served by ``source``."""
@@ -99,6 +133,41 @@ class EpochResult:
         if total <= 0:
             return 0.0
         return self.fetch_bytes[int(source)] / total
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form; ``batch_durations`` becomes a list (or None)."""
+        durations = self.batch_durations
+        return {
+            "epoch": self.epoch,
+            "time_s": self.time_s,
+            "stall_mean_s": self.stall_mean_s,
+            "stall_max_s": self.stall_max_s,
+            "fetch_seconds": list(self.fetch_seconds),
+            "fetch_bytes": list(self.fetch_bytes),
+            "fetch_counts": list(self.fetch_counts),
+            "batch_stats": self.batch_stats.to_dict(),
+            "gamma": self.gamma,
+            "batch_durations": None if durations is None else durations.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EpochResult":
+        """Inverse of :meth:`to_dict`."""
+        durations = data.get("batch_durations")
+        return cls(
+            epoch=int(data["epoch"]),
+            time_s=float(data["time_s"]),
+            stall_mean_s=float(data["stall_mean_s"]),
+            stall_max_s=float(data["stall_max_s"]),
+            fetch_seconds=tuple(float(v) for v in data["fetch_seconds"]),
+            fetch_bytes=tuple(float(v) for v in data["fetch_bytes"]),
+            fetch_counts=tuple(int(v) for v in data["fetch_counts"]),
+            batch_stats=BatchTimeStats.from_dict(data["batch_stats"]),
+            gamma=float(data["gamma"]),
+            batch_durations=(
+                None if durations is None else np.asarray(durations, dtype=np.float64)
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -197,3 +266,35 @@ class SimulationResult:
         if total <= 0:
             return {k: 0.0 for k in by}
         return {k: v / total for k, v in by.items()}
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form of the full result (lossless)."""
+        return {
+            "policy": self.policy,
+            "scenario": self.scenario,
+            "prestage_time_s": self.prestage_time_s,
+            "accesses_full_dataset": self.accesses_full_dataset,
+            "epochs": [e.to_dict() for e in self.epochs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            policy=str(data["policy"]),
+            scenario=str(data["scenario"]),
+            prestage_time_s=float(data["prestage_time_s"]),
+            accesses_full_dataset=bool(data["accesses_full_dataset"]),
+            epochs=tuple(EpochResult.from_dict(e) for e in data["epochs"]),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        """JSON form (``kwargs`` forwarded to :func:`json.dumps`)."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,55 @@
+"""Parallel scenario-sweep engine with an on-disk result cache.
+
+The paper's evaluation is a large grid of (dataset x system x policy x
+batch size x epochs x seed) simulations — embarrassingly parallel and
+fully deterministic. This package makes that grid a first-class object:
+
+* :class:`~repro.sweep.grid.ScenarioGrid` declares the axes and expands
+  them into :class:`~repro.sweep.grid.SweepCell` s (one simulation each).
+* :class:`~repro.sweep.runner.SweepRunner` fans cells out over a
+  process pool (``n_jobs=1`` falls back to plain in-process execution
+  for debugging) and memoizes every cell's
+  :class:`~repro.sim.result.SimulationResult` in a content-addressed
+  on-disk cache (:class:`~repro.sweep.cache.ResultCache`).
+
+Cache entries are keyed by a stable SHA-256 of the fully serialized
+:class:`~repro.sim.config.SimulationConfig`, the policy fingerprint
+(class, name, constructor state) and the code fingerprint (package
+version + a digest of the simulation-relevant source) — identical
+scenarios hit, any config/policy/simulator-code change misses. Cached results are
+bitwise-identical to freshly simulated ones; parallel and serial runs
+of the same grid agree exactly (the simulator is deterministic given
+the config's seed).
+
+The experiment harness (:mod:`repro.experiments`) composes on top of
+this: figure modules declare their grids via
+:func:`repro.experiments.common.policy_cells` and consume the
+:class:`~repro.sweep.runner.SweepOutcome`, so the full-paper driver
+(:mod:`repro.experiments.paper`) shares one runner — and one cache —
+across every figure.
+"""
+
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    CachedOutcome,
+    ResultCache,
+    cell_key,
+    code_fingerprint,
+    policy_fingerprint,
+)
+from .grid import ScenarioGrid, SweepCell
+from .runner import SweepOutcome, SweepRunner, SweepStats
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CachedOutcome",
+    "ResultCache",
+    "ScenarioGrid",
+    "SweepCell",
+    "SweepOutcome",
+    "SweepRunner",
+    "SweepStats",
+    "cell_key",
+    "code_fingerprint",
+    "policy_fingerprint",
+]

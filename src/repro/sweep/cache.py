@@ -1,0 +1,293 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one JSON file per grid cell,
+where ``key`` is the SHA-256 over the canonical JSON of
+
+* the full :meth:`~repro.config.ConfigMixin.to_dict` serialization of
+  the cell's :class:`~repro.sim.config.SimulationConfig` (dataset,
+  system, noise, seed — everything that determines the simulation),
+* the policy fingerprint — class name, policy name and constructor
+  state (``vars(policy)`` minus cosmetics), and
+* the code fingerprint — ``repro.__version__`` plus a digest of the
+  simulation-relevant source (``core``, ``datasets``, ``perfmodel``,
+  ``sim``, and the shared config/rng/units modules) and this module's
+  ``CACHE_SCHEMA_VERSION``.
+
+Invalidation rule: there is none to run by hand. Any change to the
+scenario, the policy, or the simulator's own source changes the key
+(a *miss*, never a stale hit); bumping ``CACHE_SCHEMA_VERSION`` or the
+package version retires every prior entry wholesale. The directory is
+safe to delete at any time.
+
+Unsupported combinations (policies raising
+:class:`~repro.errors.PolicyError`, the paper's "Does not support"
+cells) are cached too, as ``{"error": ...}`` entries, so warm sweeps
+re-simulate nothing at all.
+
+Writes are atomic (temp file + :func:`os.replace`), making one cache
+directory safe to share between concurrently sweeping processes.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .. import __version__
+from ..errors import ConfigurationError
+from ..sim import Policy, SimulationConfig, SimulationResult
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CachedOutcome",
+    "ResultCache",
+    "cell_key",
+    "code_fingerprint",
+    "policy_fingerprint",
+]
+
+#: Bump to invalidate every existing cache entry (serialization changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Policy instance attributes that do not affect simulation output.
+_COSMETIC_ATTRS = ("display_name",)
+
+#: Everything a simulation's *output* depends on, relative to the
+#: ``repro`` package root. Experiments/loader/runtime are deliberately
+#: excluded — editing the harness must not retire cached simulations.
+_SIMULATION_SOURCES = (
+    "config.py",
+    "errors.py",
+    "rng.py",
+    "units.py",
+    "core",
+    "datasets",
+    "perfmodel",
+    "sim",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Version + digest of the simulation-relevant source files.
+
+    Editing the simulator (noise model, fetch resolution, policies...)
+    must invalidate cached results even though ``__version__`` is only
+    bumped per release. Falls back to the bare version when the source
+    is not readable (zipped installs).
+    """
+    import repro
+
+    digest = hashlib.sha256()
+    try:
+        root = Path(repro.__file__).parent
+        for part in _SIMULATION_SOURCES:
+            path = root / part
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for f in files:
+                digest.update(str(f.relative_to(root)).encode("utf-8"))
+                digest.update(f.read_bytes())
+    except OSError:
+        return __version__
+    return f"{__version__}+{digest.hexdigest()[:16]}"
+
+
+@functools.lru_cache(maxsize=None)
+def _source_digest(path: str) -> str | None:
+    """Process-lifetime digest of one source file (None if unreadable)."""
+    try:
+        return hashlib.sha256(Path(path).read_bytes()).hexdigest()[:16]
+    except OSError:
+        return None
+
+
+def policy_fingerprint(policy: Policy) -> dict[str, Any]:
+    """A stable, JSON-safe identity for a policy instance.
+
+    Covers the class, the machine-readable name (which already encodes
+    variants such as ``deepio_ordered``), all constructor state — so
+    e.g. ``DoubleBufferPolicy(2)`` and ``DoubleBufferPolicy(8)`` key
+    differently — and a digest of the class's defining source file, so
+    editing an *out-of-tree* :class:`~repro.sim.policies.base.Policy`
+    subclass invalidates its cached results too (in-tree policies are
+    already covered by :func:`code_fingerprint`).
+
+    Non-JSON-serializable state raises a clear
+    :class:`~repro.errors.ConfigurationError` rather than falling back
+    to ``repr`` — an elided/unstable repr could alias two different
+    policies onto one key and serve stale results.
+    """
+    try:
+        raw_state = vars(policy)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"policy {type(policy).__qualname__!r} has no __dict__ (slots-based "
+            "class?); cached sweeps need inspectable, JSON-safe policy state "
+            "(or run with cache_dir=None)"
+        ) from exc
+    state = {k: v for k, v in sorted(raw_state.items()) if k not in _COSMETIC_ATTRS}
+    for attr, value in state.items():
+        try:
+            json.dumps(value)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"policy {type(policy).__qualname__!r} attribute {attr!r} "
+                f"({type(value).__name__}) is not JSON-serializable; cached "
+                "sweeps need JSON-safe policy state (or run with cache_dir=None)"
+            ) from exc
+    try:
+        source_file = inspect.getsourcefile(type(policy))
+    except TypeError:
+        source_file = None
+    return {
+        "class": type(policy).__qualname__,
+        "name": policy.name,
+        "state": state,
+        "source": _source_digest(source_file) if source_file else None,
+    }
+
+
+def cell_key(config: SimulationConfig, policy: Policy) -> str:
+    """The content hash addressing one (config, policy) cell."""
+    return cell_key_from_dict(config.to_dict(), policy)
+
+
+def cell_key_from_dict(config_dict: dict[str, Any], policy: Policy) -> str:
+    """:func:`cell_key` for an already-serialized config (no re-encode)."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": code_fingerprint(),
+        "config": config_dict,
+        "policy": policy_fingerprint(policy),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedOutcome:
+    """A memoized cell: either a result or a recorded PolicyError."""
+
+    result: SimulationResult | None
+    error: str | None
+
+    @property
+    def supported(self) -> bool:
+        """Whether the policy ran on this scenario."""
+        return self.result is not None
+
+
+class ResultCache:
+    """Filesystem-backed store of :class:`CachedOutcome` s by cell key."""
+
+    #: Orphaned temp files older than this are swept on init. The age
+    #: guard protects a *concurrent* writer's in-flight temp file.
+    _TMP_MAX_AGE_S = 600.0
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Read the umask once (os.umask is set-and-restore, a process
+        # global — toggling it per write would race other threads).
+        umask = os.umask(0)
+        os.umask(umask)
+        self._entry_mode = 0o666 & ~umask
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files orphaned by a killed writer (best effort)."""
+        cutoff = time.time() - self._TMP_MAX_AGE_S
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                continue
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (two-level sharding)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> CachedOutcome | None:
+        """The memoized outcome for ``key``, or None on a miss.
+
+        Unreadable or malformed entries (truncated writes from a killed
+        process, foreign files, wrong-shaped JSON) are treated as
+        misses rather than errors.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            result = data.get("result")
+            error = data.get("error")
+            if result is None and error is None:
+                # A legitimate entry always carries a result or an
+                # error (possibly empty-stringed); a dict with neither
+                # (e.g. `{}`) is foreign.
+                return None
+            return CachedOutcome(
+                result=None if result is None else SimulationResult.from_dict(result),
+                error=error,
+            )
+        except (OSError, json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError):
+            return None
+
+    def put(
+        self,
+        key: str,
+        outcome: CachedOutcome,
+        result_dict: dict[str, Any] | None = None,
+    ) -> None:
+        """Persist ``outcome`` under ``key`` (atomic replace).
+
+        ``result_dict`` lets callers that already hold the serialized
+        result (the sweep runner) skip a redundant ``to_dict``.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if result_dict is None and outcome.result is not None:
+            result_dict = outcome.result.to_dict()
+        entry = {
+            "key": key,
+            "schema": CACHE_SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "result": result_dict,
+            "error": outcome.error,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                # fdopen owns fd first so a failing fchmod can't leak it.
+                # mkstemp creates 0600 files; restore umask-governed modes
+                # so a shared cache directory stays readable across users.
+                # (fchmod is Unix-only; elsewhere the 0600 default stands.)
+                if hasattr(os, "fchmod"):
+                    os.fchmod(fh.fileno(), self._entry_mode)
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def count(self) -> int:
+        """Number of stored entries (walks the directory; O(entries)).
+
+        Deliberately not ``__len__``: that would make an *empty* cache
+        falsy, turning the natural ``if cache:`` into a bug.
+        """
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        """Whether :meth:`get` would serve ``key`` (not mere existence)."""
+        return self.get(key) is not None

@@ -1,0 +1,135 @@
+"""Declarative scenario grids: axes in, simulation cells out.
+
+A :class:`ScenarioGrid` is the cartesian product of six axes — dataset,
+system, policy, batch size, epoch count and seed — mirroring the shape
+of the paper's evaluation (Figs 8–16 are all slices of exactly this
+product). Each point expands to a :class:`SweepCell`: one
+:class:`~repro.sim.config.SimulationConfig` plus the policy to time on
+it, tagged with a hashable label the caller uses to index the sweep's
+results.
+
+Experiments with irregular grids (Fig 9 varies the *system* per cell,
+Fig 10 applies per-framework system tweaks) skip the product and build
+their cell lists directly — :class:`~repro.sweep.runner.SweepRunner`
+accepts any iterable of cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..datasets import DatasetModel
+from ..errors import ConfigurationError
+from ..perfmodel import SystemModel
+from ..rng import DEFAULT_SEED
+from ..sim import Policy, SimulationConfig
+
+__all__ = ["ScenarioGrid", "SweepCell"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: simulate ``policy`` on ``config``.
+
+    ``tag`` is the caller's handle for this cell in the sweep outcome
+    (e.g. a policy name for Fig 8, a ``(ram_gb, ssd_gb)`` pair for
+    Fig 9). Tags must be hashable and unique within one sweep.
+    """
+
+    tag: Hashable
+    config: SimulationConfig
+    policy: Policy
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """The cartesian product of the paper's six evaluation axes.
+
+    Every combination of ``datasets x systems x policies x batch_sizes
+    x epoch_counts x seeds`` becomes one :class:`SweepCell`;
+    ``config_options`` (noise, barrier, ``record_batch_times``,
+    ``network_interference``) apply to every cell.
+
+    Default tags are ``(dataset.name, system.name, num_workers,
+    policy.name, batch_size, num_epochs, seed)`` tuples (the worker
+    count distinguishes presets like ``sec6_cluster(2)`` vs
+    ``sec6_cluster(4)`` that share a name). Systems that differ in
+    other fields only need distinct ``name`` s — duplicate tags are
+    rejected when the grid expands.
+    """
+
+    datasets: Sequence[DatasetModel]
+    systems: Sequence[SystemModel]
+    policies: Sequence[Policy]
+    batch_sizes: Sequence[int]
+    epoch_counts: Sequence[int]
+    seeds: Sequence[int] = (DEFAULT_SEED,)
+    config_options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for axis in ("datasets", "systems", "policies", "batch_sizes", "epoch_counts", "seeds"):
+            if not tuple(getattr(self, axis)):
+                raise ConfigurationError(f"grid axis {axis!r} must be non-empty")
+        names = [p.name for p in self.policies]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate policy names in grid: {sorted(names)}")
+
+    def __len__(self) -> int:
+        return (
+            len(self.datasets)
+            * len(self.systems)
+            * len(self.policies)
+            * len(self.batch_sizes)
+            * len(self.epoch_counts)
+            * len(self.seeds)
+        )
+
+    def cells(self) -> list[SweepCell]:
+        """Expand the axis product into concrete simulation cells."""
+        out: list[SweepCell] = []
+        for dataset, system, batch, epochs, seed in product(
+            self.datasets, self.systems, self.batch_sizes, self.epoch_counts, self.seeds
+        ):
+            config = SimulationConfig(
+                dataset=dataset,
+                system=system,
+                batch_size=batch,
+                num_epochs=epochs,
+                seed=seed,
+                **dict(self.config_options),
+            )
+            for policy in self.policies:
+                tag = (
+                    dataset.name,
+                    system.name,
+                    system.num_workers,
+                    policy.name,
+                    batch,
+                    epochs,
+                    seed,
+                )
+                out.append(SweepCell(tag=tag, config=config, policy=policy))
+        _require_unique_tags(out)
+        return out
+
+
+def _require_unique_tags(cells: Sequence[SweepCell]) -> None:
+    seen: set[Hashable] = set()
+    for cell in cells:
+        if cell.tag in seen:
+            raise ConfigurationError(f"duplicate sweep tag {cell.tag!r}")
+        seen.add(cell.tag)
+
+
+def as_cells(grid: ScenarioGrid | Iterable[SweepCell]) -> list[SweepCell]:
+    """Normalize a runner input to a validated cell list."""
+    if isinstance(grid, ScenarioGrid):
+        return grid.cells()
+    cells = list(grid)
+    for cell in cells:
+        if not isinstance(cell, SweepCell):
+            raise ConfigurationError(f"expected SweepCell, got {type(cell).__name__}")
+    _require_unique_tags(cells)
+    return cells

@@ -1,0 +1,294 @@
+"""The sweep executor: cache lookup, fan-out, memoization, stats.
+
+:class:`SweepRunner` evaluates a grid in three steps:
+
+1. Every cell's content key is checked against the
+   :class:`~repro.sweep.cache.ResultCache` (when one is configured);
+   hits are returned without any simulation.
+2. Misses are simulated — in-process when ``n_jobs == 1`` (easiest to
+   debug/profile; one shared :class:`~repro.sim.engine.Simulator` per
+   scenario reuses the expensive access streams across policies),
+   otherwise fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor`. Workers receive the
+   *serialized* config (dict) plus the pickled policy and rebuild both,
+   so results are independent of the parent's in-memory state; because
+   the simulator is deterministic in the config's seed — and result
+   serialization is lossless — parallel and serial sweeps of the same
+   grid produce bitwise-identical results.
+3. Fresh outcomes are written back to the cache (atomically), and all
+   cells — cached and fresh — are assembled into a
+   :class:`SweepOutcome` indexed by the cells' tags.
+
+Policies that reject a scenario (:class:`~repro.errors.PolicyError`,
+the paper's "Does not support" cells) land in ``outcome.unsupported``
+instead of aborting the sweep, and the rejection itself is memoized.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Hashable, Iterable
+
+from ..errors import ConfigurationError, PolicyError
+from ..sim import Policy, SimulationConfig, SimulationResult, Simulator
+from .cache import CachedOutcome, ResultCache, cell_key_from_dict
+from .grid import ScenarioGrid, SweepCell, as_cells
+
+__all__ = ["SweepOutcome", "SweepRunner", "SweepStats"]
+
+
+def _simulate_payload(payload: tuple[dict[str, Any], Policy]) -> tuple[dict[str, Any] | None, str | None]:
+    """Run one cell from its serialized form (top-level: picklable).
+
+    Returns ``(result_dict, None)`` or ``(None, policy_error_message)``.
+    The result crosses the process boundary in dict form — the same
+    representation the cache stores — so every path through the runner
+    yields results reconstructed by the same (lossless) deserializer.
+    """
+    config_dict, policy = payload
+    config = SimulationConfig.from_dict(config_dict)
+    try:
+        result = Simulator(config).run(policy)
+    except PolicyError as exc:
+        return None, str(exc)
+    return result.to_dict(), None
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping for one :meth:`SweepRunner.run` call."""
+
+    cells: int = 0
+    hits: int = 0
+    misses: int = 0
+    unsupported: int = 0
+    elapsed_s: float = 0.0
+    n_jobs: int = 1
+    cached: bool = True
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells served from the cache."""
+        return self.hits / self.cells if self.cells else 0.0
+
+    @property
+    def cells_per_sec(self) -> float:
+        """Sweep throughput, cache hits included."""
+        return self.cells / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    #: Counter fields combined by :meth:`accumulate` / :meth:`minus`.
+    _COUNTERS = ("cells", "hits", "misses", "unsupported", "elapsed_s")
+
+    def accumulate(self, other: "SweepStats") -> None:
+        """Add ``other``'s counters into this instance (lifetime totals)."""
+        for attr in self._COUNTERS:
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+
+    def minus(self, before: "SweepStats") -> "SweepStats":
+        """The counter delta since a ``before`` snapshot."""
+        delta = SweepStats(n_jobs=self.n_jobs, cached=self.cached)
+        for attr in self._COUNTERS:
+            setattr(delta, attr, getattr(self, attr) - getattr(before, attr))
+        return delta
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        cache = (
+            f"cache: {self.hits} hit / {self.misses} miss "
+            f"({100 * self.hit_rate:.0f}% hit rate)"
+            if self.cached
+            else "cache: disabled"
+        )
+        return (
+            f"{self.cells} cells in {self.elapsed_s:.2f}s "
+            f"({self.cells_per_sec:.1f} cells/s, n_jobs={self.n_jobs}) | "
+            f"{cache} | {self.unsupported} unsupported"
+        )
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Results of one sweep, indexed by cell tag.
+
+    ``errors`` maps each unsupported tag to the recorded
+    :class:`~repro.errors.PolicyError` message (the *why* behind the
+    rejection).
+    """
+
+    results: dict[Hashable, SimulationResult]
+    unsupported: tuple[Hashable, ...] = ()
+    stats: SweepStats = field(default_factory=SweepStats)
+    errors: dict[Hashable, str] = field(default_factory=dict)
+
+    def __getitem__(self, tag: Hashable) -> SimulationResult:
+        return self.results[tag]
+
+    def get(self, tag: Hashable) -> SimulationResult | None:
+        """Result for ``tag``, or None when unsupported/absent."""
+        return self.results.get(tag)
+
+    def __contains__(self, tag: Hashable) -> bool:
+        return tag in self.results
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class SweepRunner:
+    """Runs scenario grids, optionally parallel, optionally cached.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes. ``1`` (the default) runs serially in-process;
+        ``None`` uses every available core. Results are identical
+        either way.
+    cache_dir:
+        Root of the on-disk result cache. ``None`` disables caching
+        (every cell simulates).
+    """
+
+    def __init__(self, n_jobs: int | None = 1, cache_dir: str | Path | None = None) -> None:
+        if n_jobs is None:
+            n_jobs = os.cpu_count() or 1
+        if n_jobs < 1:
+            raise ConfigurationError("n_jobs must be >= 1 (or None for all cores)")
+        self.n_jobs = int(n_jobs)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        #: Totals accumulated over every :meth:`run` call on this runner —
+        #: the full-paper driver reports one line for its whole sweep.
+        self.lifetime = SweepStats(n_jobs=self.n_jobs, cached=self.cache is not None)
+
+    def run(self, grid: ScenarioGrid | Iterable[SweepCell]) -> SweepOutcome:
+        """Evaluate every cell of ``grid`` and collect the outcome."""
+        cells = as_cells(grid)
+        stats = SweepStats(
+            cells=len(cells), n_jobs=self.n_jobs, cached=self.cache is not None
+        )
+        start = time.perf_counter()
+
+        outcomes: dict[int, CachedOutcome] = {}
+        pending: list[tuple[int, SweepCell, str | None, dict[str, Any] | None]] = []
+        config_dicts: dict[int, dict[str, Any]] = {}  # id(config) -> to_dict()
+        for idx, cell in enumerate(cells):
+            # Configs are serialized only when a cache key needs them
+            # (or later, for a pool payload), and once per config object
+            # (grids share one config across their policy cells).
+            config_dict: dict[str, Any] | None = None
+            key: str | None = None
+            cached: CachedOutcome | None = None
+            if self.cache is not None:
+                config_dict = config_dicts.get(id(cell.config))
+                if config_dict is None:
+                    config_dict = config_dicts[id(cell.config)] = cell.config.to_dict()
+                key = cell_key_from_dict(config_dict, cell.policy)
+                cached = self.cache.get(key)
+            if cached is not None:
+                outcomes[idx] = cached
+                stats.hits += 1
+            else:
+                pending.append((idx, cell, key, config_dict))
+        stats.misses = len(pending)
+
+        for idx, outcome in self._simulate(pending, config_dicts):
+            outcomes[idx] = outcome
+
+        results: dict[Hashable, SimulationResult] = {}
+        unsupported: list[Hashable] = []
+        errors: dict[Hashable, str] = {}
+        for idx, cell in enumerate(cells):
+            outcome = outcomes[idx]
+            if outcome.supported:
+                results[cell.tag] = outcome.result
+            else:
+                unsupported.append(cell.tag)
+                errors[cell.tag] = outcome.error or ""
+        stats.unsupported = len(unsupported)
+        stats.elapsed_s = time.perf_counter() - start
+        self.lifetime.accumulate(stats)
+        return SweepOutcome(
+            results=results, unsupported=tuple(unsupported), stats=stats, errors=errors
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _simulate(
+        self,
+        pending: list[tuple[int, SweepCell, str | None, dict[str, Any] | None]],
+        config_dicts: dict[int, dict[str, Any]],
+    ) -> list[tuple[int, CachedOutcome]]:
+        if not pending:
+            return []
+        out: list[tuple[int, CachedOutcome]] = []
+        if self.n_jobs == 1 or len(pending) == 1:
+            # In-process: share one Simulator across consecutive cells
+            # on the same config, so comparing many policies on one
+            # scenario (Fig 8's nine bars) reuses the expensive
+            # access-stream state — but keep only the *current* one
+            # alive (grids are config-major; retaining every scenario's
+            # streams would balloon peak memory on many-config sweeps).
+            sim_config_id: int | None = None
+            sim: Simulator | None = None
+            for idx, cell, key, _ in pending:
+                if sim is None or id(cell.config) != sim_config_id:
+                    sim_config_id = id(cell.config)
+                    sim = Simulator(cell.config)
+                try:
+                    raw = (sim.run(cell.policy).to_dict(), None)
+                except PolicyError as exc:
+                    raw = (None, str(exc))
+                out.append((idx, self._record(key, raw)))
+        else:
+            # Memoize each outcome as it lands (not after the whole
+            # batch): an interrupted long sweep keeps its finished
+            # cells, and a restart only re-simulates the remainder.
+            workers = min(self.n_jobs, len(pending))
+            # Uncached runs reach here with config_dict=None; fill the
+            # same per-config memo run() uses, so each shared config is
+            # serialized once, not once per policy cell.
+            for i, (idx, cell, key, config_dict) in enumerate(pending):
+                if config_dict is None:
+                    config_dict = config_dicts.get(id(cell.config))
+                    if config_dict is None:
+                        config_dict = config_dicts[id(cell.config)] = cell.config.to_dict()
+                    pending[i] = (idx, cell, key, config_dict)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_simulate_payload, (config_dict, cell.policy)): (idx, key)
+                    for idx, cell, key, config_dict in pending
+                }
+                # On an unexpected worker failure, cancel queued cells
+                # but keep draining/memoizing the in-flight ones, so a
+                # restart after the raise only re-simulates what truly
+                # never ran.
+                first_error: BaseException | None = None
+                for future in as_completed(futures):
+                    idx, key = futures[future]
+                    try:
+                        raw = future.result()
+                    except BaseException as exc:
+                        if first_error is None:
+                            first_error = exc
+                            for other in futures:
+                                other.cancel()
+                        continue
+                    out.append((idx, self._record(key, raw)))
+                if first_error is not None:
+                    raise first_error
+        return out
+
+    def _record(
+        self, key: str | None, raw: tuple[dict[str, Any] | None, str | None]
+    ) -> CachedOutcome:
+        result_dict, error = raw
+        outcome = CachedOutcome(
+            result=None if result_dict is None else SimulationResult.from_dict(result_dict),
+            error=error,
+        )
+        if self.cache is not None and key is not None:
+            self.cache.put(key, outcome, result_dict=result_dict)
+        return outcome

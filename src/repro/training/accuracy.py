@@ -14,7 +14,7 @@ unchanged); the curve model supplies a faithful, deterministic y-axis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -16,7 +16,7 @@ from repro.sim import (
     analytic_lower_bound,
     fig8_policies,
 )
-from repro.units import GB, TB
+from repro.units import TB
 
 
 def make_config(total_mb=200.0, n_samples=2_000, epochs=3, seed=7, **kw):

@@ -1,0 +1,96 @@
+"""ScenarioGrid expansion and cell validation."""
+
+import pytest
+
+from repro.datasets import mnist
+from repro.errors import ConfigurationError
+from repro.perfmodel import sec6_cluster
+from repro.sim import NaivePolicy, NoPFSPolicy
+from repro.sweep import ScenarioGrid, SweepCell
+from repro.sweep.grid import as_cells
+
+
+def small_grid(**kwargs):
+    defaults = dict(
+        datasets=[mnist(0)],
+        systems=[sec6_cluster(num_workers=2), sec6_cluster(num_workers=4)],
+        policies=[NaivePolicy(), NoPFSPolicy()],
+        batch_sizes=[16, 32],
+        epoch_counts=[2],
+        seeds=[0, 1],
+    )
+    defaults.update(kwargs)
+    return ScenarioGrid(**defaults)
+
+
+class TestExpansion:
+    def test_len_is_axis_product(self):
+        grid = small_grid()
+        assert len(grid) == 1 * 2 * 2 * 2 * 1 * 2
+
+    def test_cells_match_len_and_tags_unique(self):
+        grid = small_grid()
+        cells = grid.cells()
+        assert len(cells) == len(grid)
+        tags = [c.tag for c in cells]
+        assert len(set(tags)) == len(tags)
+
+    def test_tag_carries_all_axes(self):
+        cell = small_grid().cells()[0]
+        dataset, system, workers, policy, batch, epochs, seed = cell.tag
+        assert dataset == "mnist"
+        assert system == "sec6-cluster"
+        assert workers == cell.config.system.num_workers
+        assert policy == cell.policy.name
+        assert batch == cell.config.batch_size
+        assert epochs == cell.config.num_epochs
+        assert seed == cell.config.seed
+
+    def test_config_options_apply_to_every_cell(self):
+        grid = small_grid(config_options={"network_interference": 0.0})
+        assert all(c.config.network_interference == 0.0 for c in grid.cells())
+
+    def test_same_config_shared_across_policies(self):
+        """Policies on the same scenario share one config object."""
+        cells = small_grid().cells()
+        by_scenario = {}
+        for c in cells:
+            key = c.tag[:3] + c.tag[4:]
+            by_scenario.setdefault(key, set()).add(id(c.config))
+        assert all(len(ids) == 1 for ids in by_scenario.values())
+
+
+class TestValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="policies"):
+            small_grid(policies=[])
+
+    def test_duplicate_policy_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            small_grid(policies=[NaivePolicy(), NaivePolicy()])
+
+    def test_duplicate_cell_tags_rejected(self):
+        cell = small_grid().cells()[0]
+        with pytest.raises(ConfigurationError, match="duplicate sweep tag"):
+            as_cells([cell, cell])
+
+    def test_non_cell_rejected(self):
+        with pytest.raises(ConfigurationError, match="SweepCell"):
+            as_cells(["nope"])
+
+    def test_as_cells_passthrough(self):
+        cells = small_grid().cells()
+        assert as_cells(cells) == cells
+        assert [c.tag for c in as_cells(small_grid())] == [c.tag for c in cells]
+
+
+class TestSweepCell:
+    def test_cell_is_frozen(self):
+        cell = small_grid().cells()[0]
+        with pytest.raises(AttributeError):
+            cell.tag = "other"
+
+    def test_explicit_cells_accept_any_hashable_tag(self):
+        base = small_grid().cells()[0]
+        cell = SweepCell(tag=(64, "NoPFS"), config=base.config, policy=base.policy)
+        assert as_cells([cell])[0].tag == (64, "NoPFS")

@@ -7,7 +7,6 @@ the scenarios a downstream user actually runs.
 import threading
 
 import numpy as np
-import pytest
 
 from repro.core import AccessStream, StreamConfig
 from repro.loader import (
