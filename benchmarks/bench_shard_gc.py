@@ -1,0 +1,101 @@
+"""Shard planning, cache GC and incremental-render overheads.
+
+Benchmarks the PR-2 layers around the sweep engine: how fast a grid
+partitions (both strategies), how well the cost model balances shard
+loads, what a GC pass over a warm cache costs, and the incremental
+pipeline's skip path (a warm full re-render must be sweep-free).
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import imagenet1k, mnist
+from repro.perfmodel import sec6_cluster
+from repro.sim import NaivePolicy, NoPFSPolicy, StagingBufferPolicy
+from repro.sweep import (
+    ScenarioGrid,
+    ShardPlanner,
+    SweepRunner,
+    cache_stats,
+    collect_garbage,
+    estimate_cell_cost,
+    merge_caches,
+)
+from repro.sweep.cli import demo_grid
+
+
+def test_shard_planning_throughput(benchmark, report):
+    """Partitioning a grid must stay trivially cheap (no simulation)."""
+    grid = ScenarioGrid(
+        datasets=[mnist(0).scaled(0.2), imagenet1k(0).scaled(0.002)],
+        systems=[sec6_cluster(num_workers=2), sec6_cluster(num_workers=4)],
+        policies=[NaivePolicy(), StagingBufferPolicy(), NoPFSPolicy()],
+        batch_sizes=[8, 16, 32, 64],
+        epoch_counts=[2, 3],
+        seeds=tuple(range(5)),
+    )  # 480 cells
+    plan = benchmark(lambda: ShardPlanner("cost").plan(grid, 8))
+    loads = [sum(estimate_cell_cost(c) for c in shard) for shard in plan.shards]
+    spread = max(loads) / max(min(loads), 1e-12)
+    lines = [
+        f"cost-plan of {len(grid)} cells into 8 shards",
+        f"cells per shard: {plan.cell_counts()}",
+        f"load spread (max/min): {spread:.3f}",
+    ]
+    assert spread < 1.5, "cost planner must roughly balance shard loads"
+    report("shard_plan", "\n".join(lines))
+
+
+def test_shard_merge_and_gc(benchmark, report):
+    """Merge of two shard caches plus a bounding GC pass."""
+    grid = demo_grid(scale=0.2)
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        for i in range(2):
+            SweepRunner(n_jobs=1, cache_dir=tmp / f"s{i}").run_shard(grid, f"{i}/2")
+
+        def merge_and_gc():
+            dest = tempfile.mkdtemp(dir=tmp)
+            merge_caches([tmp / "s0", tmp / "s1"], dest)
+            stats = cache_stats(dest)
+            gc = collect_garbage(dest, max_bytes=stats.total_bytes // 2)
+            return stats, gc
+
+        stats, gc = benchmark.pedantic(merge_and_gc, rounds=3, iterations=1)
+        assert gc.kept_bytes <= stats.total_bytes // 2
+        report(
+            "shard_merge_gc",
+            f"merged cache: {stats.entries} entries, {stats.total_bytes} bytes\n"
+            f"{gc.render()}",
+        )
+
+
+def test_incremental_rerender_is_sweep_free(benchmark, report):
+    """A warm artifact re-render performs zero simulations."""
+    from repro.experiments.artifacts import run_incremental
+
+    overrides = {"fig12": {"gpu_counts": (32,), "scale": 0.05, "num_epochs": 2}}
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        runner = SweepRunner(n_jobs=1, cache_dir=tmp / "cache")
+        cold = run_incremental(
+            tmp / "art", runner=runner, figures=["fig12"], overrides=overrides
+        )
+        warm = benchmark.pedantic(
+            lambda: run_incremental(
+                tmp / "art",
+                runner=SweepRunner(n_jobs=1, cache_dir=tmp / "cache"),
+                figures=["fig12"],
+                overrides=overrides,
+            ),
+            rounds=3,
+            iterations=1,
+        )
+        assert cold.recomputed == ("fig12",)
+        assert warm.skipped == ("fig12",)
+        assert warm.sweep_stats.cells == 0
+        report(
+            "incremental_rerender",
+            f"cold: recomputed {cold.recomputed}, {cold.sweep_stats.render()}\n"
+            f"warm: skipped {warm.skipped}, {warm.sweep_stats.render()}",
+        )

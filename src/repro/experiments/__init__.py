@@ -1,10 +1,15 @@
 """One module per paper table/figure; see DESIGN.md's experiment index.
 
 Each module exposes ``run(...)`` (returns a result object with
-``render()``) and is runnable as ``python -m repro.experiments.figX``.
+``render()``) plus ``cells(...)`` declaring its sweep grid, and is
+runnable as ``python -m repro.experiments.figX``. The full-paper driver
+lives in :mod:`repro.experiments.paper`; its incremental artifact
+pipeline (figure -> cell keys -> output digest manifests) in
+:mod:`repro.experiments.artifacts`.
 """
 
 from . import (  # noqa: F401  (re-exported experiment modules)
+    artifacts,
     fig3,
     fig8,
     fig9,
@@ -31,5 +36,6 @@ __all__ = [
     "fig14",
     "fig15",
     "fig16",
+    "artifacts",
     "paper",
 ]

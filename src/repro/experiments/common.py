@@ -33,6 +33,7 @@ __all__ = [
     "policy_cells",
     "resolve_runner",
     "require_supported",
+    "render_result",
     "format_table",
     "fmt",
     "ratio",
@@ -109,6 +110,19 @@ def require_supported(outcome: SweepOutcome, context: str) -> SweepOutcome:
         )
         raise PolicyError(f"{context}: unsupported sweep cells — {details}")
     return outcome
+
+
+def render_result(result) -> str:
+    """The text form of one figure's result object.
+
+    Every figure result exposes ``render()``; Fig 8's ``run_all``
+    returns a dict of panels, which concatenate. Used by the full-paper
+    driver and the incremental artifact pipeline so both produce
+    byte-identical figure text.
+    """
+    if isinstance(result, dict):
+        return "\n\n".join(panel.render() for panel in result.values())
+    return result.render()
 
 
 def fmt(value, digits: int = 2) -> str:

@@ -20,9 +20,9 @@ from ..sim import DoubleBufferPolicy, LBANNPolicy, NoPFSPolicy, PerfectPolicy
 from ..training import RESNET50_P100, RESNET50_V100
 from . import paper
 from .common import fmt
-from .scaling import PolicySpec, ScalingResult, run_scaling
+from .scaling import PolicySpec, ScalingResult, run_scaling, scaling_cells
 
-__all__ = ["Fig10Result", "run", "daint_specs", "lassen_specs"]
+__all__ = ["Fig10Result", "cells", "run", "daint_specs", "lassen_specs"]
 
 #: Default sweep sizes; full-paper sweeps are 32..256 and 32..1024.
 DAINT_GPUS = (32, 64, 128, 256)
@@ -89,6 +89,37 @@ class Fig10Result:
         return "\n".join(lines)
 
 
+def _machine_setup(machine: str, seed: int) -> tuple:
+    """One machine's sweep ingredients (factory, name, dataset, ...)."""
+    dataset = imagenet1k(seed)
+    if machine == "piz_daint":
+        return (
+            piz_daint, "Piz Daint", dataset, RESNET50_P100.mbps(dataset),
+            daint_specs(), DAINT_GPUS, 64,
+        )
+    if machine == "lassen":
+        return (
+            lassen, "Lassen", dataset, RESNET50_V100.mbps(dataset),
+            lassen_specs(), LASSEN_GPUS, 120,
+        )
+    raise ConfigurationError(f"unknown machine {machine!r}")
+
+
+def cells(
+    machine: str = "lassen",
+    gpu_counts: tuple[int, ...] | None = None,
+    scale: float = 0.25,
+    num_epochs: int = 5,
+    seed: int = DEFAULT_SEED,
+):
+    """One panel's sweep grid: (gpus x framework) cells for ``machine``."""
+    factory, _, dataset, compute, specs, default_gpus, batch = _machine_setup(machine, seed)
+    return scaling_cells(
+        factory, dataset, compute, specs, gpu_counts or default_gpus,
+        batch_size=batch, num_epochs=num_epochs, scale=scale, seed=seed,
+    )
+
+
 def run(
     machine: str = "lassen",
     gpu_counts: tuple[int, ...] | None = None,
@@ -98,36 +129,20 @@ def run(
     runner=None,
 ) -> Fig10Result:
     """Regenerate one Fig 10 panel ('piz_daint' or 'lassen')."""
-    if machine == "piz_daint":
-        sweep = run_scaling(
-            piz_daint,
-            "Piz Daint",
-            imagenet1k(seed),
-            RESNET50_P100.mbps(imagenet1k(seed)),
-            daint_specs(),
-            gpu_counts or DAINT_GPUS,
-            batch_size=64,
-            num_epochs=num_epochs,
-            scale=scale,
-            seed=seed,
-            runner=runner,
-        )
-    elif machine == "lassen":
-        sweep = run_scaling(
-            lassen,
-            "Lassen",
-            imagenet1k(seed),
-            RESNET50_V100.mbps(imagenet1k(seed)),
-            lassen_specs(),
-            gpu_counts or LASSEN_GPUS,
-            batch_size=120,
-            num_epochs=num_epochs,
-            scale=scale,
-            seed=seed,
-            runner=runner,
-        )
-    else:
-        raise ConfigurationError(f"unknown machine {machine!r}")
+    factory, name, dataset, compute, specs, default_gpus, batch = _machine_setup(machine, seed)
+    sweep = run_scaling(
+        factory,
+        name,
+        dataset,
+        compute,
+        specs,
+        gpu_counts or default_gpus,
+        batch_size=batch,
+        num_epochs=num_epochs,
+        scale=scale,
+        seed=seed,
+        runner=runner,
+    )
     return Fig10Result(sweep=sweep, machine=machine)
 
 

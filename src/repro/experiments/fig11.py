@@ -27,7 +27,13 @@ from ..sweep import SweepCell
 from ..training import RESNET50_P100
 from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
-__all__ = ["Fig11Result", "run"]
+__all__ = ["Fig11Result", "cells", "run"]
+
+#: Framework lineup: (label, policy factory) pairs.
+_SPECS = (
+    ("PyTorch", lambda: DoubleBufferPolicy(2)),
+    ("NoPFS", lambda: NoPFSPolicy()),
+)
 
 
 @dataclass(frozen=True)
@@ -66,6 +72,27 @@ class Fig11Result:
         )
 
 
+def cells(
+    gpu_counts: tuple[int, ...] = (32, 64, 128, 256),
+    scale: float = 0.25,
+    num_epochs: int = 3,
+    seed: int = DEFAULT_SEED,
+) -> list[SweepCell]:
+    """The figure's sweep grid: (gpus x framework) on Piz Daint."""
+    dataset = imagenet1k(seed)
+    compute = RESNET50_P100.mbps(dataset)
+    out: list[SweepCell] = []
+    for gpus in gpu_counts:
+        system = piz_daint(gpus).replace(compute_mbps=compute)
+        config = scaled_scenario(
+            dataset, system, batch_size=64, num_epochs=num_epochs,
+            scale=scale, seed=seed,
+        )
+        for label, factory in _SPECS:
+            out.append(SweepCell(tag=(gpus, label), config=config, policy=factory()))
+    return out
+
+
 def run(
     gpu_counts: tuple[int, ...] = (32, 64, 128, 256),
     scale: float = 0.25,
@@ -74,22 +101,8 @@ def run(
     runner=None,
 ) -> Fig11Result:
     """Regenerate the epoch-0 comparison."""
-    dataset = imagenet1k(seed)
-    compute = RESNET50_P100.mbps(dataset)
-    specs = [
-        ("PyTorch", lambda: DoubleBufferPolicy(2)),
-        ("NoPFS", lambda: NoPFSPolicy()),
-    ]
-    cells: list[SweepCell] = []
-    for gpus in gpu_counts:
-        system = piz_daint(gpus).replace(compute_mbps=compute)
-        config = scaled_scenario(
-            dataset, system, batch_size=64, num_epochs=num_epochs,
-            scale=scale, seed=seed,
-        )
-        for label, factory in specs:
-            cells.append(SweepCell(tag=(gpus, label), config=config, policy=factory()))
-    outcome = require_supported(resolve_runner(runner).run(cells), "fig11")
+    grid = cells(gpu_counts=gpu_counts, scale=scale, num_epochs=num_epochs, seed=seed)
+    outcome = require_supported(resolve_runner(runner).run(grid), "fig11")
     epoch0: dict[tuple[int, str], BatchTimeStats] = {}
     warm: dict[tuple[int, str], BatchTimeStats] = {}
     for tag, res in outcome.results.items():
@@ -99,7 +112,7 @@ def run(
         epoch0=epoch0,
         warm=warm,
         gpu_counts=tuple(gpu_counts),
-        labels=tuple(label for label, _ in specs),
+        labels=tuple(label for label, _ in _SPECS),
         scale=scale,
     )
 

@@ -22,7 +22,7 @@ from ..training import RESNET50_P100
 from . import paper
 from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
-__all__ = ["Fig12Result", "run"]
+__all__ = ["Fig12Result", "cells", "run"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,26 @@ class Fig12Result:
         )
 
 
+def cells(
+    gpu_counts: tuple[int, ...] = (32, 64, 128, 256),
+    scale: float = 0.25,
+    num_epochs: int = 5,
+    seed: int = DEFAULT_SEED,
+) -> list[SweepCell]:
+    """The figure's sweep grid: one NoPFS cell per GPU count."""
+    dataset = imagenet1k(seed)
+    compute = RESNET50_P100.mbps(dataset)
+    out: list[SweepCell] = []
+    for gpus in gpu_counts:
+        system = piz_daint(gpus).replace(compute_mbps=compute)
+        config = scaled_scenario(
+            dataset, system, batch_size=64, num_epochs=num_epochs,
+            scale=scale, seed=seed,
+        )
+        out.append(SweepCell(tag=gpus, config=config, policy=NoPFSPolicy()))
+    return out
+
+
 def run(
     gpu_counts: tuple[int, ...] = (32, 64, 128, 256),
     scale: float = 0.25,
@@ -75,17 +95,8 @@ def run(
     runner=None,
 ) -> Fig12Result:
     """Regenerate the NoPFS fetch-location/stall breakdown."""
-    dataset = imagenet1k(seed)
-    compute = RESNET50_P100.mbps(dataset)
-    cells = []
-    for gpus in gpu_counts:
-        system = piz_daint(gpus).replace(compute_mbps=compute)
-        config = scaled_scenario(
-            dataset, system, batch_size=64, num_epochs=num_epochs,
-            scale=scale, seed=seed,
-        )
-        cells.append(SweepCell(tag=gpus, config=config, policy=NoPFSPolicy()))
-    outcome = require_supported(resolve_runner(runner).run(cells), "fig12")
+    grid = cells(gpu_counts=gpu_counts, scale=scale, num_epochs=num_epochs, seed=seed)
+    outcome = require_supported(resolve_runner(runner).run(grid), "fig12")
     stalls = {gpus: res.total_stall_s for gpus, res in outcome.results.items()}
     shares = {gpus: res.fetch_shares() for gpus, res in outcome.results.items()}
     return Fig12Result(

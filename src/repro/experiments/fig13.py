@@ -23,7 +23,14 @@ from ..sweep import SweepCell
 from ..training import RESNET50_V100
 from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
-__all__ = ["Fig13Result", "run"]
+__all__ = ["Fig13Result", "cells", "run"]
+
+#: Framework lineup: (label, policy factory) pairs.
+_SPECS = (
+    ("PyTorch", lambda: DoubleBufferPolicy(2)),
+    ("NoPFS", lambda: NoPFSPolicy()),
+    ("No I/O", lambda: PerfectPolicy()),
+)
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,27 @@ class Fig13Result:
         )
 
 
+def cells(
+    batch_sizes: tuple[int, ...] = (32, 64, 96, 120),
+    gpus: int = 128,
+    scale: float = 0.25,
+    num_epochs: int = 4,
+    seed: int = DEFAULT_SEED,
+) -> list[SweepCell]:
+    """The figure's sweep grid: (batch size x framework) on Lassen."""
+    dataset = imagenet1k(seed)
+    system = lassen(gpus).replace(compute_mbps=RESNET50_V100.mbps(dataset))
+    out: list[SweepCell] = []
+    for batch in batch_sizes:
+        config = scaled_scenario(
+            dataset, system, batch_size=batch, num_epochs=num_epochs,
+            scale=scale, seed=seed,
+        )
+        for label, factory in _SPECS:
+            out.append(SweepCell(tag=(batch, label), config=config, policy=factory()))
+    return out
+
+
 def run(
     batch_sizes: tuple[int, ...] = (32, 64, 96, 120),
     gpus: int = 128,
@@ -68,27 +96,15 @@ def run(
     runner=None,
 ) -> Fig13Result:
     """Regenerate the batch-size sweep."""
-    dataset = imagenet1k(seed)
-    system = lassen(gpus).replace(compute_mbps=RESNET50_V100.mbps(dataset))
-    specs = [
-        ("PyTorch", lambda: DoubleBufferPolicy(2)),
-        ("NoPFS", lambda: NoPFSPolicy()),
-        ("No I/O", lambda: PerfectPolicy()),
-    ]
-    cells = []
-    for batch in batch_sizes:
-        config = scaled_scenario(
-            dataset, system, batch_size=batch, num_epochs=num_epochs,
-            scale=scale, seed=seed,
-        )
-        for label, factory in specs:
-            cells.append(SweepCell(tag=(batch, label), config=config, policy=factory()))
-    outcome = require_supported(resolve_runner(runner).run(cells), "fig13")
+    grid = cells(
+        batch_sizes=batch_sizes, gpus=gpus, scale=scale, num_epochs=num_epochs, seed=seed
+    )
+    outcome = require_supported(resolve_runner(runner).run(grid), "fig13")
     stats = {tag: res.batch_stats() for tag, res in outcome.results.items()}
     return Fig13Result(
         stats=stats,
         batch_sizes=tuple(batch_sizes),
-        labels=tuple(label for label, _ in specs),
+        labels=tuple(label for label, _ in _SPECS),
         gpus=gpus,
         scale=scale,
     )

@@ -16,9 +16,32 @@ from ..sim import DoubleBufferPolicy, NoPFSPolicy, PerfectPolicy
 from ..training import RESNET50_22K_V100
 from . import paper
 from .common import fmt
-from .scaling import PolicySpec, ScalingResult, run_scaling
+from .scaling import PolicySpec, ScalingResult, run_scaling, scaling_cells
 
-__all__ = ["Fig14Result", "run"]
+__all__ = ["Fig14Result", "cells", "run"]
+
+
+def _specs() -> list[PolicySpec]:
+    """The framework lineup (PyTorch vs NoPFS vs the no-I/O bound)."""
+    return [
+        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
+        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
+        PolicySpec("No I/O", lambda: PerfectPolicy()),
+    ]
+
+
+def cells(
+    gpu_counts: tuple[int, ...] = (32, 128, 512),
+    scale: float = 0.05,
+    num_epochs: int = 3,
+    seed: int = DEFAULT_SEED,
+):
+    """The figure's sweep grid: (gpus x framework) on Lassen/ImageNet-22k."""
+    dataset = imagenet22k(seed)
+    return scaling_cells(
+        lassen, dataset, RESNET50_22K_V100.mbps(dataset), _specs(), gpu_counts,
+        batch_size=120, num_epochs=num_epochs, scale=scale, seed=seed,
+    )
 
 
 @dataclass(frozen=True)
@@ -51,17 +74,12 @@ def run(
 ) -> Fig14Result:
     """Regenerate the ImageNet-22k sweep (paper uses 3 epochs)."""
     dataset = imagenet22k(seed)
-    specs = [
-        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
-        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
-        PolicySpec("No I/O", lambda: PerfectPolicy()),
-    ]
     sweep = run_scaling(
         lassen,
         "Lassen",
         dataset,
         RESNET50_22K_V100.mbps(dataset),
-        specs,
+        _specs(),
         gpu_counts,
         batch_size=120,
         num_epochs=num_epochs,

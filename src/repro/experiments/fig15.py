@@ -18,9 +18,32 @@ from ..sim import DoubleBufferPolicy, NoPFSPolicy, PerfectPolicy
 from ..training import COSMOFLOW_V100
 from . import paper
 from .common import fmt
-from .scaling import PolicySpec, ScalingResult, run_scaling
+from .scaling import PolicySpec, ScalingResult, run_scaling, scaling_cells
 
-__all__ = ["Fig15Result", "run"]
+__all__ = ["Fig15Result", "cells", "run"]
+
+
+def _specs() -> list[PolicySpec]:
+    """The framework lineup (PyTorch vs NoPFS vs the no-I/O bound)."""
+    return [
+        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
+        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
+        PolicySpec("No I/O", lambda: PerfectPolicy()),
+    ]
+
+
+def cells(
+    gpu_counts: tuple[int, ...] = (32, 128, 256),
+    scale: float = 0.10,
+    num_epochs: int = 3,
+    seed: int = DEFAULT_SEED,
+):
+    """The figure's sweep grid: (gpus x framework) on Lassen/CosmoFlow."""
+    dataset = cosmoflow(seed)
+    return scaling_cells(
+        lassen, dataset, COSMOFLOW_V100.mbps(dataset), _specs(), gpu_counts,
+        batch_size=16, num_epochs=num_epochs, scale=scale, seed=seed,
+    )
 
 
 @dataclass(frozen=True)
@@ -68,17 +91,12 @@ def run(
     the paper's 2.1x (see EXPERIMENTS.md).
     """
     dataset = cosmoflow(seed)
-    specs = [
-        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
-        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
-        PolicySpec("No I/O", lambda: PerfectPolicy()),
-    ]
     sweep = run_scaling(
         lassen,
         "Lassen",
         dataset,
         COSMOFLOW_V100.mbps(dataset),
-        specs,
+        _specs(),
         gpu_counts,
         batch_size=16,
         num_epochs=num_epochs,

@@ -28,7 +28,7 @@ from ..training import (
 from . import paper
 from .common import fmt, format_table, require_supported, resolve_runner, scaled_scenario
 
-__all__ = ["Fig16Result", "run"]
+__all__ = ["Fig16Result", "cells", "run"]
 
 
 @dataclass(frozen=True)
@@ -82,6 +82,26 @@ class Fig16Result:
         )
 
 
+def cells(
+    gpus: int = 256,
+    batch_size: int = 32,
+    num_epochs: int = 90,
+    scale: float = 0.25,
+    seed: int = DEFAULT_SEED,
+) -> list[SweepCell]:
+    """The figure's sweep grid: both loaders on the 90-epoch scenario."""
+    dataset = imagenet1k(seed)
+    system = lassen(gpus).replace(compute_mbps=RESNET50_V100.mbps(dataset))
+    config = scaled_scenario(
+        dataset, system, batch_size=batch_size, num_epochs=num_epochs,
+        scale=scale, seed=seed,
+    )
+    return [
+        SweepCell(tag="pytorch", config=config, policy=DoubleBufferPolicy(2)),
+        SweepCell(tag="nopfs", config=config, policy=NoPFSPolicy()),
+    ]
+
+
 def run(
     gpus: int = 256,
     batch_size: int = 32,
@@ -91,21 +111,10 @@ def run(
     runner=None,
 ) -> Fig16Result:
     """Regenerate the end-to-end comparison."""
-    dataset = imagenet1k(seed)
-    system = lassen(gpus).replace(compute_mbps=RESNET50_V100.mbps(dataset))
-    config = scaled_scenario(
-        dataset, system, batch_size=batch_size, num_epochs=num_epochs,
-        scale=scale, seed=seed,
+    grid = cells(
+        gpus=gpus, batch_size=batch_size, num_epochs=num_epochs, scale=scale, seed=seed
     )
-    outcome = require_supported(
-        resolve_runner(runner).run(
-            [
-                SweepCell(tag="pytorch", config=config, policy=DoubleBufferPolicy(2)),
-                SweepCell(tag="nopfs", config=config, policy=NoPFSPolicy()),
-            ]
-        ),
-        "fig16",
-    )
+    outcome = require_supported(resolve_runner(runner).run(grid), "fig16")
     pytorch = outcome["pytorch"]
     nopfs = outcome["nopfs"]
     comparison = compare_curves(

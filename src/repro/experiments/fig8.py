@@ -42,7 +42,7 @@ from ..sweep import SweepCell, SweepRunner
 from . import paper
 from .common import format_table, policy_cells, resolve_runner, scaled_scenario
 
-__all__ = ["PanelSpec", "Fig8Panel", "PANELS", "cells", "run", "run_all"]
+__all__ = ["PanelSpec", "Fig8Panel", "PANELS", "all_cells", "cells", "run", "run_all"]
 
 
 @dataclass(frozen=True)
@@ -167,6 +167,16 @@ def cells(
 ) -> list[SweepCell]:
     """One panel's sweep grid: the nine-policy lineup on its scenario."""
     return _panel_grid(panel, scale, seed)[2]
+
+
+def all_cells(scale: float | None = None, seed: int = DEFAULT_SEED) -> list[SweepCell]:
+    """Every panel's grid concatenated: the figure's full dependency set.
+
+    Tags repeat across panels (each panel is swept separately), so this
+    list is for dependency tracking — the incremental artifact pipeline
+    (:mod:`repro.experiments.artifacts`) — not for a single sweep call.
+    """
+    return [cell for panel in PANELS for cell in cells(panel, scale=scale, seed=seed)]
 
 
 def run(

@@ -22,11 +22,13 @@ from typing import Any, Callable, Mapping
 
 from ..errors import ConfigurationError
 from ..rng import DEFAULT_SEED
-from ..sweep import SweepRunner, SweepStats
-from .common import resolve_runner
+from ..sweep import SweepCell, SweepRunner, SweepStats
+from .common import render_result, resolve_runner
 
 __all__ = [
+    "FigureSpec",
     "PaperRun",
+    "resolve_figure_params",
     "run_figures",
     "FIG8",
     "FIG8_UNSUPPORTED",
@@ -177,16 +179,31 @@ class PaperRun:
         """All regenerated tables/figures plus the sweep summary."""
         sections: list[str] = []
         for name, result in self.results.items():
-            if isinstance(result, dict):  # fig8: one panel per key
-                body = "\n\n".join(panel.render() for panel in result.values())
-            else:
-                body = result.render()
-            sections.append(f"=== {name} ===\n{body}")
+            sections.append(f"=== {name} ===\n{render_result(result)}")
         sections.append(f"=== sweep ===\n{self.sweep_stats.render()}")
         return "\n\n".join(sections)
 
 
-def _figure_builders(runner: SweepRunner, seed: int) -> dict[str, Callable[..., Any]]:
+@dataclass(frozen=True)
+class FigureSpec:
+    """One driver figure: how to build it and what it depends on.
+
+    ``build`` regenerates the figure (runner and seed pre-bound);
+    ``cells`` declares its sweep grid — the cells whose cached results
+    the rendered output is a pure function of — without running
+    anything (None for figures that do not simulate: table1, fig3);
+    ``modules`` names the python modules whose source feeds the render
+    fingerprint used by the incremental artifact pipeline
+    (:mod:`repro.experiments.artifacts`).
+    """
+
+    build: Callable[..., Any]
+    cells: Callable[..., list[SweepCell]] | None
+    modules: tuple[str, ...]
+
+
+def _figure_specs(runner: SweepRunner, seed: int) -> dict[str, FigureSpec]:
+    """The driver's figure registry, keyed by figure name."""
     # Imported lazily: the figure modules import this module at load time.
     from . import (
         fig3,
@@ -207,19 +224,78 @@ def _figure_builders(runner: SweepRunner, seed: int) -> dict[str, Callable[..., 
     # take seed/runner; table1 and fig3 only their own parameters —
     # unknown kwargs surface as the figure's TypeError).
     shared = {"seed": seed, "runner": runner}
+    seeded = {"seed": seed}
+    here = "repro.experiments"
+
+    def spec(
+        build: Callable[..., Any],
+        cells: Callable[..., list[SweepCell]] | None,
+        *modules: str,
+    ) -> FigureSpec:
+        return FigureSpec(build=build, cells=cells, modules=modules)
+
     return {
-        "table1": lambda **kw: table1.run(**kw),
-        "fig3": lambda **kw: fig3.run(**{"seed": seed, **kw}),
-        "fig8": lambda **kw: fig8.run_all(**{**shared, **kw}),
-        "fig9": lambda **kw: fig9.run(**{**shared, **kw}),
-        "fig10_piz_daint": lambda **kw: fig10.run("piz_daint", **{**shared, **kw}),
-        "fig10_lassen": lambda **kw: fig10.run("lassen", **{**shared, **kw}),
-        "fig11": lambda **kw: fig11.run(**{**shared, **kw}),
-        "fig12": lambda **kw: fig12.run(**{**shared, **kw}),
-        "fig13": lambda **kw: fig13.run(**{**shared, **kw}),
-        "fig14": lambda **kw: fig14.run(**{**shared, **kw}),
-        "fig15": lambda **kw: fig15.run(**{**shared, **kw}),
-        "fig16": lambda **kw: fig16.run(**{**shared, **kw}),
+        "table1": spec(
+            lambda **kw: table1.run(**kw), None, f"{here}.table1"
+        ),
+        "fig3": spec(
+            lambda **kw: fig3.run(**{**seeded, **kw}), None, f"{here}.fig3"
+        ),
+        "fig8": spec(
+            lambda **kw: fig8.run_all(**{**shared, **kw}),
+            lambda **kw: fig8.all_cells(**{**seeded, **kw}),
+            f"{here}.fig8",
+        ),
+        "fig9": spec(
+            lambda **kw: fig9.run(**{**shared, **kw}),
+            lambda **kw: fig9.cells(**{**seeded, **kw}),
+            f"{here}.fig9",
+        ),
+        "fig10_piz_daint": spec(
+            lambda **kw: fig10.run("piz_daint", **{**shared, **kw}),
+            lambda **kw: fig10.cells("piz_daint", **{**seeded, **kw}),
+            f"{here}.fig10", f"{here}.scaling",
+        ),
+        "fig10_lassen": spec(
+            lambda **kw: fig10.run("lassen", **{**shared, **kw}),
+            lambda **kw: fig10.cells("lassen", **{**seeded, **kw}),
+            f"{here}.fig10", f"{here}.scaling",
+        ),
+        "fig11": spec(
+            lambda **kw: fig11.run(**{**shared, **kw}),
+            lambda **kw: fig11.cells(**{**seeded, **kw}),
+            f"{here}.fig11",
+        ),
+        "fig12": spec(
+            lambda **kw: fig12.run(**{**shared, **kw}),
+            lambda **kw: fig12.cells(**{**seeded, **kw}),
+            f"{here}.fig12",
+        ),
+        "fig13": spec(
+            lambda **kw: fig13.run(**{**shared, **kw}),
+            lambda **kw: fig13.cells(**{**seeded, **kw}),
+            f"{here}.fig13",
+        ),
+        "fig14": spec(
+            lambda **kw: fig14.run(**{**shared, **kw}),
+            lambda **kw: fig14.cells(**{**seeded, **kw}),
+            f"{here}.fig14", f"{here}.scaling",
+        ),
+        "fig15": spec(
+            lambda **kw: fig15.run(**{**shared, **kw}),
+            lambda **kw: fig15.cells(**{**seeded, **kw}),
+            f"{here}.fig15", f"{here}.scaling",
+        ),
+        "fig16": spec(
+            lambda **kw: fig16.run(**{**shared, **kw}),
+            lambda **kw: fig16.cells(**{**seeded, **kw}),
+            # Unlike the other figures, fig16's *rendering* runs model
+            # code outside the simulator (accuracy curves + end-to-end
+            # comparison), which cell keys cannot see — fingerprint it.
+            f"{here}.fig16",
+            "repro.training.accuracy",
+            "repro.training.endtoend",
+        ),
     }
 
 
@@ -243,28 +319,49 @@ def run_figures(
     on top. ``figures`` restricts the run to a subset, in the given
     order.
     """
-    if profile not in ("quick", "full"):
-        raise ConfigurationError(f"unknown profile {profile!r}")
-    params = QUICK_PARAMS if profile == "quick" else FULL_PARAMS
     runner = resolve_runner(runner)
-    builders = _figure_builders(runner, seed)
-    names = list(figures) if figures is not None else list(builders)
-    unknown = [n for n in names if n not in builders]
-    if unknown:
-        raise ConfigurationError(f"unknown figures: {unknown}; known: {sorted(builders)}")
-    bad_overrides = [n for n in (overrides or {}) if n not in builders]
-    if bad_overrides:
-        raise ConfigurationError(
-            f"overrides for unknown figures: {bad_overrides}; known: {sorted(builders)}"
-        )
+    specs = _figure_specs(runner, seed)
+    plan = resolve_figure_params(specs, profile, figures, overrides)
 
     before = dataclasses.replace(runner.lifetime)
     results = {}
+    for name, kwargs in plan:
+        results[name] = specs[name].build(**kwargs)
+    return PaperRun(results=results, sweep_stats=runner.lifetime.minus(before))
+
+
+def resolve_figure_params(
+    specs: Mapping[str, FigureSpec],
+    profile: str,
+    figures: list[str] | None,
+    overrides: Mapping[str, Mapping[str, Any]] | None,
+) -> list[tuple[str, dict[str, Any]]]:
+    """Validate a driver request and merge each figure's parameters.
+
+    Returns ``(name, kwargs)`` pairs in run order: the profile's
+    defaults with the caller's per-figure ``overrides`` on top. Unknown
+    figure or override names raise
+    :class:`~repro.errors.ConfigurationError`. Shared with the
+    incremental artifact pipeline so both drivers resolve identically.
+    """
+    if profile not in ("quick", "full"):
+        raise ConfigurationError(f"unknown profile {profile!r}")
+    params = QUICK_PARAMS if profile == "quick" else FULL_PARAMS
+    names = list(figures) if figures is not None else list(specs)
+    unknown = [n for n in names if n not in specs]
+    if unknown:
+        raise ConfigurationError(f"unknown figures: {unknown}; known: {sorted(specs)}")
+    bad_overrides = [n for n in (overrides or {}) if n not in specs]
+    if bad_overrides:
+        raise ConfigurationError(
+            f"overrides for unknown figures: {bad_overrides}; known: {sorted(specs)}"
+        )
+    plan: list[tuple[str, dict[str, Any]]] = []
     for name in names:
         kwargs = dict(params.get(name, {}))
         kwargs.update(dict((overrides or {}).get(name, {})))
-        results[name] = builders[name](**kwargs)
-    return PaperRun(results=results, sweep_stats=runner.lifetime.minus(before))
+        plan.append((name, kwargs))
+    return plan
 
 
 def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI entry
@@ -282,11 +379,34 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI entry
         "--figures", default=None, help="comma-separated subset (e.g. fig8,fig9)"
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="incremental mode: write per-figure outputs + manifest to DIR and "
+        "skip figures whose cells and rendering code are unchanged",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="with --artifacts: re-render everything, ignoring the manifest",
+    )
     args = parser.parse_args(argv)
 
     runner = SweepRunner(n_jobs=args.jobs, cache_dir=args.cache_dir)
     figures = [f.strip() for f in args.figures.split(",")] if args.figures else None
-    run = run_figures(runner=runner, profile=args.profile, figures=figures, seed=args.seed)
+    if args.artifacts:
+        from .artifacts import run_incremental  # deferred: artifacts imports paper
+
+        run = run_incremental(
+            args.artifacts,
+            runner=runner,
+            profile=args.profile,
+            figures=figures,
+            seed=args.seed,
+            force=args.force,
+        )
+    else:
+        run = run_figures(
+            runner=runner, profile=args.profile, figures=figures, seed=args.seed
+        )
     print(run.render())
 
 

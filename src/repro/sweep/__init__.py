@@ -21,35 +21,90 @@ bitwise-identical to freshly simulated ones; parallel and serial runs
 of the same grid agree exactly (the simulator is deterministic given
 the config's seed).
 
+Sweeps scale past one machine and one disk:
+
+* :mod:`repro.sweep.shard` deterministically partitions a grid into K
+  disjoint shards (round-robin or cost-weighted), each runnable on a
+  separate host; shard manifests and caches merge back into a result
+  set bitwise-identical to a single-host sweep.
+* :mod:`repro.sweep.gc` manages the cache directory's lifecycle: an
+  on-disk hit index, LRU eviction under ``max_bytes``/``max_age``
+  policies, corruption detection with quarantine, and shard-cache
+  merging.
+* ``python -m repro.sweep`` (:mod:`repro.sweep.cli`) exposes all of it
+  as ``run`` / ``merge`` / ``gc`` / ``stats`` / ``verify``.
+
 The experiment harness (:mod:`repro.experiments`) composes on top of
 this: figure modules declare their grids via
 :func:`repro.experiments.common.policy_cells` and consume the
 :class:`~repro.sweep.runner.SweepOutcome`, so the full-paper driver
 (:mod:`repro.experiments.paper`) shares one runner — and one cache —
-across every figure.
+across every figure, and its artifact pipeline
+(:mod:`repro.experiments.artifacts`) re-renders only figures whose
+cells or rendering code changed.
 """
 
 from .cache import (
     CACHE_SCHEMA_VERSION,
+    QUARANTINE_DIR,
     CachedOutcome,
     ResultCache,
     cell_key,
     code_fingerprint,
     policy_fingerprint,
 )
+from .gc import (
+    CacheEntry,
+    CacheIndex,
+    CacheStatsReport,
+    GCReport,
+    MergeReport,
+    VerifyReport,
+    cache_stats,
+    collect_garbage,
+    merge_caches,
+    scan_entries,
+    verify_cache,
+)
 from .grid import ScenarioGrid, SweepCell
 from .runner import SweepOutcome, SweepRunner, SweepStats
+from .shard import (
+    ShardManifest,
+    ShardPlan,
+    ShardPlanner,
+    ShardSpec,
+    estimate_cell_cost,
+    merge_manifests,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "QUARANTINE_DIR",
+    "CacheEntry",
+    "CacheIndex",
+    "CacheStatsReport",
     "CachedOutcome",
+    "GCReport",
+    "MergeReport",
     "ResultCache",
     "ScenarioGrid",
+    "ShardManifest",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardSpec",
     "SweepCell",
     "SweepOutcome",
     "SweepRunner",
     "SweepStats",
+    "VerifyReport",
+    "cache_stats",
     "cell_key",
     "code_fingerprint",
+    "collect_garbage",
+    "estimate_cell_cost",
+    "merge_caches",
+    "merge_manifests",
     "policy_fingerprint",
+    "scan_entries",
+    "verify_cache",
 ]

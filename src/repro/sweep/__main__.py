@@ -1,0 +1,13 @@
+"""CLI entry: ``python -m repro.sweep`` (run/merge/gc/stats/verify).
+
+A dedicated ``__main__`` (rather than ``-m repro.sweep.cli``) keeps the
+supported invocation short and avoids runpy's double-import warning for
+pre-imported submodules.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,14 @@ re-simulate nothing at all.
 
 Writes are atomic (temp file + :func:`os.replace`), making one cache
 directory safe to share between concurrently sweeping processes.
+
+Corrupt entries — truncated writes from a killed process, foreign
+files — are *quarantined* on read (moved to ``<root>/_quarantine/``)
+and treated as misses, so a damaged cache degrades into re-simulation,
+never a mid-sweep crash; ``python -m repro.sweep verify`` reports and
+sweeps them in bulk. Lifecycle management (stats, LRU GC, shard-cache
+merging) lives in :mod:`repro.sweep.gc`; each hit bumps the entry's
+mtime so that module's LRU eviction order reflects real use.
 """
 
 from __future__ import annotations
@@ -47,15 +55,63 @@ from ..sim import Policy, SimulationConfig, SimulationResult
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "QUARANTINE_DIR",
     "CachedOutcome",
     "ResultCache",
     "cell_key",
     "code_fingerprint",
+    "iter_entry_paths",
     "policy_fingerprint",
 ]
 
 #: Bump to invalidate every existing cache entry (serialization changes).
 CACHE_SCHEMA_VERSION = 1
+
+#: Subdirectory corrupt entries are moved to (see :mod:`repro.sweep.gc`).
+QUARANTINE_DIR = "_quarantine"
+
+#: Entry files live in two-hex-char shard dirs; this glob skips the
+#: index, quarantine and temp files that share the cache root.
+_ENTRY_GLOB = "[0-9a-f][0-9a-f]/*.json"
+
+
+def iter_entry_paths(root: str | Path):
+    """Yield every cache entry file under ``root`` (shard dirs only).
+
+    Skips ``index.json``, the quarantine directory and in-flight temp
+    files — anything not shaped like ``<xx>/<key>.json``.
+    """
+    yield from Path(root).glob(_ENTRY_GLOB)
+
+
+def atomic_write_json(
+    path: str | Path, payload: Any, indent: int | None = None, mode: int | None = None
+) -> None:
+    """Write ``payload`` as JSON crash-safely: temp file + atomic replace.
+
+    The one durability idiom shared by cache entries, the hit index and
+    the shard/artifact manifests — readers never observe a torn file,
+    and a failed write leaves no temp litter behind. ``mode`` restores
+    umask-governed permissions on the mkstemp-created (0600) file so
+    shared directories stay readable across users (Unix only; the 0600
+    default stands elsewhere).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            # fdopen owns fd first so a failing fchmod can't leak it.
+            if mode is not None and hasattr(os, "fchmod"):
+                os.fchmod(fh.fileno(), mode)
+            json.dump(payload, fh, indent=indent)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 #: Policy instance attributes that do not affect simulation output.
 _COSMETIC_ATTRS = ("display_name",)
@@ -200,12 +256,15 @@ class ResultCache:
         umask = os.umask(0)
         os.umask(umask)
         self._entry_mode = 0o666 & ~umask
+        #: Hits recorded by this instance since the last flush, folded
+        #: into the on-disk index by :meth:`flush_hit_stats`.
+        self._session_hits: dict[str, int] = {}
         self._sweep_stale_tmp()
 
     def _sweep_stale_tmp(self) -> None:
         """Remove temp files orphaned by a killed writer (best effort)."""
         cutoff = time.time() - self._TMP_MAX_AGE_S
-        for tmp in self.root.glob("*/*.tmp"):
+        for tmp in (*self.root.glob("*.tmp"), *self.root.glob("*/*.tmp")):
             try:
                 if tmp.stat().st_mtime < cutoff:
                     tmp.unlink()
@@ -219,26 +278,78 @@ class ResultCache:
     def get(self, key: str) -> CachedOutcome | None:
         """The memoized outcome for ``key``, or None on a miss.
 
-        Unreadable or malformed entries (truncated writes from a killed
-        process, foreign files, wrong-shaped JSON) are treated as
-        misses rather than errors.
+        A missing file is a plain miss. A present-but-unservable file
+        (truncated write from a killed process, foreign JSON, schema
+        drift) is *quarantined* — moved to ``<root>/_quarantine/`` for
+        ``python -m repro.sweep verify`` to report — and then treated
+        as a miss, so the cell re-simulates instead of the sweep
+        crashing. Hits bump the entry's mtime (the LRU clock used by
+        :func:`repro.sweep.gc.collect_garbage`) and a session hit
+        counter flushed by :meth:`flush_hit_stats`.
         """
         path = self.path_for(key)
+        outcome = self._load(path)
+        if outcome is None:
+            return None
         try:
-            data = json.loads(path.read_text())
+            os.utime(path)  # LRU recency; best-effort (read-only mounts)
+        except OSError:
+            pass
+        self._session_hits[key] = self._session_hits.get(key, 0) + 1
+        return outcome
+
+    def _load(self, path: Path) -> CachedOutcome | None:
+        """Deserialize one entry file; quarantine it when unservable."""
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            data = json.loads(raw)
             result = data.get("result")
             error = data.get("error")
             if result is None and error is None:
                 # A legitimate entry always carries a result or an
                 # error (possibly empty-stringed); a dict with neither
                 # (e.g. `{}`) is foreign.
-                return None
+                raise ValueError("entry carries neither result nor error")
             return CachedOutcome(
                 result=None if result is None else SimulationResult.from_dict(result),
                 error=error,
             )
-        except (OSError, json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError):
+        except (json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError):
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it reads as a miss from now on."""
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            # Last resort (e.g. read-only cache): leave it in place;
+            # every read keeps missing, which is still safe.
+            pass
+
+    def flush_hit_stats(self) -> None:
+        """Fold this session's hit counts into ``<root>/index.json``.
+
+        Called by :class:`~repro.sweep.runner.SweepRunner` after each
+        sweep; safe (best-effort) under concurrent writers. Clears the
+        session counters on success.
+        """
+        if not self._session_hits:
+            return
+        from .gc import CacheIndex  # deferred: gc imports this module
+
+        index = CacheIndex(self.root)
+        index.record_hits(self._session_hits)
+        try:
+            index.save()
+        except OSError:
+            return
+        self._session_hits = {}
 
     def put(
         self,
@@ -251,8 +362,6 @@ class ResultCache:
         ``result_dict`` lets callers that already hold the serialized
         result (the sweep runner) skip a redundant ``to_dict``.
         """
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         if result_dict is None and outcome.result is not None:
             result_dict = outcome.result.to_dict()
         entry = {
@@ -262,23 +371,7 @@ class ResultCache:
             "result": result_dict,
             "error": outcome.error,
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                # fdopen owns fd first so a failing fchmod can't leak it.
-                # mkstemp creates 0600 files; restore umask-governed modes
-                # so a shared cache directory stays readable across users.
-                # (fchmod is Unix-only; elsewhere the 0600 default stands.)
-                if hasattr(os, "fchmod"):
-                    os.fchmod(fh.fileno(), self._entry_mode)
-                json.dump(entry, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self.path_for(key), entry, mode=self._entry_mode)
 
     def count(self) -> int:
         """Number of stored entries (walks the directory; O(entries)).
@@ -286,8 +379,13 @@ class ResultCache:
         Deliberately not ``__len__``: that would make an *empty* cache
         falsy, turning the natural ``if cache:`` into a bug.
         """
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in iter_entry_paths(self.root))
 
     def __contains__(self, key: str) -> bool:
-        """Whether :meth:`get` would serve ``key`` (not mere existence)."""
-        return self.get(key) is not None
+        """Whether :meth:`get` would serve ``key`` (not mere existence).
+
+        A pure probe: unlike :meth:`get` it records no hit and leaves
+        the entry's LRU clock untouched, so membership checks from
+        monitoring scripts don't shield entries from ``gc --max-age``.
+        """
+        return self._load(self.path_for(key)) is not None

@@ -1,0 +1,271 @@
+"""``python -m repro.sweep`` — sharded sweeps and cache lifecycle.
+
+Subcommands:
+
+``run``
+    Evaluate a grid (or one shard of it) through a
+    :class:`~repro.sweep.runner.SweepRunner`:
+    ``python -m repro.sweep run --grid repro.sweep.cli:demo_grid
+    --shard 0/3 --cache-dir shard0 --manifest shard0.json``.
+    ``--grid`` names any importable ``module:attr`` that is a
+    :class:`~repro.sweep.grid.ScenarioGrid`, a list of
+    :class:`~repro.sweep.grid.SweepCell` s, or a callable returning
+    either (``--grid-kwargs`` passes JSON keyword arguments).
+``merge``
+    Union shard caches (and optionally their manifests) into one
+    directory that is bitwise-identical to a single-host sweep's.
+``gc``
+    Evict LRU entries until ``--max-bytes`` / ``--max-age`` hold.
+``stats``
+    Entry count, bytes, recorded hits, LRU age, quarantine count.
+``verify``
+    Detect corrupt entries and quarantine them for re-simulation.
+
+Every subcommand is a thin argparse layer over the library API
+(:mod:`repro.sweep.shard`, :mod:`repro.sweep.gc`) — scripts that need
+more control call those directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from dataclasses import asdict
+from typing import Any, Iterable
+
+from ..errors import ConfigurationError
+from .gc import cache_stats, collect_garbage, merge_caches, verify_cache
+from .grid import ScenarioGrid, SweepCell, as_cells
+from .runner import SweepRunner
+from .shard import ShardManifest, ShardPlanner, ShardSpec, merge_manifests
+
+__all__ = ["demo_grid", "main", "parse_bytes", "parse_duration"]
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+_TIME_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def demo_grid(scale: float = 0.2) -> ScenarioGrid:
+    """A small, fast grid for smoke tests and copy-paste experiments.
+
+    Six cells (three policies x two batch sizes on scaled-down MNIST);
+    sweeps in a few seconds on one core. ``scale`` shrinks or grows the
+    dataset regime-true.
+    """
+    from ..datasets import mnist
+    from ..perfmodel import sec6_cluster
+    from ..sim import NaivePolicy, NoPFSPolicy, StagingBufferPolicy
+
+    return ScenarioGrid(
+        datasets=[mnist(0).scaled(scale)],
+        systems=[sec6_cluster(num_workers=2)],
+        policies=[NaivePolicy(), StagingBufferPolicy(), NoPFSPolicy()],
+        batch_sizes=[16, 32],
+        epoch_counts=[2],
+    )
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a byte count: plain int or ``512K`` / ``64M`` / ``2G`` / ``1T``."""
+    text = text.strip()
+    suffix = text[-1:].lower()
+    if suffix in _SIZE_SUFFIXES:
+        body, mult = text[:-1], _SIZE_SUFFIXES[suffix]
+    else:
+        body, mult = text, 1
+    try:
+        value = int(float(body) * mult)
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid byte count {text!r}") from exc
+    if value < 0:
+        raise ConfigurationError(f"byte count must be >= 0, got {text!r}")
+    return value
+
+
+def parse_duration(text: str) -> float:
+    """Parse a duration: plain seconds or ``30m`` / ``12h`` / ``7d``."""
+    text = text.strip()
+    suffix = text[-1:].lower()
+    if suffix in _TIME_SUFFIXES:
+        body, mult = text[:-1], _TIME_SUFFIXES[suffix]
+    else:
+        body, mult = text, 1.0
+    try:
+        value = float(body) * mult
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid duration {text!r}") from exc
+    if value < 0:
+        raise ConfigurationError(f"duration must be >= 0, got {text!r}")
+    return value
+
+
+def _resolve_grid(spec: str, kwargs_json: str | None) -> ScenarioGrid | list[SweepCell]:
+    """Import ``module:attr`` and normalize it to a grid or cell list."""
+    if ":" not in spec:
+        raise ConfigurationError(
+            f"invalid --grid {spec!r}; expected 'module:attr' "
+            "(e.g. repro.sweep.cli:demo_grid)"
+        )
+    module_name, _, attr_path = spec.partition(":")
+    try:
+        target: Any = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(f"cannot import grid module {module_name!r}: {exc}") from exc
+    for part in attr_path.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError as exc:
+            raise ConfigurationError(f"{module_name!r} has no attribute {attr_path!r}") from exc
+    if callable(target):
+        kwargs = {}
+        if kwargs_json:
+            try:
+                kwargs = json.loads(kwargs_json)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(f"--grid-kwargs is not valid JSON: {exc}") from exc
+            if not isinstance(kwargs, dict):
+                raise ConfigurationError("--grid-kwargs must be a JSON object")
+        target = target(**kwargs)
+    if isinstance(target, ScenarioGrid):
+        return target
+    if isinstance(target, Iterable):
+        return as_cells(target)
+    raise ConfigurationError(
+        f"--grid {spec!r} resolved to {type(target).__name__}; expected a "
+        "ScenarioGrid, a SweepCell iterable, or a callable returning one"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    grid = _resolve_grid(args.grid, args.grid_kwargs)
+    cells = as_cells(grid)
+    shard = ShardSpec.parse(args.shard) if args.shard else None
+    if shard is not None:
+        plan = ShardPlanner(args.strategy).plan(cells, shard.count)
+        shard_cells = plan.shard(shard)
+        print(
+            f"grid: {len(cells)} cells -> shard {shard} "
+            f"({len(shard_cells)} cells, strategy={args.strategy})"
+        )
+    else:
+        shard_cells = cells
+        print(f"grid: {len(cells)} cells (unsharded)")
+    runner = SweepRunner(n_jobs=args.jobs, cache_dir=args.cache_dir)
+    outcome = runner.run(shard_cells)
+    print(outcome.stats.render())
+    if args.manifest:
+        manifest = ShardManifest.for_cells(
+            shard_cells,
+            grid=args.grid,
+            strategy=args.strategy,
+            shard=shard,
+            stats=asdict(outcome.stats),
+            cache_dir=args.cache_dir,
+        )
+        manifest.save(args.manifest)
+        print(f"manifest: {args.manifest} ({len(manifest.cells)} cells)")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    report = merge_caches(args.sources, args.into)
+    print(report.render())
+    if args.manifests:
+        merged = merge_manifests([ShardManifest.load(p) for p in args.manifests])
+        out = args.manifest_out
+        if out:
+            merged.save(out)
+            print(f"merged manifest: {out} ({len(merged.cells)} cells)")
+        else:
+            print(f"merged manifests: {len(merged.cells)} distinct cells")
+    elif args.manifest_out:
+        raise ConfigurationError("--manifest-out needs --manifests to merge")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    report = collect_garbage(
+        args.cache_dir,
+        max_bytes=None if args.max_bytes is None else parse_bytes(args.max_bytes),
+        max_age_s=None if args.max_age is None else parse_duration(args.max_age),
+        dry_run=args.dry_run,
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    print(cache_stats(args.cache_dir).render())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    report = verify_cache(args.cache_dir, quarantine=not args.no_quarantine)
+    print(report.render())
+    return 1 if (report.corrupt and args.strict) else 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Sharded scenario sweeps and result-cache lifecycle.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="sweep a grid (or one shard of it)")
+    run.add_argument(
+        "--grid", required=True,
+        help="grid source as module:attr (ScenarioGrid, cell list, or callable)",
+    )
+    run.add_argument("--grid-kwargs", default=None, help="JSON kwargs for a callable grid")
+    run.add_argument("--shard", default=None, help="run only shard i/K (e.g. 0/3)")
+    run.add_argument(
+        "--strategy", choices=("round_robin", "cost"), default="round_robin",
+        help="shard partition strategy",
+    )
+    run.add_argument("--jobs", type=int, default=1, help="sweep worker processes")
+    run.add_argument("--cache-dir", default=None, help="on-disk result cache")
+    run.add_argument("--manifest", default=None, help="write a shard manifest here")
+    run.set_defaults(func=_cmd_run)
+
+    merge = sub.add_parser("merge", help="union shard caches into one")
+    merge.add_argument("sources", nargs="+", help="shard cache directories")
+    merge.add_argument("--into", required=True, help="destination cache directory")
+    merge.add_argument("--manifests", nargs="*", default=None, help="shard manifests to union")
+    merge.add_argument("--manifest-out", default=None, help="write the merged manifest here")
+    merge.set_defaults(func=_cmd_merge)
+
+    gc = sub.add_parser("gc", help="evict LRU cache entries by policy")
+    gc.add_argument("--cache-dir", required=True)
+    gc.add_argument("--max-bytes", default=None, help="size bound (e.g. 500M, 2G)")
+    gc.add_argument("--max-age", default=None, help="age bound (e.g. 3600, 12h, 7d)")
+    gc.add_argument("--dry-run", action="store_true", help="report without deleting")
+    gc.set_defaults(func=_cmd_gc)
+
+    stats = sub.add_parser("stats", help="cache size/hit/age summary")
+    stats.add_argument("--cache-dir", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    verify = sub.add_parser("verify", help="quarantine corrupt cache entries")
+    verify.add_argument("--cache-dir", required=True)
+    verify.add_argument(
+        "--no-quarantine", action="store_true", help="report corruption without moving files"
+    )
+    verify.add_argument(
+        "--strict", action="store_true", help="exit non-zero when corruption is found"
+    )
+    verify.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

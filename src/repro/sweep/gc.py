@@ -1,0 +1,466 @@
+"""Cache lifecycle: index, stats, GC, verification, shard merging.
+
+The :class:`~repro.sweep.cache.ResultCache` is append-only during
+sweeps; this module is everything that happens to the directory
+*between* sweeps:
+
+* :class:`CacheIndex` — a best-effort on-disk index (``index.json`` at
+  the cache root) accumulating per-entry hit counts; recency is carried
+  by the entry files' mtimes, which :meth:`ResultCache.get` bumps on
+  every hit. Hit counts can undercount under concurrent writers (last
+  merge wins); mtime-based recency — what GC orders by — cannot.
+* :func:`scan_entries` / :func:`cache_stats` — enumerate entries with
+  size/mtime/hit stats (``python -m repro.sweep stats``).
+* :func:`collect_garbage` — LRU eviction under ``max_bytes`` and/or
+  ``max_age_s`` policies (``python -m repro.sweep gc``).
+* :func:`verify_cache` — detect corrupt/truncated/foreign entries and
+  quarantine them under ``_quarantine/`` so the next sweep re-simulates
+  those cells (``python -m repro.sweep verify``).
+* :func:`merge_caches` — union shard caches into one directory. Entries
+  are content-addressed and byte-stable, so merging the caches of a
+  sharded sweep reproduces the single-host cache bit for bit.
+
+Nothing here blocks concurrent sweeps: eviction and quarantine use
+atomic renames/removals, and a sweep that loses an entry mid-run simply
+re-simulates that cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..sim import SimulationResult
+from .cache import QUARANTINE_DIR, ResultCache, atomic_write_json, iter_entry_paths
+
+__all__ = [
+    "CacheEntry",
+    "CacheIndex",
+    "CacheStatsReport",
+    "GCReport",
+    "MergeReport",
+    "VerifyReport",
+    "cache_stats",
+    "collect_garbage",
+    "merge_caches",
+    "scan_entries",
+    "verify_cache",
+]
+
+#: ``index.json`` format version.
+INDEX_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cache entry's on-disk stats.
+
+    ``mtime`` doubles as the LRU clock: writes set it and cache hits
+    bump it, so "oldest mtime" means "least recently used".
+    """
+
+    key: str
+    path: Path
+    size_bytes: int
+    mtime: float
+    hits: int = 0
+
+
+class CacheIndex:
+    """The cache's sidecar hit-count index (``<root>/index.json``).
+
+    Persists cumulative per-entry hit counters between processes.
+    Updates are read-merge-write with an atomic replace: concurrent
+    flushes may drop each other's increments (documented best-effort),
+    but the file never tears.
+    """
+
+    FILENAME = "index.json"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.path = self.root / self.FILENAME
+        self.hits: dict[str, int] = {}
+        #: Keys explicitly dropped (evicted/quarantined entries); the
+        #: save-time merge must not resurrect their on-disk counters.
+        self._dropped: set[str] = set()
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+            hits = data.get("hits", {})
+            self.hits = {
+                str(k): int(v) for k, v in hits.items() if isinstance(v, (int, float))
+            }
+        except (OSError, json.JSONDecodeError, AttributeError, TypeError, ValueError):
+            self.hits = {}
+
+    def record_hits(self, counts: dict[str, int]) -> None:
+        """Fold a batch of per-key hit counts into the index (in memory)."""
+        for key, count in counts.items():
+            if count > 0:
+                self.hits[key] = self.hits.get(key, 0) + int(count)
+                self._dropped.discard(key)
+
+    def drop(self, keys: Sequence[str]) -> None:
+        """Forget counters for evicted/quarantined entries."""
+        for key in keys:
+            self.hits.pop(key, None)
+            self._dropped.add(key)
+
+    def save(self) -> None:
+        """Atomically persist the index (merging with the file's state).
+
+        Re-reads the on-disk index first so two processes flushing
+        disjoint keys both land; overlapping keys keep the larger count
+        (a flush can only ever add hits).
+        """
+        on_disk = CacheIndex.__new__(CacheIndex)
+        on_disk.root, on_disk.path, on_disk.hits = self.root, self.path, {}
+        on_disk._dropped = set()
+        on_disk._load()
+        for key, count in on_disk.hits.items():
+            if key not in self._dropped and self.hits.get(key, 0) < count:
+                self.hits[key] = count
+        atomic_write_json(self.path, {"schema": INDEX_SCHEMA_VERSION, "hits": self.hits})
+
+
+def scan_entries(root: str | Path) -> list[CacheEntry]:
+    """Enumerate the cache's entries with size/mtime/hit stats.
+
+    Sorted by ``(mtime, key)`` — LRU order, eviction candidates first.
+    Entries that vanish mid-scan (concurrent GC) are skipped.
+    """
+    root = Path(root)
+    index = CacheIndex(root)
+    entries: list[CacheEntry] = []
+    for path in iter_entry_paths(root):
+        key = path.stem
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append(
+            CacheEntry(
+                key=key,
+                path=path,
+                size_bytes=stat.st_size,
+                mtime=stat.st_mtime,
+                hits=index.hits.get(key, 0),
+            )
+        )
+    entries.sort(key=lambda e: (e.mtime, e.key))
+    return entries
+
+
+@dataclass(frozen=True)
+class CacheStatsReport:
+    """Aggregate cache statistics (``python -m repro.sweep stats``)."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+    total_hits: int
+    oldest_mtime: float | None
+    newest_mtime: float | None
+    quarantined: int
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"cache: {self.root}",
+            f"entries: {self.entries} ({self.total_bytes} bytes)",
+            f"recorded hits: {self.total_hits}",
+            f"quarantined: {self.quarantined}",
+        ]
+        if self.oldest_mtime is not None and self.newest_mtime is not None:
+            age = max(0.0, time.time() - self.oldest_mtime)
+            lines.append(f"LRU age: {age:.0f}s (oldest entry)")
+        return "\n".join(lines)
+
+
+def cache_stats(root: str | Path) -> CacheStatsReport:
+    """Aggregate entry count/bytes/hits/age for one cache directory."""
+    root = Path(root)
+    entries = scan_entries(root)
+    quarantined = sum(1 for _ in (root / QUARANTINE_DIR).glob("*.json"))
+    return CacheStatsReport(
+        root=root,
+        entries=len(entries),
+        total_bytes=sum(e.size_bytes for e in entries),
+        total_hits=sum(e.hits for e in entries),
+        oldest_mtime=entries[0].mtime if entries else None,
+        newest_mtime=entries[-1].mtime if entries else None,
+        quarantined=quarantined,
+    )
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What one :func:`collect_garbage` pass did (or would do)."""
+
+    scanned: int
+    evicted: tuple[str, ...]
+    evicted_bytes: int
+    kept: int
+    kept_bytes: int
+    dry_run: bool
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        verb = "would evict" if self.dry_run else "evicted"
+        return (
+            f"gc: {verb} {len(self.evicted)} / {self.scanned} entries "
+            f"({self.evicted_bytes} bytes); kept {self.kept} "
+            f"({self.kept_bytes} bytes)"
+        )
+
+
+def collect_garbage(
+    root: str | Path,
+    max_bytes: int | None = None,
+    max_age_s: float | None = None,
+    dry_run: bool = False,
+    now: float | None = None,
+) -> GCReport:
+    """Evict cache entries until the policies hold, LRU first.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (the ``cache_dir`` sweeps were run with).
+    max_bytes:
+        Keep total entry bytes at or below this (evicting least
+        recently used first).
+    max_age_s:
+        Evict entries not touched (written or hit) within this many
+        seconds, regardless of size.
+    dry_run:
+        Report what would be evicted without deleting anything.
+    now:
+        Clock override for tests; defaults to ``time.time()``.
+    """
+    if max_bytes is None and max_age_s is None:
+        raise ConfigurationError("gc needs a policy: max_bytes and/or max_age_s")
+    if max_bytes is not None and max_bytes < 0:
+        raise ConfigurationError("max_bytes must be >= 0")
+    if max_age_s is not None and max_age_s < 0:
+        raise ConfigurationError("max_age_s must be >= 0")
+    entries = scan_entries(root)  # LRU order: oldest mtime first
+    now = time.time() if now is None else now
+
+    victims: list[CacheEntry] = []
+    victim_keys: set[str] = set()
+    if max_age_s is not None:
+        cutoff = now - max_age_s
+        for entry in entries:
+            if entry.mtime < cutoff:
+                victims.append(entry)
+                victim_keys.add(entry.key)
+    if max_bytes is not None:
+        live_bytes = sum(e.size_bytes for e in entries if e.key not in victim_keys)
+        for entry in entries:  # oldest first
+            if live_bytes <= max_bytes:
+                break
+            if entry.key in victim_keys:
+                continue
+            victims.append(entry)
+            victim_keys.add(entry.key)
+            live_bytes -= entry.size_bytes
+
+    # Only entries actually removed count as evicted — an unlink that
+    # fails (permissions drift on a shared cache) must neither inflate
+    # the report nor erase the survivor's hit history.
+    if dry_run:
+        removed = victims
+    else:
+        removed = []
+        for entry in victims:
+            try:
+                entry.path.unlink()
+            except OSError:
+                continue
+            removed.append(entry)
+        if removed:
+            index = CacheIndex(root)
+            index.drop([e.key for e in removed])
+            index.save()
+    removed_keys = {e.key for e in removed}
+    kept = [e for e in entries if e.key not in removed_keys]
+    return GCReport(
+        scanned=len(entries),
+        evicted=tuple(e.key for e in removed),
+        evicted_bytes=sum(e.size_bytes for e in removed),
+        kept=len(kept),
+        kept_bytes=sum(e.size_bytes for e in kept),
+        dry_run=dry_run,
+    )
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Result of one :func:`verify_cache` pass."""
+
+    checked: int
+    ok: int
+    corrupt: tuple[tuple[str, str], ...]  # (filename, reason) pairs
+    quarantined: bool
+    quarantine_dir: Path
+
+    def render(self) -> str:
+        """Human-readable summary, one line per corrupt entry."""
+        lines = [
+            f"verify: {self.ok} ok / {self.checked} checked; "
+            f"{len(self.corrupt)} corrupt"
+            + (f" -> {self.quarantine_dir}" if self.corrupt and self.quarantined else "")
+        ]
+        for name, reason in self.corrupt:
+            lines.append(f"  {name}: {reason}")
+        return "\n".join(lines)
+
+
+def _entry_problem(path: Path) -> str | None:
+    """Why ``path`` is not a servable cache entry (None when it is)."""
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        return f"unreadable: {exc}"
+    except json.JSONDecodeError as exc:
+        return f"invalid JSON: {exc}"
+    if not isinstance(data, dict):
+        return f"not an entry object (top-level {type(data).__name__})"
+    if data.get("key", path.stem) != path.stem:
+        return f"key field {data.get('key')!r} does not match filename"
+    result = data.get("result")
+    error = data.get("error")
+    if result is None and error is None:
+        return "carries neither a result nor an error"
+    if result is not None:
+        try:
+            SimulationResult.from_dict(result)
+        except Exception as exc:  # noqa: BLE001 - any failure means unservable
+            return f"result does not deserialize: {type(exc).__name__}: {exc}"
+    return None
+
+
+def verify_cache(root: str | Path, quarantine: bool = True) -> VerifyReport:
+    """Check every entry deserializes; quarantine the ones that don't.
+
+    Corrupt entries (truncated writes, foreign files, schema drift that
+    slipped past the key) are moved to ``<root>/_quarantine/`` — the
+    next sweep sees a miss and re-simulates the cell — unless
+    ``quarantine=False``, which only reports.
+    """
+    root = Path(root)
+    qdir = root / QUARANTINE_DIR
+    checked = ok = 0
+    corrupt: list[tuple[str, str]] = []
+    for path in iter_entry_paths(root):
+        checked += 1
+        problem = _entry_problem(path)
+        if problem is None:
+            ok += 1
+            continue
+        corrupt.append((path.name, problem))
+        if quarantine:
+            qdir.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(path, qdir / path.name)
+            except OSError:
+                pass
+    if corrupt and quarantine:
+        index = CacheIndex(root)
+        index.drop([Path(name).stem for name, _ in corrupt])
+        index.save()
+    return VerifyReport(
+        checked=checked,
+        ok=ok,
+        corrupt=tuple(corrupt),
+        quarantined=quarantine,
+        quarantine_dir=qdir,
+    )
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What one :func:`merge_caches` call copied."""
+
+    sources: tuple[Path, ...]
+    dest: Path
+    copied: int
+    skipped: int
+    copied_bytes: int
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"merge: {self.copied} entries ({self.copied_bytes} bytes) "
+            f"from {len(self.sources)} cache(s) into {self.dest}; "
+            f"{self.skipped} already present"
+        )
+
+
+def merge_caches(sources: Sequence[str | Path], dest: str | Path) -> MergeReport:
+    """Union shard caches into ``dest`` (content-addressed, idempotent).
+
+    Entries already present in ``dest`` are skipped — identical keys
+    hold identical bytes, so first-writer-wins loses nothing. Entry
+    bytes and mtimes are preserved (``copy2``), keeping the merged
+    cache bitwise-identical to a single-host sweep's and its LRU clock
+    honest. A source's hit counters are folded in only for the entries
+    copied from it in this call, so re-running a merge (a retried CI
+    step) never double-counts; quarantined files are *not* propagated.
+    """
+    if not sources:
+        raise ConfigurationError("nothing to merge: no source caches given")
+    dest_cache = ResultCache(dest)  # creates dest, sweeps stale temp files
+    dest_root = dest_cache.root
+    copied = skipped = copied_bytes = 0
+    merged_index = CacheIndex(dest_root)
+    for source in sources:
+        source = Path(source)
+        if not source.is_dir():
+            raise ConfigurationError(f"source cache {source} is not a directory")
+        if source.resolve() == dest_root.resolve():
+            continue
+        copied_keys: set[str] = set()
+        for path in iter_entry_paths(source):
+            target = dest_root / path.parent.name / path.name
+            if target.exists():
+                skipped += 1
+                continue
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+            os.close(fd)
+            try:
+                shutil.copy2(path, tmp)
+                os.replace(tmp, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            copied += 1
+            copied_bytes += path.stat().st_size
+            copied_keys.add(path.stem)
+        source_hits = CacheIndex(source).hits
+        merged_index.record_hits(
+            {key: count for key, count in source_hits.items() if key in copied_keys}
+        )
+    merged_index.save()
+    return MergeReport(
+        sources=tuple(Path(s) for s in sources),
+        dest=dest_root,
+        copied=copied,
+        skipped=skipped,
+        copied_bytes=copied_bytes,
+    )

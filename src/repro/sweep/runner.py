@@ -37,6 +37,7 @@ from ..errors import ConfigurationError, PolicyError
 from ..sim import Policy, SimulationConfig, SimulationResult, Simulator
 from .cache import CachedOutcome, ResultCache, cell_key_from_dict
 from .grid import ScenarioGrid, SweepCell, as_cells
+from .shard import ShardPlanner, ShardSpec
 
 __all__ = ["SweepOutcome", "SweepRunner", "SweepStats"]
 
@@ -210,9 +211,30 @@ class SweepRunner:
         stats.unsupported = len(unsupported)
         stats.elapsed_s = time.perf_counter() - start
         self.lifetime.accumulate(stats)
+        if self.cache is not None:
+            self.cache.flush_hit_stats()
         return SweepOutcome(
             results=results, unsupported=tuple(unsupported), stats=stats, errors=errors
         )
+
+    def run_shard(
+        self,
+        grid: ScenarioGrid | Iterable[SweepCell],
+        shard: ShardSpec | str,
+        strategy: str = "round_robin",
+    ) -> SweepOutcome:
+        """Evaluate only this host's shard of ``grid``.
+
+        Plans the full grid with :class:`~repro.sweep.shard.ShardPlanner`
+        (deterministic: every host planning the same grid computes the
+        same partition) and runs shard ``shard`` — the string form
+        ``"i/K"`` is accepted as-is from the CLI. Running every shard
+        and merging the caches reproduces the single-host sweep bit for
+        bit (see :mod:`repro.sweep.gc`).
+        """
+        spec = ShardSpec.parse(shard) if isinstance(shard, str) else shard
+        cells = ShardPlanner(strategy).plan(grid, spec.count).shard(spec)
+        return self.run(cells)
 
     # -- internals -----------------------------------------------------------
 

@@ -1,0 +1,129 @@
+"""Incremental artifact pipeline: manifest, skip logic, invalidation."""
+
+import pytest
+
+from repro.experiments import artifacts, paper
+from repro.experiments.artifacts import ArtifactManifest, run_incremental
+from repro.sweep import SweepRunner
+
+#: A tiny, fast figure subset (same params the paper driver's quick
+#: profile shrinks further below).
+FIGURES = ["fig12", "fig13"]
+OVERRIDES = {
+    "fig12": {"gpu_counts": (32,), "scale": 0.05, "num_epochs": 2},
+    "fig13": {"batch_sizes": (32,), "gpus": 32, "scale": 0.05, "num_epochs": 2},
+}
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+@pytest.fixture()
+def art_dir(tmp_path):
+    return tmp_path / "artifacts"
+
+
+def _run(cache_dir, art_dir, **kwargs):
+    runner = SweepRunner(n_jobs=1, cache_dir=cache_dir)
+    run = run_incremental(
+        art_dir, runner=runner, figures=FIGURES, overrides=OVERRIDES, **kwargs
+    )
+    return run
+
+
+class TestColdRun:
+    def test_records_outputs_and_manifest(self, cache_dir, art_dir):
+        run = _run(cache_dir, art_dir)
+        assert run.recomputed == ("fig12", "fig13")
+        assert run.skipped == ()
+        assert (art_dir / "fig12.txt").is_file()
+        assert (art_dir / "manifest.json").is_file()
+        manifest = ArtifactManifest.load(art_dir / "manifest.json")
+        assert set(manifest.figures) == {"fig12", "fig13"}
+        for record in manifest.figures.values():
+            assert record.fingerprint and record.cell_keys
+        assert "recomputed: fig12, fig13" in run.render()
+
+
+class TestWarmRun:
+    def test_skips_everything_with_zero_simulations(self, cache_dir, art_dir):
+        cold = _run(cache_dir, art_dir)
+        warm = _run(cache_dir, art_dir)
+        assert warm.recomputed == ()
+        assert warm.skipped == ("fig12", "fig13")
+        assert warm.sweep_stats.cells == 0  # no sweep at all, not even hits
+        assert warm.rendered == cold.rendered  # byte-identical text served
+        assert "skipped (unchanged): fig12, fig13" in warm.render()
+
+    def test_force_recomputes_anyway(self, cache_dir, art_dir):
+        _run(cache_dir, art_dir)
+        forced = _run(cache_dir, art_dir, force=True)
+        assert forced.recomputed == ("fig12", "fig13")
+        # ... but the warm cache still answers every cell.
+        assert forced.sweep_stats.misses == 0
+
+
+class TestInvalidation:
+    def test_param_change_recomputes_only_affected_figure(self, cache_dir, art_dir):
+        _run(cache_dir, art_dir)
+        overrides = {
+            "fig12": dict(OVERRIDES["fig12"], num_epochs=3),  # changed
+            "fig13": OVERRIDES["fig13"],
+        }
+        runner = SweepRunner(n_jobs=1, cache_dir=cache_dir)
+        run = run_incremental(
+            art_dir, runner=runner, figures=FIGURES, overrides=overrides
+        )
+        assert run.recomputed == ("fig12",)
+        assert run.skipped == ("fig13",)
+
+    def test_seed_change_recomputes(self, cache_dir, art_dir):
+        _run(cache_dir, art_dir)
+        run = _run(cache_dir, art_dir, seed=7)
+        assert run.recomputed == ("fig12", "fig13")
+
+    def test_tampered_output_recomputes(self, cache_dir, art_dir):
+        _run(cache_dir, art_dir)
+        (art_dir / "fig12.txt").write_text("edited by hand")
+        run = _run(cache_dir, art_dir)
+        assert run.recomputed == ("fig12",)
+        assert run.skipped == ("fig13",)
+
+    def test_missing_output_recomputes(self, cache_dir, art_dir):
+        _run(cache_dir, art_dir)
+        (art_dir / "fig13.txt").unlink()
+        run = _run(cache_dir, art_dir)
+        assert run.recomputed == ("fig13",)
+
+    def test_corrupt_manifest_recomputes_everything(self, cache_dir, art_dir):
+        _run(cache_dir, art_dir)
+        (art_dir / "manifest.json").write_text("{broken")
+        run = _run(cache_dir, art_dir)
+        assert run.recomputed == ("fig12", "fig13")
+
+    def test_render_fingerprint_tracks_module_source(self, monkeypatch):
+        runner = SweepRunner(n_jobs=1)
+        specs = paper._figure_specs(runner, seed=1)
+        spec = specs["fig12"]
+        before = artifacts.render_fingerprint(spec, {}, seed=1)
+        monkeypatch.setattr(
+            artifacts, "_module_source_digest", lambda name: "deadbeef"
+        )
+        after = artifacts.render_fingerprint(spec, {}, seed=1)
+        assert before != after
+
+
+class TestOutputMatchesBatchDriver:
+    def test_rendered_text_equals_run_figures(self, cache_dir, art_dir):
+        run = _run(cache_dir, art_dir)
+        batch = paper.run_figures(
+            runner=SweepRunner(n_jobs=1, cache_dir=cache_dir),
+            figures=FIGURES,
+            overrides=OVERRIDES,
+        )
+        from repro.experiments.common import render_result
+
+        for name in FIGURES:
+            assert run.rendered[name] == render_result(batch.results[name])

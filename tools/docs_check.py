@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Docs checker: markdown link validation + code-block execution.
+
+Stdlib-only (runs anywhere the repo checks out). Two passes over every
+markdown file given on the command line:
+
+1. **Links** — every relative markdown link target (``[text](path)``,
+   optionally with a ``#anchor``) must exist on disk, resolved against
+   the linking file's directory. ``http(s)``/``mailto`` links are
+   skipped (no network in CI).
+2. **Code blocks** — every fenced ``python`` block is executed in its
+   own interpreter in a scratch directory with ``PYTHONPATH`` pointing
+   at the repo's ``src``, so documented examples stay runnable as-is.
+   Blocks fenced ``python no-run`` (or any other info string) are
+   skipped; ``bash`` recipes are never executed.
+
+Usage::
+
+    python tools/docs_check.py README.md docs/*.md
+    python tools/docs_check.py --links-only README.md docs/*.md
+
+Exits non-zero on the first category of failure, printing every
+offender first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline markdown links: [text](target). Images (![...]) match too.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks with their info string.
+_FENCE_RE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_links(text: str) -> list[str]:
+    """All inline link targets in a markdown document."""
+    return _LINK_RE.findall(text)
+
+
+def check_links(paths: list[Path]) -> list[str]:
+    """Broken relative links across ``paths`` (empty = all good)."""
+    problems: list[str] = []
+    for path in paths:
+        for target in extract_links(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+    return problems
+
+
+def extract_python_blocks(text: str) -> list[str]:
+    """The bodies of fenced blocks whose info string is exactly ``python``.
+
+    ``python no-run`` (and every non-``python`` language) is excluded.
+    """
+    blocks: list[str] = []
+    for info, body in _FENCE_RE.findall(text):
+        if info.strip() == "python":
+            blocks.append(body)
+    return blocks
+
+
+def run_blocks(paths: list[Path], timeout_s: float) -> list[str]:
+    """Execute every runnable ``python`` block; return failures."""
+    problems: list[str] = []
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for path in paths:
+        for i, block in enumerate(extract_python_blocks(path.read_text()), 1):
+            with tempfile.TemporaryDirectory(prefix="docs-check-") as scratch:
+                try:
+                    proc = subprocess.run(
+                        [sys.executable, "-c", block],
+                        cwd=scratch,
+                        env=env,
+                        capture_output=True,
+                        text=True,
+                        timeout=timeout_s,
+                    )
+                except subprocess.TimeoutExpired:
+                    problems.append(f"{path}: python block #{i} timed out")
+                    continue
+            if proc.returncode != 0:
+                tail = "\n".join(proc.stderr.strip().splitlines()[-5:])
+                problems.append(
+                    f"{path}: python block #{i} exited {proc.returncode}\n{tail}"
+                )
+            else:
+                print(f"ok: {path} python block #{i}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path, help="markdown files to check")
+    parser.add_argument(
+        "--links-only", action="store_true", help="skip code-block execution"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="per-block timeout (seconds)"
+    )
+    args = parser.parse_args(argv)
+
+    missing = [str(p) for p in args.files if not p.is_file()]
+    if missing:
+        print(f"no such file(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    problems = check_links(args.files)
+    if not args.links_only:
+        problems += run_blocks(args.files, args.timeout)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        n = len(args.files)
+        print(f"docs check passed ({n} file{'s' if n != 1 else ''})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
