@@ -12,7 +12,7 @@ import tempfile
 from repro.datasets import imagenet1k
 from repro.experiments.common import policy_cells, scaled_scenario
 from repro.perfmodel import sec6_cluster
-from repro.sim import fig8_policies
+from repro.api import fig8_lineup
 from repro.sweep import SweepRunner
 
 
@@ -25,7 +25,7 @@ def _grid(seed: int = 1):
         scale=0.02,
         seed=seed,
     )
-    return policy_cells(config, fig8_policies())
+    return policy_cells(config, fig8_lineup())
 
 
 def test_sweep_throughput(benchmark, report):

@@ -12,7 +12,8 @@ from __future__ import annotations
 from repro.datasets import DatasetModel
 from repro.experiments.common import format_table
 from repro.perfmodel import sec6_cluster
-from repro.sim import SimulationConfig, Simulator, analytic_lower_bound, fig8_policies
+from repro.api import fig8_lineup
+from repro.sim import SimulationConfig, Simulator, analytic_lower_bound
 from repro.units import GB
 
 # A 60 GB dataset of ~0.25 MB samples on a 4-node cluster whose workers
@@ -34,7 +35,7 @@ def main() -> None:
     )
     lb = analytic_lower_bound(config)
     sim = Simulator(config)
-    results = sim.run_many(fig8_policies())
+    results = sim.run_many(fig8_lineup())
 
     rows = []
     for name, res in sorted(results.items(), key=lambda kv: kv[1].total_time_s):

@@ -1,6 +1,21 @@
 """NoPFS reproduction: clairvoyant prefetching for distributed ML I/O.
 
-Public entry points:
+The public API (lazily imported — ``import repro`` stays cheap):
+
+* :class:`~repro.api.scenario.Scenario` /
+  :class:`~repro.api.session.Session` — describe a simulation as data
+  and run it (:mod:`repro.api`).
+* ``POLICIES`` / ``DATASETS`` / ``SYSTEMS`` — the string-keyed
+  registries, with :func:`~repro.api.presets.make_policy` /
+  ``make_dataset`` / ``make_system`` one-liners.
+* :class:`~repro.sim.result.SimulationResult` and
+  :class:`~repro.sim.config.SimulationConfig` — simulation outputs
+  and their fully-materialized configuration.
+* :class:`~repro.sweep.runner.SweepRunner` /
+  :class:`~repro.sweep.grid.ScenarioGrid` — the parallel, cached
+  sweep engine underneath.
+
+Subsystem packages remain importable directly:
 
 * :mod:`repro.core` — clairvoyant access streams and frequency analysis.
 * :mod:`repro.perfmodel` — the Sec 4 I/O performance model.
@@ -9,8 +24,49 @@ Public entry points:
 * :mod:`repro.loader` — iterator-style data loaders (Fig 7 API).
 * :mod:`repro.datasets` — dataset models and paper presets.
 * :mod:`repro.experiments` — one module per paper table/figure.
+
+The consolidated CLI is ``python -m repro`` (:mod:`repro.cli`).
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+#: Lazily-resolved public exports: name -> (module, attribute).
+_LAZY_EXPORTS = {
+    "DATASETS": ("repro.api", "DATASETS"),
+    "DatasetSpec": ("repro.api", "DatasetSpec"),
+    "POLICIES": ("repro.api", "POLICIES"),
+    "PolicySpec": ("repro.api", "PolicySpec"),
+    "SYSTEMS": ("repro.api", "SYSTEMS"),
+    "Scenario": ("repro.api", "Scenario"),
+    "ScenarioGrid": ("repro.sweep", "ScenarioGrid"),
+    "Session": ("repro.api", "Session"),
+    "SimulationConfig": ("repro.sim", "SimulationConfig"),
+    "SimulationResult": ("repro.sim", "SimulationResult"),
+    "SweepCell": ("repro.sweep", "SweepCell"),
+    "SweepOutcome": ("repro.sweep", "SweepOutcome"),
+    "SweepRunner": ("repro.sweep", "SweepRunner"),
+    "SystemSpec": ("repro.api", "SystemSpec"),
+    "make_dataset": ("repro.api", "make_dataset"),
+    "make_policy": ("repro.api", "make_policy"),
+    "make_system": ("repro.api", "make_system"),
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """Resolve a public export on first access (PEP 562)."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__() -> list:
+    """Advertise lazy exports to introspection alongside real globals."""
+    return sorted({*globals(), *_LAZY_EXPORTS})

@@ -1,0 +1,73 @@
+"""The unified scenario layer: registries, `Scenario`, `Session`.
+
+One import gives callers everything needed to describe and run an
+experiment as data::
+
+    from repro.api import Scenario, Session
+
+    scenario = Scenario(
+        dataset="mnist", system="sec6_cluster:2", policy="nopfs",
+        batch_size=16, num_epochs=2, scale=0.2,
+    )
+    result = Session(jobs=2, cache_dir=".cache").run(scenario)
+
+* :mod:`repro.api.registry` — the generic string-keyed
+  :class:`~repro.api.registry.Registry` (duplicate registration
+  raises; unknown names suggest near-misses).
+* :mod:`repro.api.presets` — the built-in ``POLICIES`` / ``DATASETS``
+  / ``SYSTEMS`` registries and the paper's figure lineups.
+* :mod:`repro.api.scenario` — :class:`~repro.api.scenario.Scenario`
+  and its axis specs: JSON round-trip, materialization, sweep-cache
+  fingerprints identical to the constructor-era path.
+* :mod:`repro.api.session` — :class:`~repro.api.session.Session`, the
+  run/sweep facade shared by the CLI, the figure modules and future
+  services.
+
+The consolidated CLI (``python -m repro``) lives in :mod:`repro.cli`.
+"""
+
+from .presets import (
+    DATASETS,
+    FIG8_POLICIES,
+    POLICIES,
+    SYSTEMS,
+    TABLE1_POLICIES,
+    fig8_lineup,
+    make_dataset,
+    make_policy,
+    make_system,
+    table1_lineup,
+)
+from .registry import (
+    DuplicateNameError,
+    Registry,
+    RegistryEntry,
+    RegistryError,
+    UnknownNameError,
+)
+from .scenario import DatasetSpec, PolicySpec, Scenario, SystemSpec, scaled_scenario
+from .session import Session
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "DuplicateNameError",
+    "FIG8_POLICIES",
+    "POLICIES",
+    "PolicySpec",
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "SYSTEMS",
+    "Scenario",
+    "Session",
+    "SystemSpec",
+    "TABLE1_POLICIES",
+    "UnknownNameError",
+    "fig8_lineup",
+    "make_dataset",
+    "make_policy",
+    "make_system",
+    "scaled_scenario",
+    "table1_lineup",
+]

@@ -1,0 +1,196 @@
+"""The library's built-in registries: policies, datasets, systems.
+
+Everything the paper evaluates is registered here by name, so any
+scenario is constructible from plain data:
+
+* ``POLICIES`` — the Sec 6 I/O strategy lineup. Families with modes
+  use the ``name:variant`` shorthand (``"deepio:opportunistic"``,
+  ``"lbann:dynamic"``, ``"pytorch:4"``); every concrete policy
+  ``.name`` (``"deepio_ordered"``, ...) resolves via aliases.
+* ``DATASETS`` — the Sec 6.1 evaluation datasets (``"mnist"`` ...
+  ``"cosmoflow512"``), factories keyed on ``seed``.
+* ``SYSTEMS`` — the machine presets (``"sec6_cluster"``,
+  ``"piz_daint"``, ``"lassen"``); ``:N`` sets the worker count
+  (``"sec6_cluster:8"``).
+
+The module-level helpers :func:`make_policy` / :func:`make_dataset` /
+:func:`make_system` are the one-line spellings of
+``REGISTRY.create(spec)``. Figure lineups (:data:`FIG8_POLICIES`,
+:data:`TABLE1_POLICIES`) are tuples of *names*, so experiment modules
+never import a concrete policy class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..datasets import DatasetModel
+from ..datasets import registry as _dataset_registry
+from ..perfmodel import SystemModel, lassen, piz_daint, sec6_cluster
+from ..sim.policies import (
+    DeepIOPolicy,
+    DoubleBufferPolicy,
+    LBANNPolicy,
+    LocalityAwarePolicy,
+    NaivePolicy,
+    NoPFSPolicy,
+    ParallelStagingPolicy,
+    PerfectPolicy,
+    Policy,
+    StagingBufferPolicy,
+)
+from .registry import Registry
+
+__all__ = [
+    "DATASETS",
+    "FIG8_POLICIES",
+    "POLICIES",
+    "SYSTEMS",
+    "TABLE1_POLICIES",
+    "fig8_lineup",
+    "make_dataset",
+    "make_policy",
+    "make_system",
+    "table1_lineup",
+]
+
+#: The Sec 6 I/O strategies, by name.
+POLICIES: Registry = Registry("policy", plural="policies")
+
+#: The Sec 6.1 evaluation datasets, by name.
+DATASETS: Registry = Registry("dataset")
+
+#: The machine presets (Sec 6.1 cluster, Piz Daint, Lassen), by name.
+SYSTEMS: Registry = Registry("system")
+
+
+# -- policies ----------------------------------------------------------
+
+POLICIES.register("perfect", PerfectPolicy, summary="No-I/O lower bound: skip fetching entirely")
+POLICIES.register("naive", NaivePolicy, summary="Synchronous PFS reads, no prefetch or cache")
+POLICIES.register(
+    "staging_buffer", StagingBufferPolicy, summary="tf.data-style staging ring, no cache"
+)
+POLICIES.register(
+    "pytorch",
+    DoubleBufferPolicy,
+    summary="PyTorch DataLoader double buffering (:N = prefetch_batches)",
+    variant_param="prefetch_batches",
+)
+POLICIES.register(
+    "deepio",
+    DeepIOPolicy,
+    summary="DeepIO memory-only first-touch cache (:ordered | :opportunistic)",
+    variant_param="mode",
+)
+POLICIES.register(
+    "parallel_staging", ParallelStagingPolicy, summary="Staging phase then node-local reads"
+)
+POLICIES.register(
+    "lbann",
+    LBANNPolicy,
+    summary="LBANN in-memory data store (:dynamic | :preloading)",
+    variant_param="mode",
+)
+POLICIES.register(
+    "locality_aware", LocalityAwarePolicy, summary="Locality-aware single-copy caching"
+)
+POLICIES.register(
+    "nopfs", NoPFSPolicy, summary="NoPFS: clairvoyant frequency-ranked hierarchy-aware caching"
+)
+
+# Concrete policy .name spellings resolve too, so sweep tags and paper
+# row keys (deepio_ordered, lbann_dynamic, ...) are valid specs.
+POLICIES.alias("deepio_ordered", "deepio", mode="ordered")
+POLICIES.alias("deepio_opportunistic", "deepio", mode="opportunistic")
+POLICIES.alias("lbann_dynamic", "lbann", mode="dynamic")
+POLICIES.alias("lbann_preloading", "lbann", mode="preloading")
+
+
+# -- datasets ----------------------------------------------------------
+
+DATASETS.register("mnist", _dataset_registry.mnist)
+DATASETS.register("imagenet1k", _dataset_registry.imagenet1k)
+DATASETS.register("openimages", _dataset_registry.openimages)
+DATASETS.register("imagenet22k", _dataset_registry.imagenet22k)
+DATASETS.register("cosmoflow", _dataset_registry.cosmoflow)
+DATASETS.register("cosmoflow512", _dataset_registry.cosmoflow512)
+
+DATASETS.alias("imagenet_1k", "imagenet1k")
+DATASETS.alias("imagenet_22k", "imagenet22k")
+DATASETS.alias("cosmoflow_512", "cosmoflow512")
+
+
+# -- systems -----------------------------------------------------------
+
+SYSTEMS.register(
+    "sec6_cluster",
+    sec6_cluster,
+    summary="The paper's Sec 6.1 simulation cluster (:N = num_workers)",
+    variant_param="num_workers",
+)
+SYSTEMS.register(
+    "piz_daint",
+    piz_daint,
+    summary="Piz Daint per-rank model, RAM-only cache (:N = num_workers)",
+    variant_param="num_workers",
+)
+SYSTEMS.register(
+    "lassen",
+    lassen,
+    summary="Lassen per-rank model, RAM + NVMe SSD tiers (:N = num_workers)",
+    variant_param="num_workers",
+)
+
+
+# -- helpers -----------------------------------------------------------
+
+
+def make_policy(spec: str | Mapping[str, Any], **overrides: Any) -> Policy:
+    """Build a :class:`~repro.sim.Policy` from a registry spec."""
+    return POLICIES.create(spec, **overrides)
+
+
+def make_dataset(spec: str | Mapping[str, Any], **overrides: Any) -> DatasetModel:
+    """Build a :class:`~repro.datasets.DatasetModel` from a registry spec."""
+    return DATASETS.create(spec, **overrides)
+
+
+def make_system(spec: str | Mapping[str, Any], **overrides: Any) -> SystemModel:
+    """Build a :class:`~repro.perfmodel.SystemModel` from a registry spec."""
+    return SYSTEMS.create(spec, **overrides)
+
+
+#: Fig 8's nine-policy bar lineup, in the paper's plot order.
+FIG8_POLICIES: tuple[str, ...] = (
+    "naive",
+    "staging_buffer",
+    "deepio:ordered",
+    "deepio:opportunistic",
+    "parallel_staging",
+    "lbann:dynamic",
+    "lbann:preloading",
+    "locality_aware",
+    "nopfs",
+)
+
+#: Frameworks with a Table 1 row, in the paper's row order.
+TABLE1_POLICIES: tuple[str, ...] = (
+    "pytorch",
+    "staging_buffer",
+    "parallel_staging",
+    "deepio:ordered",
+    "lbann:dynamic",
+    "locality_aware",
+    "nopfs",
+)
+
+
+def fig8_lineup() -> list[Policy]:
+    """Fresh policy instances for the Fig 8 lineup, in plot order."""
+    return [make_policy(spec) for spec in FIG8_POLICIES]
+
+
+def table1_lineup() -> list[Policy]:
+    """Fresh policy instances for the Table 1 rows, in row order."""
+    return [make_policy(spec) for spec in TABLE1_POLICIES]

@@ -1,0 +1,283 @@
+"""String-keyed registries: name an object family, build it from data.
+
+The paper frames every experiment as "arbitrary dataset, system, and
+I/O strategy configurations"; a :class:`Registry` makes each of those
+axes addressable *by name* so a scenario can be described entirely in
+plain dicts/JSON/CLI flags and dispatched as data (the foundation the
+ROADMAP's scenario-search and sweep-service items build on).
+
+Three registries ship with the library (:mod:`repro.api.presets`):
+``POLICIES``, ``DATASETS`` and ``SYSTEMS``. Each maps a canonical name
+to a factory plus optional *aliases* (``deepio_ordered`` is
+``deepio`` with ``mode="ordered"`` pre-bound). Specs are resolved from
+three spellings::
+
+    registry.create("nopfs")                       # bare name
+    registry.create("deepio:opportunistic")        # name:variant shorthand
+    registry.create({"name": "lbann", "kwargs": {"mode": "dynamic"}})
+
+The ``name:variant`` form binds the suffix to the entry's declared
+``variant_param`` (coerced to int/float when it parses as a number, so
+``"pytorch:4"`` means ``prefetch_batches=4`` and ``"lassen:512"`` means
+``num_workers=512``).
+
+Failure behaviour is deliberate API surface: registering a name twice
+raises :class:`DuplicateNameError` (a silent overwrite could alias two
+different factories onto one sweep-cache key), and resolving an unknown
+name raises :class:`UnknownNameError` listing near-miss suggestions.
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DuplicateNameError",
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "UnknownNameError",
+    "split_spec_mapping",
+]
+
+
+class RegistryError(ConfigurationError):
+    """Base class of registry-specific failures."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A spec named something no entry or alias matches.
+
+    Subclasses :class:`KeyError` so callers that treat registries as
+    mappings keep working, but renders its plain message (KeyError's
+    default ``str`` is the repr of the missing key).
+    """
+
+    def __str__(self) -> str:
+        """The plain error message (not KeyError's quoted repr)."""
+        return self.args[0] if self.args else ""
+
+
+class DuplicateNameError(RegistryError):
+    """A name or alias was registered twice."""
+
+
+def split_spec_mapping(kind: str, spec: Mapping[str, Any]) -> tuple[str, dict[str, Any]]:
+    """Normalize a spec mapping to ``(name, kwargs)``.
+
+    The one place the accepted mapping spellings are defined: a
+    ``"name"`` key (required), an optional nested ``"kwargs"`` mapping,
+    and any remaining flat keys merged into the kwargs (flat keys win).
+    Shared by :meth:`Registry.resolve` and the
+    :mod:`repro.api.scenario` spec parsers so the dialects cannot
+    drift.
+    """
+    data = dict(spec)
+    name = data.pop("name", None)
+    if name is None:
+        raise RegistryError(
+            f"{kind} spec mapping needs a 'name' key, got {sorted(spec)}"
+        )
+    kwargs = {**data.pop("kwargs", {}), **data}
+    return str(name), kwargs
+
+
+def _coerce_variant(text: str) -> Any:
+    """Interpret a ``name:variant`` suffix: int, then float, then str."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered factory: canonical name, callable, metadata.
+
+    ``variant_param`` names the keyword the ``name:variant`` spec
+    shorthand binds to (``None`` forbids the shorthand for this entry);
+    ``summary`` is the one-line description shown by
+    ``python -m repro list``.
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    summary: str = ""
+    variant_param: str | None = None
+    bound_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self, **kwargs: Any) -> Any:
+        """Call the factory with the alias-bound kwargs under ``kwargs``."""
+        return self.factory(**{**self.bound_kwargs, **kwargs})
+
+
+class Registry:
+    """A name -> factory mapping with aliases, specs and suggestions.
+
+    Parameters
+    ----------
+    kind:
+        Singular noun for error messages and CLI output
+        (``"policy"``, ``"dataset"``, ``"system"``).
+    plural:
+        Plural form for listings; defaults to ``kind + "s"``.
+    """
+
+    def __init__(self, kind: str, plural: str | None = None) -> None:
+        self.kind = kind
+        self.plural = plural or f"{kind}s"
+        self._entries: dict[str, RegistryEntry] = {}
+        self._aliases: dict[str, RegistryEntry] = {}
+        self._families: dict[type, str] = {}
+
+    # -- registration --------------------------------------------------
+
+    @staticmethod
+    def normalize(name: str) -> str:
+        """Canonical key form: lowercase, separators collapsed to ``_``."""
+        return name.strip().lower().replace("-", "_").replace(" ", "_")
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Any] | None = None,
+        *,
+        summary: str = "",
+        variant_param: str | None = None,
+    ) -> Callable[..., Any]:
+        """Register ``factory`` under ``name`` (usable as a decorator).
+
+        ``summary`` defaults to the first line of the factory's
+        docstring. Re-registering a taken name (or shadowing an alias)
+        raises :class:`DuplicateNameError`.
+        """
+
+        def _register(f: Callable[..., Any]) -> Callable[..., Any]:
+            key = self.normalize(name)
+            self._require_free(key)
+            doc = (inspect.getdoc(f) or "").strip().splitlines()
+            entry = RegistryEntry(
+                name=key,
+                factory=f,
+                summary=summary or (doc[0] if doc else ""),
+                variant_param=variant_param,
+            )
+            self._entries[key] = entry
+            if inspect.isclass(f):
+                self._families[f] = key
+            return f
+
+        return _register if factory is None else _register(factory)
+
+    def alias(self, alias: str, target: str, **bound_kwargs: Any) -> None:
+        """Register ``alias`` as ``target`` with ``bound_kwargs`` pre-bound.
+
+        ``deepio_ordered`` is an alias of ``deepio`` with
+        ``mode="ordered"`` — every concrete policy ``.name`` resolves
+        even though only families are registered.
+        """
+        key = self.normalize(alias)
+        self._require_free(key)
+        base = self._lookup(self.normalize(target))
+        self._aliases[key] = RegistryEntry(
+            name=key,
+            factory=base.factory,
+            summary=base.summary,
+            variant_param=base.variant_param,
+            bound_kwargs={**base.bound_kwargs, **bound_kwargs},
+        )
+
+    def _require_free(self, key: str) -> None:
+        if key in self._entries or key in self._aliases:
+            raise DuplicateNameError(
+                f"{self.kind} {key!r} is already registered; "
+                f"pick a distinct name or remove the earlier registration"
+            )
+
+    # -- lookup --------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Canonical entry names, sorted (aliases excluded)."""
+        return sorted(self._entries)
+
+    def known(self) -> list[str]:
+        """Every resolvable name — entries and aliases — sorted."""
+        return sorted({*self._entries, *self._aliases})
+
+    def __contains__(self, name: str) -> bool:
+        """Whether ``name`` (entry or alias) resolves."""
+        key = self.normalize(name)
+        return key in self._entries or key in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate canonical entry names."""
+        return iter(self.names())
+
+    def _lookup(self, key: str) -> RegistryEntry:
+        entry = self._entries.get(key) or self._aliases.get(key)
+        if entry is not None:
+            return entry
+        close = difflib.get_close_matches(key, self.known(), n=3, cutoff=0.5)
+        hint = f"; did you mean: {', '.join(close)}?" if close else ""
+        raise UnknownNameError(
+            f"unknown {self.kind} {key!r}{hint} "
+            f"(known {self.plural}: {', '.join(self.known())})"
+        )
+
+    def get(self, name: str) -> RegistryEntry:
+        """The entry (or alias entry) for ``name``; may raise UnknownNameError."""
+        return self._lookup(self.normalize(name))
+
+    def resolve(self, spec: str | Mapping[str, Any]) -> tuple[RegistryEntry, dict[str, Any]]:
+        """Normalize any accepted spec form to ``(entry, kwargs)``.
+
+        Accepts a bare name, the ``name:variant`` shorthand, or a
+        mapping ``{"name": ..., "kwargs": {...}}`` (extra mapping keys
+        merge into the kwargs, so flat ``{"name": "deepio", "mode":
+        "ordered"}`` works too).
+        """
+        if isinstance(spec, Mapping):
+            name, kwargs = split_spec_mapping(self.kind, spec)
+            entry, variant_kwargs = self.resolve(name)
+            return entry, {**variant_kwargs, **kwargs}
+        if not isinstance(spec, str):
+            raise RegistryError(
+                f"cannot resolve a {self.kind} from {type(spec).__name__!r}; "
+                "pass a name string or a spec mapping"
+            )
+        name, _, variant = spec.partition(":")
+        entry = self._lookup(self.normalize(name))
+        if not variant:
+            return entry, {}
+        if entry.variant_param is None:
+            raise RegistryError(
+                f"{self.kind} {entry.name!r} takes no ':variant' suffix (got {spec!r})"
+            )
+        return entry, {entry.variant_param: _coerce_variant(variant)}
+
+    def create(self, spec: str | Mapping[str, Any], **overrides: Any) -> Any:
+        """Build the object a spec describes (``overrides`` win last)."""
+        entry, kwargs = self.resolve(spec)
+        return entry.build(**{**kwargs, **overrides})
+
+    def family_of(self, cls: type) -> str | None:
+        """The canonical name a class was registered under, if any."""
+        return self._families.get(cls)
+
+    def describe(self) -> list[tuple[str, str]]:
+        """(name, summary) rows for CLI listings — aliases annotated."""
+        rows = [(name, entry.summary) for name, entry in sorted(self._entries.items())]
+        for name, entry in sorted(self._aliases.items()):
+            bound = ", ".join(f"{k}={v!r}" for k, v in sorted(entry.bound_kwargs.items()))
+            target = next(
+                (n for n, e in self._entries.items() if e.factory is entry.factory), "?"
+            )
+            rows.append((name, f"alias of {target}" + (f" ({bound})" if bound else "")))
+        return rows

@@ -1,0 +1,165 @@
+"""`Session`: the one entry point for running scenarios and sweeps.
+
+A :class:`Session` wraps a configured
+:class:`~repro.sweep.runner.SweepRunner` (worker count + result cache)
+behind two verbs:
+
+* :meth:`Session.run` — one :class:`~repro.api.scenario.Scenario` in,
+  one :class:`~repro.sim.result.SimulationResult` out (memoized when
+  the session is cache-backed).
+* :meth:`Session.sweep` — evaluate a whole grid: a
+  :class:`~repro.sweep.grid.ScenarioGrid`, a list of
+  :class:`~repro.sweep.grid.SweepCell` s, or a list of
+  :class:`Scenario` s (tags default to their fingerprints). ``shard``
+  runs only this host's deterministic slice.
+
+The engine, the sweep CLI, the figure modules and any future job-queue
+service all sit on the same runner underneath, so results and cache
+entries are interchangeable across every path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+from ..errors import ConfigurationError, PolicyError
+from ..sim import SimulationResult
+from ..sweep.grid import ScenarioGrid, SweepCell, as_cells
+from ..sweep.runner import SweepOutcome, SweepRunner, SweepStats
+from ..sweep.shard import ShardSpec
+from .scenario import Scenario
+
+__all__ = ["Session"]
+
+#: Grid forms :meth:`Session.sweep` accepts.
+GridLike = ScenarioGrid | Iterable[SweepCell | Scenario | Mapping[str, Any]]
+
+
+class Session:
+    """A configured simulation context: worker pool plus result cache.
+
+    Parameters
+    ----------
+    jobs:
+        Sweep worker processes (``1`` = serial in-process, ``None`` =
+        all cores). Results are identical either way.
+    cache_dir:
+        Root of the on-disk result cache; ``None`` disables caching.
+    """
+
+    def __init__(self, jobs: int | None = 1, cache_dir: str | Path | None = None) -> None:
+        self._runner = SweepRunner(n_jobs=jobs, cache_dir=cache_dir)
+
+    @property
+    def runner(self) -> SweepRunner:
+        """The underlying sweep runner (shared with figure modules)."""
+        return self._runner
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """The cache root, or None when the session is uncached."""
+        return None if self._runner.cache is None else self._runner.cache.root
+
+    @property
+    def stats(self) -> SweepStats:
+        """Lifetime sweep statistics accumulated by this session."""
+        return self._runner.lifetime
+
+    # -- scenario normalization ---------------------------------------
+
+    @staticmethod
+    def as_scenario(scenario: "Scenario | Mapping[str, Any] | str") -> Scenario:
+        """Coerce a scenario argument: instance, dict, or JSON string."""
+        if isinstance(scenario, Scenario):
+            return scenario
+        if isinstance(scenario, Mapping):
+            return Scenario.from_dict(dict(scenario))
+        if isinstance(scenario, str):
+            return Scenario.from_json(scenario)
+        raise ConfigurationError(
+            f"cannot interpret {type(scenario).__name__!r} as a Scenario"
+        )
+
+    @classmethod
+    def as_cells(
+        cls,
+        grid: GridLike,
+        tags: Sequence[Hashable] | None = None,
+    ) -> list[SweepCell]:
+        """Normalize any grid form to a validated :class:`SweepCell` list.
+
+        ``tags`` supplies explicit labels, one per grid entry,
+        positionally — relabelling :class:`SweepCell` entries too.
+        Without it, scenario entries (instances or dicts) are tagged
+        with their fingerprints and cells keep their own tags.
+        """
+        if isinstance(grid, ScenarioGrid):
+            if tags is not None:
+                raise ConfigurationError("tags cannot relabel a ScenarioGrid")
+            return grid.cells()
+        items = list(grid)
+        if tags is not None and len(tags) != len(items):
+            raise ConfigurationError(
+                f"got {len(tags)} tags for {len(items)} grid entries"
+            )
+        cells: list[SweepCell] = []
+        for i, item in enumerate(items):
+            if isinstance(item, SweepCell):
+                if tags is not None:
+                    item = dataclasses.replace(item, tag=tags[i])
+                cells.append(item)
+                continue
+            scenario = cls.as_scenario(item)
+            cells.append(scenario.cell(tag=None if tags is None else tags[i]))
+        return as_cells(cells)
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, scenario: "Scenario | Mapping[str, Any] | str") -> SimulationResult:
+        """Simulate one scenario (cache-memoized) and return its result.
+
+        Raises :class:`~repro.errors.PolicyError` when the policy
+        rejects the scenario (the paper's "Does not support" cells) —
+        single-scenario callers want the loud failure, not a sentinel.
+        """
+        scenario = self.as_scenario(scenario)
+        cell = scenario.cell()
+        outcome = self._runner.run([cell])
+        if outcome.unsupported:
+            reason = outcome.errors.get(cell.tag) or "no reason recorded"
+            raise PolicyError(f"{scenario.label}: {reason}")
+        return outcome[cell.tag]
+
+    def sweep(
+        self,
+        grid: GridLike,
+        *,
+        tags: Sequence[Hashable] | None = None,
+        shard: ShardSpec | str | None = None,
+        strategy: str = "round_robin",
+        jobs: int | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> SweepOutcome:
+        """Evaluate a grid (optionally one shard of it) and collect results.
+
+        ``jobs`` / ``cache_dir`` override the session's configuration
+        for this call only (a one-off runner executes the sweep; its
+        counters are folded into :attr:`stats` so the session totals
+        stay complete).
+        """
+        runner = self._runner
+        if jobs is not None or cache_dir is not None:
+            runner = SweepRunner(
+                n_jobs=self._runner.n_jobs if jobs is None else jobs,
+                cache_dir=self.cache_dir if cache_dir is None else cache_dir,
+            )
+        cells = self.as_cells(grid, tags=tags)
+        if shard is not None:
+            outcome = runner.run_shard(cells, shard, strategy)
+        else:
+            outcome = runner.run(cells)
+        if runner is not self._runner:
+            self._runner.lifetime.accumulate(outcome.stats)
+        return outcome

@@ -1,12 +1,19 @@
-"""CLI entry: ``python -m repro.experiments`` runs the full-paper driver.
+"""Deprecated CLI entry: ``python -m repro.experiments``.
 
-A dedicated ``__main__`` (rather than ``-m repro.experiments.paper``)
-because the package ``__init__`` imports every figure module — running
-a pre-imported submodule with ``-m`` trips runpy's double-import
-warning under ``PYTHONWARNINGS=error``.
+Superseded by ``python -m repro experiments`` (same flags, same
+driver). This shim keeps the old invocation working, warns, and calls
+the same implementation (:func:`repro.experiments.paper.main`).
 """
+
+import warnings
 
 from .paper import main
 
 if __name__ == "__main__":
+    warnings.warn(
+        "'python -m repro.experiments' is deprecated; use "
+        "'python -m repro experiments' instead",
+        DeprecationWarning,
+        stacklevel=1,
+    )
     main()

@@ -3,7 +3,10 @@
 Every experiment module supports a ``scale`` knob that shrinks the
 dataset *and the cache capacities by the same factor*, preserving the
 paper's dataset-size regime (``S`` vs ``d1``/``D``/``ND``) while making
-multi-terabyte scenarios runnable on a laptop. Reported comparisons are
+multi-terabyte scenarios runnable on a laptop. The scaling itself
+(:func:`~repro.api.scenario.scaled_scenario`) lives in the scenario
+layer — :class:`~repro.api.scenario.Scenario` applies the identical
+transform — and is re-exported here for the figure modules. Reported comparisons are
 ratio-based (policy time over lower bound), which the scaling leaves
 invariant; absolute times are also printed for transparency.
 
@@ -21,10 +24,8 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Sequence
 
-from ..datasets import DatasetModel
-from ..errors import ConfigurationError, PolicyError
-from ..perfmodel import SystemModel
-from ..rng import DEFAULT_SEED
+from ..api.scenario import scaled_scenario
+from ..errors import PolicyError
 from ..sim import Policy, SimulationConfig
 from ..sweep import SweepCell, SweepOutcome, SweepRunner
 
@@ -38,40 +39,6 @@ __all__ = [
     "fmt",
     "ratio",
 ]
-
-
-def scaled_scenario(
-    dataset: DatasetModel,
-    system: SystemModel,
-    batch_size: int,
-    num_epochs: int,
-    scale: float = 1.0,
-    seed: int = DEFAULT_SEED,
-    **config_kwargs,
-) -> SimulationConfig:
-    """Build a :class:`SimulationConfig`, shrunk by ``scale`` regime-true.
-
-    ``scale`` multiplies the sample count and every cache-tier capacity;
-    sample sizes, batch size, worker count, PFS curve and compute rates
-    are untouched, so per-batch behaviour and all capacity *ratios* are
-    preserved.
-    """
-    if not 0 < scale <= 1.0:
-        raise ConfigurationError("scale must be in (0, 1]")
-    ds = dataset if scale == 1.0 else dataset.scaled(scale)
-    sys_ = system
-    if scale != 1.0 and system.storage_classes:
-        sys_ = system.with_class_capacities(
-            [c.capacity_mb * scale for c in system.storage_classes]
-        )
-    return SimulationConfig(
-        dataset=ds,
-        system=sys_,
-        batch_size=batch_size,
-        num_epochs=num_epochs,
-        seed=seed,
-        **config_kwargs,
-    )
 
 
 def policy_cells(

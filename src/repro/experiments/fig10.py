@@ -16,7 +16,6 @@ from ..datasets import imagenet1k
 from ..errors import ConfigurationError
 from ..perfmodel import lassen, piz_daint
 from ..rng import DEFAULT_SEED
-from ..sim import DoubleBufferPolicy, LBANNPolicy, NoPFSPolicy, PerfectPolicy
 from ..training import RESNET50_P100, RESNET50_V100
 from . import paper
 from .common import fmt
@@ -32,24 +31,24 @@ LASSEN_GPUS = (32, 128, 512)
 def daint_specs() -> list[PolicySpec]:
     """Piz Daint framework lineup (DALI = faster preprocessing pipeline)."""
     return [
-        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
+        PolicySpec("PyTorch", "pytorch:2"),
         PolicySpec(
             "PyTorch+DALI",
-            lambda: DoubleBufferPolicy(2),
+            "pytorch:2",
             system_tweak=lambda s: s.replace(preprocess_mbps=s.preprocess_mbps * 2),
         ),
-        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
-        PolicySpec("No I/O", lambda: PerfectPolicy()),
+        PolicySpec("NoPFS", "nopfs"),
+        PolicySpec("No I/O", "perfect"),
     ]
 
 
 def lassen_specs() -> list[PolicySpec]:
     """Lassen framework lineup."""
     return [
-        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
-        PolicySpec("LBANN", lambda: LBANNPolicy("dynamic")),
-        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
-        PolicySpec("No I/O", lambda: PerfectPolicy()),
+        PolicySpec("PyTorch", "pytorch:2"),
+        PolicySpec("LBANN", "lbann:dynamic"),
+        PolicySpec("NoPFS", "nopfs"),
+        PolicySpec("No I/O", "perfect"),
     ]
 
 

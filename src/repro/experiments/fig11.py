@@ -15,24 +15,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.presets import make_policy
 from ..datasets import imagenet1k
 from ..perfmodel import piz_daint
 from ..rng import DEFAULT_SEED
-from ..sim import (
-    BatchTimeStats,
-    DoubleBufferPolicy,
-    NoPFSPolicy,
-)
+from ..sim import BatchTimeStats
 from ..sweep import SweepCell
 from ..training import RESNET50_P100
 from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
 __all__ = ["Fig11Result", "cells", "run"]
 
-#: Framework lineup: (label, policy factory) pairs.
+#: Framework lineup: (label, registry policy spec) pairs.
 _SPECS = (
-    ("PyTorch", lambda: DoubleBufferPolicy(2)),
-    ("NoPFS", lambda: NoPFSPolicy()),
+    ("PyTorch", "pytorch:2"),
+    ("NoPFS", "nopfs"),
 )
 
 
@@ -88,8 +85,8 @@ def cells(
             dataset, system, batch_size=64, num_epochs=num_epochs,
             scale=scale, seed=seed,
         )
-        for label, factory in _SPECS:
-            out.append(SweepCell(tag=(gpus, label), config=config, policy=factory()))
+        for label, spec in _SPECS:
+            out.append(SweepCell(tag=(gpus, label), config=config, policy=make_policy(spec)))
     return out
 
 

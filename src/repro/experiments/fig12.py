@@ -13,10 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.presets import make_policy
 from ..datasets import imagenet1k
 from ..perfmodel import piz_daint
 from ..rng import DEFAULT_SEED
-from ..sim import NoPFSPolicy
 from ..sweep import SweepCell
 from ..training import RESNET50_P100
 from . import paper
@@ -83,7 +83,7 @@ def cells(
             dataset, system, batch_size=64, num_epochs=num_epochs,
             scale=scale, seed=seed,
         )
-        out.append(SweepCell(tag=gpus, config=config, policy=NoPFSPolicy()))
+        out.append(SweepCell(tag=gpus, config=config, policy=make_policy("nopfs")))
     return out
 
 

@@ -10,26 +10,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.presets import make_policy
 from ..datasets import imagenet1k
 from ..perfmodel import lassen
 from ..rng import DEFAULT_SEED
-from ..sim import (
-    BatchTimeStats,
-    DoubleBufferPolicy,
-    NoPFSPolicy,
-    PerfectPolicy,
-)
+from ..sim import BatchTimeStats
 from ..sweep import SweepCell
 from ..training import RESNET50_V100
 from .common import format_table, require_supported, resolve_runner, scaled_scenario
 
 __all__ = ["Fig13Result", "cells", "run"]
 
-#: Framework lineup: (label, policy factory) pairs.
+#: Framework lineup: (label, registry policy spec) pairs.
 _SPECS = (
-    ("PyTorch", lambda: DoubleBufferPolicy(2)),
-    ("NoPFS", lambda: NoPFSPolicy()),
-    ("No I/O", lambda: PerfectPolicy()),
+    ("PyTorch", "pytorch:2"),
+    ("NoPFS", "nopfs"),
+    ("No I/O", "perfect"),
 )
 
 
@@ -82,8 +78,8 @@ def cells(
             dataset, system, batch_size=batch, num_epochs=num_epochs,
             scale=scale, seed=seed,
         )
-        for label, factory in _SPECS:
-            out.append(SweepCell(tag=(batch, label), config=config, policy=factory()))
+        for label, spec in _SPECS:
+            out.append(SweepCell(tag=(batch, label), config=config, policy=make_policy(spec)))
     return out
 
 

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from ..datasets import imagenet22k
 from ..perfmodel import lassen
 from ..rng import DEFAULT_SEED
-from ..sim import DoubleBufferPolicy, NoPFSPolicy, PerfectPolicy
 from ..training import RESNET50_22K_V100
 from . import paper
 from .common import fmt
@@ -24,9 +23,9 @@ __all__ = ["Fig14Result", "cells", "run"]
 def _specs() -> list[PolicySpec]:
     """The framework lineup (PyTorch vs NoPFS vs the no-I/O bound)."""
     return [
-        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
-        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
-        PolicySpec("No I/O", lambda: PerfectPolicy()),
+        PolicySpec("PyTorch", "pytorch:2"),
+        PolicySpec("NoPFS", "nopfs"),
+        PolicySpec("No I/O", "perfect"),
     ]
 
 

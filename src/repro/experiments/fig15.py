@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from ..datasets import cosmoflow
 from ..perfmodel import Source, lassen
 from ..rng import DEFAULT_SEED
-from ..sim import DoubleBufferPolicy, NoPFSPolicy, PerfectPolicy
 from ..training import COSMOFLOW_V100
 from . import paper
 from .common import fmt
@@ -26,9 +25,9 @@ __all__ = ["Fig15Result", "cells", "run"]
 def _specs() -> list[PolicySpec]:
     """The framework lineup (PyTorch vs NoPFS vs the no-I/O bound)."""
     return [
-        PolicySpec("PyTorch", lambda: DoubleBufferPolicy(2)),
-        PolicySpec("NoPFS", lambda: NoPFSPolicy()),
-        PolicySpec("No I/O", lambda: PerfectPolicy()),
+        PolicySpec("PyTorch", "pytorch:2"),
+        PolicySpec("NoPFS", "nopfs"),
+        PolicySpec("No I/O", "perfect"),
     ]
 
 

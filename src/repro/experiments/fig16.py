@@ -14,10 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.presets import make_policy
 from ..datasets import imagenet1k
 from ..perfmodel import lassen
 from ..rng import DEFAULT_SEED
-from ..sim import DoubleBufferPolicy, NoPFSPolicy
 from ..sweep import SweepCell
 from ..training import (
     RESNET50_V100,
@@ -97,8 +97,8 @@ def cells(
         scale=scale, seed=seed,
     )
     return [
-        SweepCell(tag="pytorch", config=config, policy=DoubleBufferPolicy(2)),
-        SweepCell(tag="nopfs", config=config, policy=NoPFSPolicy()),
+        SweepCell(tag="pytorch", config=config, policy=make_policy("pytorch:2")),
+        SweepCell(tag="nopfs", config=config, policy=make_policy("nopfs")),
     ]
 
 

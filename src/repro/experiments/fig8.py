@@ -23,8 +23,10 @@ leaves invariant.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
+from ..api.presets import FIG8_POLICIES, make_policy
 from ..datasets import (
     DatasetModel,
     cosmoflow,
@@ -37,12 +39,18 @@ from ..datasets import (
 from ..errors import ConfigurationError
 from ..perfmodel import sec6_cluster
 from ..rng import DEFAULT_SEED
-from ..sim import SimulationConfig, SimulationResult, analytic_lower_bound, fig8_policies
+from ..sim import SimulationConfig, SimulationResult, analytic_lower_bound
 from ..sweep import SweepCell, SweepRunner
 from . import paper
 from .common import format_table, policy_cells, resolve_runner, scaled_scenario
 
 __all__ = ["PanelSpec", "Fig8Panel", "PANELS", "all_cells", "cells", "run", "run_all"]
+
+
+@functools.lru_cache(maxsize=1)
+def _policy_names() -> tuple[str, ...]:
+    """The lineup's concrete policy names, in plot order (row keys)."""
+    return tuple(make_policy(s).name for s in FIG8_POLICIES)
 
 
 @dataclass(frozen=True)
@@ -95,7 +103,7 @@ class Fig8Panel:
     def rows(self) -> list[tuple]:
         """Table rows: policy, measured time, ratio, paper ratio, shares."""
         out = []
-        for name in [p.name for p in fig8_policies()]:
+        for name in _policy_names():
             res = self.results.get(name)
             if res is None:
                 out.append((name, "unsupported", "-", self.paper_ratio(name), "-", "-", "-", "-"))
@@ -159,7 +167,7 @@ def _panel_grid(
 ) -> tuple[float, SimulationConfig, list[SweepCell]]:
     """The single grid-construction path shared by :func:`cells`/:func:`run`."""
     _, scale, config = _panel_config(panel, scale, seed)
-    return scale, config, policy_cells(config, fig8_policies())
+    return scale, config, policy_cells(config, [make_policy(s) for s in FIG8_POLICIES])
 
 
 def cells(

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.presets import make_policy
 from ..datasets import imagenet22k
 from ..perfmodel import sec6_cluster
 from ..rng import DEFAULT_SEED
-from ..sim import NoiseConfig, NoPFSPolicy, analytic_lower_bound
+from ..sim import NoiseConfig, analytic_lower_bound
 from ..sweep import SweepCell, SweepRunner
 from ..units import GB
 from . import paper
@@ -117,7 +118,7 @@ def cells(
                 seed=seed,
                 noise=NoiseConfig.disabled(),
             )
-            out.append(SweepCell(tag=(ram, ssd), config=config, policy=NoPFSPolicy()))
+            out.append(SweepCell(tag=(ram, ssd), config=config, policy=make_policy("nopfs")))
     return out
 
 

@@ -8,10 +8,13 @@ machine model, reporting the paper's metrics: median epoch time
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
 
+from ..api.presets import make_policy
 from ..datasets import DatasetModel
+from ..errors import ConfigurationError
 from ..perfmodel import SystemModel
 from ..rng import DEFAULT_SEED
 from ..sim import (
@@ -29,13 +32,41 @@ __all__ = ["PolicySpec", "ScalePoint", "ScalingResult", "scaling_cells", "run_sc
 class PolicySpec:
     """One framework line in a scaling plot.
 
-    ``system_tweak`` lets a framework adjust the environment it runs on
-    (e.g. DALI's faster preprocessing pipeline).
+    ``policy`` is a registry spec (``"pytorch:2"``, ``"nopfs"``, or a
+    spec mapping) resolved through :data:`repro.api.POLICIES`; passing
+    a zero-argument factory callable instead — positionally or via the
+    legacy ``policy_factory`` keyword — is still accepted but
+    deprecated. ``system_tweak`` lets a framework adjust the
+    environment it runs on (e.g. DALI's faster preprocessing pipeline).
     """
 
     label: str
-    policy_factory: Callable[[], Policy]
+    policy: str | Mapping[str, Any] | Callable[[], Policy] | None = None
     system_tweak: Callable[[SystemModel], SystemModel] | None = None
+    #: Legacy spelling of a callable ``policy``; mutually exclusive.
+    policy_factory: Callable[[], Policy] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.policy_factory is not None:
+            if self.policy is not None:
+                raise ConfigurationError(
+                    "pass either policy or the legacy policy_factory, not both"
+                )
+            object.__setattr__(self, "policy", self.policy_factory)
+        if self.policy is None:
+            raise ConfigurationError(f"PolicySpec {self.label!r} needs a policy spec")
+
+    def build(self) -> Policy:
+        """Materialize this line's policy instance."""
+        if callable(self.policy):
+            warnings.warn(
+                "PolicySpec with a policy factory callable is deprecated; "
+                "pass a registry spec string such as 'pytorch:2' instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.policy()
+        return make_policy(self.policy)
 
 
 @dataclass(frozen=True)
@@ -137,7 +168,7 @@ def scaling_cells(
                 seed=seed,
             )
             out.append(
-                SweepCell(tag=(gpus, spec.label), config=config, policy=spec.policy_factory())
+                SweepCell(tag=(gpus, spec.label), config=config, policy=spec.build())
             )
     return out
 

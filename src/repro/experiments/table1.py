@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim import table1_policies
+from ..api.presets import table1_lineup
 from . import paper
 from .common import format_table
 
@@ -40,7 +40,7 @@ class Table1Result:
 def run() -> Table1Result:
     """Regenerate Table 1 from the policies' capability metadata."""
     rows = []
-    for policy in table1_policies():
+    for policy in table1_lineup():
         marks = policy.capabilities.as_row()
         expected = paper.TABLE1_ROWS[policy.name]
         rows.append(

@@ -1,4 +1,13 @@
-"""All simulated I/O policies (Sec 6's lineup plus the PyTorch variant)."""
+"""All simulated I/O policies (Sec 6's lineup plus the PyTorch variant).
+
+The figure lineups (`fig8_policies` / `table1_policies`) are
+deprecated here in favour of the registry-named lineups in
+:mod:`repro.api.presets` (``FIG8_POLICIES`` / ``TABLE1_POLICIES`` and
+their ``*_lineup()`` builders), which express the same policies as
+plain data.
+"""
+
+import warnings
 
 from .base import Policy, PolicyCapabilities, PreparedPolicy, WorkerLookup
 from .deepio import DeepIOPolicy
@@ -30,7 +39,16 @@ __all__ = [
 
 
 def fig8_policies() -> list[Policy]:
-    """The Fig 8 bar lineup, in the paper's plot order (sans lower bound)."""
+    """Deprecated: use :func:`repro.api.presets.fig8_lineup` instead.
+
+    The Fig 8 bar lineup, in the paper's plot order (sans lower bound).
+    """
+    warnings.warn(
+        "repro.sim.fig8_policies is deprecated; use repro.api.fig8_lineup() "
+        "(or the FIG8_POLICIES registry names) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return [
         NaivePolicy(),
         StagingBufferPolicy(),
@@ -45,7 +63,16 @@ def fig8_policies() -> list[Policy]:
 
 
 def table1_policies() -> list[Policy]:
-    """Frameworks with a Table 1 row, in the paper's row order."""
+    """Deprecated: use :func:`repro.api.presets.table1_lineup` instead.
+
+    Frameworks with a Table 1 row, in the paper's row order.
+    """
+    warnings.warn(
+        "repro.sim.table1_policies is deprecated; use repro.api.table1_lineup() "
+        "(or the TABLE1_POLICIES registry names) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return [
         DoubleBufferPolicy(),
         StagingBufferPolicy(),

@@ -1,13 +1,22 @@
-"""CLI entry: ``python -m repro.sweep`` (run/merge/gc/stats/verify).
+"""Deprecated CLI entry: ``python -m repro.sweep``.
 
-A dedicated ``__main__`` (rather than ``-m repro.sweep.cli``) keeps the
-supported invocation short and avoids runpy's double-import warning for
-pre-imported submodules.
+Superseded by the consolidated CLI — ``python -m repro sweep``
+(run/merge) and ``python -m repro cache`` (gc/stats/verify). This shim
+keeps the old invocation working, warns, and runs the same underlying
+implementation (:mod:`repro.sweep.cli`), so behaviour and exit codes
+are unchanged.
 """
 
 import sys
+import warnings
 
 from .cli import main
 
 if __name__ == "__main__":
+    warnings.warn(
+        "'python -m repro.sweep' is deprecated; use 'python -m repro sweep' "
+        "(run/merge) or 'python -m repro cache' (gc/stats/verify) instead",
+        DeprecationWarning,
+        stacklevel=1,
+    )
     sys.exit(main())

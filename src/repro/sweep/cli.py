@@ -33,6 +33,7 @@ import importlib
 import json
 import sys
 from dataclasses import asdict
+from pathlib import Path
 from typing import Any, Iterable
 
 from ..errors import ConfigurationError
@@ -41,7 +42,17 @@ from .grid import ScenarioGrid, SweepCell, as_cells
 from .runner import SweepRunner
 from .shard import ShardManifest, ShardPlanner, ShardSpec, merge_manifests
 
-__all__ = ["demo_grid", "main", "parse_bytes", "parse_duration"]
+__all__ = [
+    "configure_gc",
+    "configure_merge",
+    "configure_run",
+    "configure_stats",
+    "configure_verify",
+    "demo_grid",
+    "main",
+    "parse_bytes",
+    "parse_duration",
+]
 
 _SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
 _TIME_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
@@ -138,9 +149,44 @@ def _resolve_grid(spec: str, kwargs_json: str | None) -> ScenarioGrid | list[Swe
     )
 
 
+def _load_scenarios(path: str) -> list[SweepCell]:
+    """Cells from a JSON file of scenario dicts (``--scenarios``).
+
+    The file holds either a JSON list of
+    :class:`~repro.api.scenario.Scenario` dicts or an object with a
+    ``"scenarios"`` key. Tags are the scenarios' content fingerprints,
+    so the list is shardable and mergeable like any grid.
+    """
+    from ..api.session import Session  # deferred: api composes on this package
+
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read --scenarios {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"--scenarios {path!r} is not valid JSON: {exc}") from exc
+    if isinstance(data, dict):
+        data = data.get("scenarios")
+    if not isinstance(data, list):
+        raise ConfigurationError(
+            f"--scenarios {path!r} must hold a JSON list of scenario dicts "
+            "(or an object with a 'scenarios' list)"
+        )
+    return Session.as_cells(data)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    grid = _resolve_grid(args.grid, args.grid_kwargs)
-    cells = as_cells(grid)
+    if (args.grid is None) == (args.scenarios is None):
+        raise ConfigurationError("pass exactly one of --grid or --scenarios")
+    if args.scenarios is not None and args.grid_kwargs is not None:
+        raise ConfigurationError("--grid-kwargs only applies to --grid, not --scenarios")
+    if args.grid is not None:
+        grid = _resolve_grid(args.grid, args.grid_kwargs)
+        cells = as_cells(grid)
+        source = args.grid
+    else:
+        cells = _load_scenarios(args.scenarios)
+        source = f"scenarios:{args.scenarios}"
     shard = ShardSpec.parse(args.shard) if args.shard else None
     if shard is not None:
         plan = ShardPlanner(args.strategy).plan(cells, shard.count)
@@ -158,7 +204,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.manifest:
         manifest = ShardManifest.for_cells(
             shard_cells,
-            grid=args.grid,
+            grid=source,
             strategy=args.strategy,
             shard=shard,
             stats=asdict(outcome.stats),
@@ -207,17 +253,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if (report.corrupt and args.strict) else 0
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.sweep",
-        description="Sharded scenario sweeps and result-cache lifecycle.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+def configure_run(sub) -> argparse.ArgumentParser:
+    """Attach the ``run`` subcommand (sweep a grid or one shard of it).
 
+    Shared by the legacy ``python -m repro.sweep`` parser and the
+    consolidated ``python -m repro sweep`` tree (:mod:`repro.cli`).
+    """
     run = sub.add_parser("run", help="sweep a grid (or one shard of it)")
     run.add_argument(
-        "--grid", required=True,
+        "--grid", default=None,
         help="grid source as module:attr (ScenarioGrid, cell list, or callable)",
+    )
+    run.add_argument(
+        "--scenarios", default=None, metavar="FILE",
+        help="JSON file holding a list of Scenario dicts to sweep instead of --grid",
     )
     run.add_argument("--grid-kwargs", default=None, help="JSON kwargs for a callable grid")
     run.add_argument("--shard", default=None, help="run only shard i/K (e.g. 0/3)")
@@ -229,25 +278,41 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-dir", default=None, help="on-disk result cache")
     run.add_argument("--manifest", default=None, help="write a shard manifest here")
     run.set_defaults(func=_cmd_run)
+    return run
 
+
+def configure_merge(sub) -> argparse.ArgumentParser:
+    """Attach the ``merge`` subcommand (union shard caches into one)."""
     merge = sub.add_parser("merge", help="union shard caches into one")
     merge.add_argument("sources", nargs="+", help="shard cache directories")
     merge.add_argument("--into", required=True, help="destination cache directory")
     merge.add_argument("--manifests", nargs="*", default=None, help="shard manifests to union")
     merge.add_argument("--manifest-out", default=None, help="write the merged manifest here")
     merge.set_defaults(func=_cmd_merge)
+    return merge
 
+
+def configure_gc(sub) -> argparse.ArgumentParser:
+    """Attach the ``gc`` subcommand (LRU cache eviction)."""
     gc = sub.add_parser("gc", help="evict LRU cache entries by policy")
     gc.add_argument("--cache-dir", required=True)
     gc.add_argument("--max-bytes", default=None, help="size bound (e.g. 500M, 2G)")
     gc.add_argument("--max-age", default=None, help="age bound (e.g. 3600, 12h, 7d)")
     gc.add_argument("--dry-run", action="store_true", help="report without deleting")
     gc.set_defaults(func=_cmd_gc)
+    return gc
 
+
+def configure_stats(sub) -> argparse.ArgumentParser:
+    """Attach the ``stats`` subcommand (cache size/hit/age summary)."""
     stats = sub.add_parser("stats", help="cache size/hit/age summary")
     stats.add_argument("--cache-dir", required=True)
     stats.set_defaults(func=_cmd_stats)
+    return stats
 
+
+def configure_verify(sub) -> argparse.ArgumentParser:
+    """Attach the ``verify`` subcommand (quarantine corrupt entries)."""
     verify = sub.add_parser("verify", help="quarantine corrupt cache entries")
     verify.add_argument("--cache-dir", required=True)
     verify.add_argument(
@@ -257,6 +322,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true", help="exit non-zero when corruption is found"
     )
     verify.set_defaults(func=_cmd_verify)
+    return verify
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Sharded scenario sweeps and result-cache lifecycle.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    configure_run(sub)
+    configure_merge(sub)
+    configure_gc(sub)
+    configure_stats(sub)
+    configure_verify(sub)
     return parser
 
 

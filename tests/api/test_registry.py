@@ -1,0 +1,150 @@
+"""Registry behaviour: spec forms, aliases, duplicates, near-miss errors."""
+
+import pytest
+
+from repro.api import (
+    DATASETS,
+    POLICIES,
+    SYSTEMS,
+    DuplicateNameError,
+    Registry,
+    RegistryError,
+    UnknownNameError,
+    make_dataset,
+    make_policy,
+    make_system,
+)
+from repro.errors import ConfigurationError
+from repro.sim import DeepIOPolicy, DoubleBufferPolicy
+from repro.sweep import policy_fingerprint
+
+
+class TestSpecForms:
+    def test_bare_name(self):
+        assert make_policy("nopfs").name == "nopfs"
+
+    def test_variant_shorthand_string(self):
+        p = make_policy("deepio:opportunistic")
+        assert p.name == "deepio_opportunistic"
+        assert policy_fingerprint(p) == policy_fingerprint(DeepIOPolicy("opportunistic"))
+
+    def test_variant_shorthand_int_coercion(self):
+        p = make_policy("pytorch:4")
+        assert isinstance(p, DoubleBufferPolicy)
+        assert p.prefetch_batches == 4
+
+    def test_mapping_with_kwargs(self):
+        p = POLICIES.create({"name": "lbann", "kwargs": {"mode": "preloading"}})
+        assert p.name == "lbann_preloading"
+
+    def test_flat_mapping(self):
+        p = POLICIES.create({"name": "deepio", "mode": "ordered"})
+        assert p.name == "deepio_ordered"
+
+    def test_overrides_win_last(self):
+        p = POLICIES.create("pytorch:2", prefetch_batches=8)
+        assert p.prefetch_batches == 8
+
+    def test_alias_resolves_like_family(self):
+        assert policy_fingerprint(make_policy("lbann_dynamic")) == policy_fingerprint(
+            make_policy("lbann:dynamic")
+        )
+
+    def test_normalization(self):
+        assert make_policy("NoPFS").name == "nopfs"
+        assert make_dataset("ImageNet-1k").name == "imagenet1k"
+        assert make_dataset("imagenet_1k").name == "imagenet1k"
+
+    def test_system_variant_sets_workers(self):
+        assert make_system("sec6_cluster:8").num_workers == 8
+        assert make_system("lassen:512").num_workers == 512
+
+    def test_dataset_seed_kwarg(self):
+        assert make_dataset("mnist", seed=7).seed == 7
+
+
+class TestErrors:
+    def test_unknown_name_lists_near_miss(self):
+        with pytest.raises(UnknownNameError) as err:
+            make_policy("nopf")
+        assert "did you mean" in str(err.value)
+        assert "nopfs" in str(err.value)
+
+    def test_unknown_dataset_suggestion(self):
+        with pytest.raises(UnknownNameError) as err:
+            make_dataset("imagenet1")
+        assert "imagenet1k" in str(err.value)
+
+    def test_unknown_name_is_keyerror_and_configurationerror(self):
+        with pytest.raises(KeyError):
+            make_system("lasse-n-typo-zzz")
+        with pytest.raises(ConfigurationError):
+            make_system("lasse-n-typo-zzz")
+
+    def test_unknown_error_str_is_plain(self):
+        try:
+            make_policy("zzz")
+        except UnknownNameError as err:
+            assert not str(err).startswith('"')
+
+    def test_variant_on_variantless_entry(self):
+        with pytest.raises(RegistryError):
+            make_policy("nopfs:fast")
+
+    def test_duplicate_registration_raises(self):
+        reg = Registry("thing")
+        reg.register("a", lambda: 1, summary="one")
+        with pytest.raises(DuplicateNameError):
+            reg.register("a", lambda: 2, summary="two")
+
+    def test_duplicate_alias_raises(self):
+        reg = Registry("thing")
+        reg.register("a", lambda: 1, summary="one")
+        with pytest.raises(DuplicateNameError):
+            reg.alias("a", "a")
+        reg.alias("b", "a")
+        with pytest.raises(DuplicateNameError):
+            reg.alias("b", "a")
+
+    def test_builtin_registries_reject_reregistration(self):
+        for registry, name in ((POLICIES, "nopfs"), (DATASETS, "mnist"), (SYSTEMS, "lassen")):
+            with pytest.raises(DuplicateNameError):
+                registry.register(name, lambda: None, summary="dup")
+
+    def test_alias_of_unknown_target(self):
+        reg = Registry("thing")
+        with pytest.raises(UnknownNameError):
+            reg.alias("b", "missing")
+
+    def test_mapping_without_name(self):
+        with pytest.raises(RegistryError):
+            POLICIES.create({"kwargs": {}})
+
+    def test_bad_spec_type(self):
+        with pytest.raises(RegistryError):
+            POLICIES.create(42)
+
+
+class TestIntrospection:
+    def test_names_excludes_aliases(self):
+        names = POLICIES.names()
+        assert "deepio" in names and "deepio_ordered" not in names
+
+    def test_known_includes_aliases(self):
+        known = POLICIES.known()
+        assert {"deepio", "deepio_ordered", "lbann_preloading"} <= set(known)
+
+    def test_contains_and_iter(self):
+        assert "nopfs" in POLICIES
+        assert "DeepIO_Ordered" in POLICIES
+        assert "bogus" not in POLICIES
+        assert list(POLICIES) == POLICIES.names()
+
+    def test_describe_marks_aliases(self):
+        rows = dict(POLICIES.describe())
+        assert rows["deepio_ordered"].startswith("alias of deepio")
+        assert rows["nopfs"]  # families carry a real summary
+
+    def test_registered_family_lookup(self):
+        assert POLICIES.family_of(DeepIOPolicy) == "deepio"
+        assert POLICIES.family_of(int) is None

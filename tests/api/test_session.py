@@ -1,0 +1,132 @@
+"""Session facade: run/sweep semantics and cache interoperability."""
+
+import pytest
+
+from repro.api import Scenario, Session
+from repro.errors import ConfigurationError, PolicyError
+from repro.sim import Simulator
+from repro.sweep import ScenarioGrid, SweepRunner
+from repro.sweep.grid import SweepCell
+
+
+def tiny(policy="nopfs", **overrides):
+    base = dict(
+        dataset="mnist",
+        system="sec6_cluster:2",
+        batch_size=16,
+        num_epochs=2,
+        scale=0.2,
+    )
+    return Scenario(policy=policy, **{**base, **overrides})
+
+
+SCENARIOS = [tiny("naive"), tiny("staging_buffer"), tiny("nopfs")]
+
+
+class TestRun:
+    def test_run_matches_direct_simulation(self):
+        s = tiny()
+        direct = Simulator(s.build_config()).run(s.build_policy())
+        assert Session().run(s).to_json() == direct.to_json()
+
+    def test_run_accepts_dict_and_json(self):
+        s = tiny()
+        session = Session()
+        expected = session.run(s).to_json()
+        assert session.run(s.to_dict()).to_json() == expected
+        assert session.run(s.to_json()).to_json() == expected
+
+    def test_run_rejects_unsupported_loudly(self):
+        # 1.5 GB of ImageNet-22k against ~0.25 GB aggregate RAM: the
+        # paper's LBANN "Does not support" cell.
+        s = tiny(policy="lbann:dynamic", dataset="imagenet22k", scale=0.001)
+        with pytest.raises(PolicyError):
+            Session().run(s)
+
+    def test_run_is_memoized(self, tmp_path):
+        session = Session(cache_dir=tmp_path / "cache")
+        session.run(tiny())
+        session.run(tiny())
+        assert session.stats.hits == 1
+        assert session.stats.misses == 1
+
+    def test_bad_scenario_type(self):
+        with pytest.raises(ConfigurationError):
+            Session().run(42)
+
+
+class TestSweep:
+    def test_sweep_scenarios_tagged_by_fingerprint(self):
+        outcome = Session().sweep(SCENARIOS)
+        assert set(outcome.results) == {s.fingerprint() for s in SCENARIOS}
+
+    def test_sweep_explicit_tags(self):
+        outcome = Session().sweep(SCENARIOS, tags=["naive", "staging", "nopfs"])
+        assert set(outcome.results) == {"naive", "staging", "nopfs"}
+
+    def test_sweep_tag_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Session().sweep(SCENARIOS, tags=["just-one"])
+
+    def test_sweep_tags_relabel_cells_too(self):
+        cells = [s.cell(tag=f"orig{i}") for i, s in enumerate(SCENARIOS)]
+        outcome = Session().sweep(cells, tags=["a", "b", "c"])
+        assert set(outcome.results) == {"a", "b", "c"}
+
+    def test_sweep_accepts_grid_and_cells(self):
+        s = tiny()
+        grid = ScenarioGrid(
+            datasets=[s.dataset.build(default_seed=s.seed)],
+            systems=[s.system.build()],
+            policies=[s.build_policy()],
+            batch_sizes=[16],
+            epoch_counts=[2],
+        )
+        session = Session()
+        from_grid = session.sweep(grid)
+        from_cells = session.sweep([SweepCell(tag=t, config=c.config, policy=c.policy)
+                                    for t, c in ((c.tag, c) for c in grid.cells())])
+        assert len(from_grid) == len(from_cells) == 1
+
+    def test_sweep_shard_union_equals_full(self):
+        session = Session()
+        full = session.sweep(SCENARIOS)
+        shard0 = session.sweep(SCENARIOS, shard="0/2")
+        shard1 = session.sweep(SCENARIOS, shard="1/2")
+        union = {**shard0.results, **shard1.results}
+        assert set(union) == set(full.results)
+        for tag, result in full.results.items():
+            assert union[tag].to_json() == result.to_json()
+
+    def test_per_call_override_runner(self, tmp_path):
+        session = Session()
+        outcome = session.sweep(SCENARIOS, jobs=1, cache_dir=tmp_path / "c")
+        assert outcome.stats.misses == len(SCENARIOS)
+        assert (tmp_path / "c").is_dir()
+        # one-off runner counters fold into the session totals
+        assert session.stats.cells == len(SCENARIOS)
+
+
+class TestCacheInterop:
+    """ISSUE 3 acceptance: Session sweeps and the pre-refactor
+    SweepRunner path address identical cache entries."""
+
+    def test_session_warm_from_runner_cache(self, tmp_path):
+        cells = [s.cell(tag=i) for i, s in enumerate(SCENARIOS)]
+        runner = SweepRunner(n_jobs=1, cache_dir=tmp_path)
+        runner.run(cells)
+        assert runner.lifetime.misses == len(SCENARIOS)
+
+        session = Session(cache_dir=tmp_path)
+        outcome = session.sweep(SCENARIOS)
+        assert outcome.stats.misses == 0
+        assert outcome.stats.hits == len(SCENARIOS)
+
+    def test_runner_warm_from_session_cache(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.sweep(SCENARIOS)
+
+        runner = SweepRunner(n_jobs=1, cache_dir=tmp_path)
+        outcome = runner.run([s.cell(tag=i) for i, s in enumerate(SCENARIOS)])
+        assert outcome.stats.misses == 0
+        assert outcome.stats.hits == len(SCENARIOS)

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.api import fig8_lineup
 from repro.datasets import DatasetModel
 from repro.perfmodel import Source, sec6_cluster
 from repro.sim import (
-    NaivePolicy,
     NoiseConfig,
     NoPFSPolicy,
     PerfectPolicy,
@@ -14,7 +14,6 @@ from repro.sim import (
     Simulator,
     StagingBufferPolicy,
     analytic_lower_bound,
-    fig8_policies,
 )
 from repro.units import TB
 
@@ -43,7 +42,7 @@ class TestBasicRuns:
 
     def test_run_many_skips_unsupported(self):
         cfg = make_config(total_mb=1.5 * TB, n_samples=20_000)
-        out = Simulator(cfg).run_many(fig8_policies())
+        out = Simulator(cfg).run_many(fig8_lineup())
         assert "lbann_dynamic" not in out  # paper's "Does not support"
         assert "nopfs" in out
 
@@ -64,13 +63,13 @@ class TestDominanceRelations:
     def test_lower_bound_below_everything(self):
         cfg = make_config()
         lb = analytic_lower_bound(cfg)
-        results = Simulator(cfg).run_many(fig8_policies() + [PerfectPolicy()])
+        results = Simulator(cfg).run_many(fig8_lineup() + [PerfectPolicy()])
         for name, res in results.items():
             assert res.total_time_s >= lb - 1e-9, name
 
     def test_naive_is_worst(self):
         cfg = make_config()
-        results = Simulator(cfg).run_many(fig8_policies())
+        results = Simulator(cfg).run_many(fig8_lineup())
         naive = results["naive"].total_time_s
         for name, res in results.items():
             assert res.total_time_s <= naive + 1e-9, name
@@ -161,7 +160,7 @@ class TestAccounting:
         assert res.epochs[-1].gamma == 0.0
 
     def test_stalls_nonnegative(self):
-        for policy in fig8_policies():
+        for policy in fig8_lineup():
             res = Simulator(make_config()).run(policy)
             for e in res.epochs:
                 assert e.stall_mean_s >= 0

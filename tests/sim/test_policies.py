@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.api import fig8_lineup, table1_lineup
 from repro.datasets import DatasetModel
 from repro.errors import ConfigurationError, PolicyError
 from repro.perfmodel import sec6_cluster
@@ -19,8 +20,6 @@ from repro.sim import (
     SimulationConfig,
     StagingBufferPolicy,
     WorkerLookup,
-    fig8_policies,
-    table1_policies,
 )
 from repro.units import GB, TB
 
@@ -203,7 +202,7 @@ class TestNoPFS:
 
 class TestRegistry:
     def test_fig8_lineup_order(self):
-        names = [p.name for p in fig8_policies()]
+        names = [p.name for p in fig8_lineup()]
         assert names == [
             "naive",
             "staging_buffer",
@@ -218,7 +217,7 @@ class TestRegistry:
 
     def test_table1_rows_match_paper(self):
         """Table 1's check/cross pattern, row by row."""
-        rows = {p.name: p.capabilities.as_row() for p in table1_policies()}
+        rows = {p.name: p.capabilities.as_row() for p in table1_lineup()}
         assert rows["pytorch"] == ("no", "yes", "yes", "no", "yes")
         assert rows["staging_buffer"] == ("no", "yes", "no", "no", "yes")
         assert rows["parallel_staging"] == ("yes", "no", "no", "no", "yes")
@@ -229,7 +228,7 @@ class TestRegistry:
 
     def test_nopfs_only_fully_capable(self):
         """Only NoPFS has every Table 1 capability (the paper's point)."""
-        for p in table1_policies():
+        for p in table1_lineup():
             caps = p.capabilities
             all_yes = all(caps.as_row()[i] == "yes" for i in range(5))
             assert all_yes == (p.name == "nopfs")

@@ -11,6 +11,12 @@ import inspect
 import pytest
 
 AUDITED_MODULES = (
+    "repro.api",
+    "repro.api.presets",
+    "repro.api.registry",
+    "repro.api.scenario",
+    "repro.api.session",
+    "repro.cli",
     "repro.sweep",
     "repro.sweep.cache",
     "repro.sweep.cli",

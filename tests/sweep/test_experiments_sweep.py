@@ -16,9 +16,9 @@ FIG9_SMALL = dict(scale=0.005, ram_gb=(0, 256), ssd_gb=(0, 1024), num_epochs=2)
 class TestFigureGrids:
     def test_fig8_declares_its_grid(self):
         cells = fig8.cells("a", scale=0.5)
-        from repro.sim import fig8_policies
+        from repro.api import fig8_lineup
 
-        assert [c.tag for c in cells] == [p.name for p in fig8_policies()]
+        assert [c.tag for c in cells] == [p.name for p in fig8_lineup()]
         assert all(c.config.dataset.name.startswith("mnist") for c in cells)
 
     def test_fig9_declares_its_grid(self):
