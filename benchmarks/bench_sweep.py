@@ -1,13 +1,16 @@
-"""Sweep-engine throughput: cells/sec cold vs warm, serial vs parallel.
+"""Sweep-engine throughput: executors, cold vs warm, serial vs parallel.
 
-Benchmarks the :mod:`repro.sweep` layer itself on a Fig 8-shaped grid
+Benchmarks the :mod:`repro.sweep` layer itself on Fig 8-shaped grids
 (the nine-policy lineup on ImageNet-1k), reporting simulation
-throughput in grid cells per second, the parallel speedup, and the
-warm-cache hit rate (which should be 100%: a repeated sweep performs
-zero re-simulations).
+throughput in grid cells per second, the executor comparison on a
+multi-scenario grid (where ``batched`` amortizes worker spawn/pickle
+overhead and shares one access-stream build per scenario instead of
+one per cell), and the warm-cache hit rate (which should be 100%: a
+repeated sweep performs zero re-simulations).
 """
 
 import tempfile
+import time
 
 from repro.datasets import imagenet1k
 from repro.experiments.common import policy_cells, scaled_scenario
@@ -26,6 +29,66 @@ def _grid(seed: int = 1):
         seed=seed,
     )
     return policy_cells(config, fig8_lineup())
+
+
+def _multi_scenario_grid(n_scenarios: int = 6):
+    """The batched executor's home turf: many policies x many scenarios.
+
+    Two epochs keeps the per-cell simulation short relative to the
+    access-stream build, which is exactly the overhead the executors
+    differ on: ``process`` pays one build per cell (9 per scenario for
+    the Fig 8 lineup), ``batched`` one per scenario.
+    """
+    cells = []
+    for seed in range(1, n_scenarios + 1):
+        config = scaled_scenario(
+            imagenet1k(seed),
+            sec6_cluster(),
+            batch_size=32,
+            num_epochs=2,
+            scale=0.02,
+            seed=seed,
+        )
+        cells.extend(
+            policy_cells(config, fig8_lineup(), tag_fn=lambda p, s=seed: (s, p.name))
+        )
+    return cells
+
+
+def test_executor_comparison(report):
+    """serial vs process vs batched on a multi-policy scenario grid.
+
+    The ISSUE 4 acceptance criterion: ``batched`` must beat ``process``
+    here — the process executor rebuilds the scenario's access streams
+    once per *cell* (9x per scenario for the Fig 8 lineup), batched
+    once per *scenario batch*.
+    """
+    cells = _multi_scenario_grid()
+    timings: dict[str, float] = {}
+    outcomes = {}
+    for executor, jobs in (("serial", 1), ("process", 2), ("batched", 2)):
+        start = time.perf_counter()
+        outcomes[executor] = SweepRunner(n_jobs=jobs, executor=executor).run(cells)
+        timings[executor] = time.perf_counter() - start
+
+    lines = [
+        f"{name:8s} {timings[name]:7.2f}s  {outcomes[name].stats.render()}"
+        for name in ("serial", "process", "batched")
+    ]
+    lines.append(
+        f"batched vs process speedup: {timings['process'] / timings['batched']:.2f}x"
+    )
+    report("sweep_executors", "\n".join(lines))
+
+    # Identical results are a hard invariant; the speedup is the point.
+    serial = outcomes["serial"]
+    for tag in serial.results:
+        assert outcomes["process"][tag] == serial[tag], tag
+        assert outcomes["batched"][tag] == serial[tag], tag
+    assert timings["batched"] < timings["process"], (
+        f"batched ({timings['batched']:.2f}s) should beat process "
+        f"({timings['process']:.2f}s) on multi-policy scenario grids"
+    )
 
 
 def test_sweep_throughput(benchmark, report):

@@ -1,8 +1,8 @@
 """`Session`: the one entry point for running scenarios and sweeps.
 
 A :class:`Session` wraps a configured
-:class:`~repro.sweep.runner.SweepRunner` (worker count + result cache)
-behind two verbs:
+:class:`~repro.sweep.runner.SweepRunner` (executor + worker count +
+cache backend) behind two verbs:
 
 * :meth:`Session.run` — one :class:`~repro.api.scenario.Scenario` in,
   one :class:`~repro.sim.result.SimulationResult` out (memoized when
@@ -22,10 +22,14 @@ from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
-from typing import Any, Hashable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError, PolicyError
 from ..sim import SimulationResult
+from ..sweep.backends import CacheBackend
+from ..sweep.cache import ResultCache
+from ..sweep.events import ProgressBus, SweepEvent
+from ..sweep.executors import Executor
 from ..sweep.grid import ScenarioGrid, SweepCell, as_cells
 from ..sweep.runner import SweepOutcome, SweepRunner, SweepStats
 from ..sweep.shard import ShardSpec
@@ -38,7 +42,7 @@ GridLike = ScenarioGrid | Iterable[SweepCell | Scenario | Mapping[str, Any]]
 
 
 class Session:
-    """A configured simulation context: worker pool plus result cache.
+    """A configured simulation context: executor, worker pool, cache.
 
     Parameters
     ----------
@@ -47,10 +51,31 @@ class Session:
         all cores). Results are identical either way.
     cache_dir:
         Root of the on-disk result cache; ``None`` disables caching.
+    executor:
+        Execution strategy: ``"serial"`` / ``"process"`` /
+        ``"batched"``, or any :class:`~repro.sweep.executors.Executor`.
+        ``None`` picks the default for ``jobs`` (serial when 1,
+        batched otherwise). Results are bitwise-identical across all
+        built-in executors.
+    cache:
+        Alternative to ``cache_dir``: a cache spec string
+        (``dir:/path``, ``mem:``, ``mem:shared``) or a live
+        :class:`~repro.sweep.backends.CacheBackend` — the seam remote
+        cache stores plug into.
     """
 
-    def __init__(self, jobs: int | None = 1, cache_dir: str | Path | None = None) -> None:
-        self._runner = SweepRunner(n_jobs=jobs, cache_dir=cache_dir)
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache_dir: str | Path | None = None,
+        *,
+        executor: "str | Executor | None" = None,
+        cache: "str | Path | CacheBackend | ResultCache | None" = None,
+    ) -> None:
+        self._executor_spec = executor
+        self._runner = SweepRunner(
+            n_jobs=jobs, cache_dir=cache_dir, executor=executor, cache=cache
+        )
 
     @property
     def runner(self) -> SweepRunner:
@@ -59,8 +84,17 @@ class Session:
 
     @property
     def cache_dir(self) -> Path | None:
-        """The cache root, or None when the session is uncached."""
+        """The cache root for dir-backed caches; None otherwise."""
         return None if self._runner.cache is None else self._runner.cache.root
+
+    @property
+    def bus(self) -> ProgressBus:
+        """The progress bus this session's sweeps publish on.
+
+        ``session.bus.subscribe(cb)`` attaches for the session's whole
+        life; per-sweep listeners pass ``on_event`` to :meth:`sweep`.
+        """
+        return self._runner.bus
 
     @property
     def stats(self) -> SweepStats:
@@ -141,25 +175,46 @@ class Session:
         strategy: str = "round_robin",
         jobs: int | None = None,
         cache_dir: str | Path | None = None,
+        executor: "str | Executor | None" = None,
+        cache: "str | Path | CacheBackend | ResultCache | None" = None,
+        on_event: Callable[[SweepEvent], None] | None = None,
     ) -> SweepOutcome:
         """Evaluate a grid (optionally one shard of it) and collect results.
 
-        ``jobs`` / ``cache_dir`` override the session's configuration
-        for this call only (a one-off runner executes the sweep; its
+        ``jobs`` / ``cache_dir`` / ``executor`` / ``cache`` override
+        the session's configuration for this call only (a one-off
+        runner executes the sweep on the session's progress bus; its
         counters are folded into :attr:`stats` so the session totals
-        stay complete).
+        stay complete). ``on_event`` subscribes a progress listener for
+        just this sweep — every cell lifecycle transition
+        (:mod:`repro.sweep.events`) is delivered to it.
         """
         runner = self._runner
-        if jobs is not None or cache_dir is not None:
+        if any(v is not None for v in (jobs, cache_dir, executor, cache)):
+            if cache is None and cache_dir is None:
+                # Inherit the session's cache *object* so overridden
+                # sweeps still share its entries (and its backend).
+                cache = self._runner.cache
             runner = SweepRunner(
                 n_jobs=self._runner.n_jobs if jobs is None else jobs,
-                cache_dir=self.cache_dir if cache_dir is None else cache_dir,
+                cache_dir=cache_dir,
+                cache=cache,
+                # An explicit per-call executor wins; otherwise re-derive
+                # from the session's spec so a jobs override still picks
+                # the right default (serial for 1, batched above).
+                executor=executor if executor is not None else self._executor_spec,
+                bus=self._runner.bus,
             )
-        cells = self.as_cells(grid, tags=tags)
-        if shard is not None:
-            outcome = runner.run_shard(cells, shard, strategy)
-        else:
-            outcome = runner.run(cells)
+        unsubscribe = None if on_event is None else runner.bus.subscribe(on_event)
+        try:
+            cells = self.as_cells(grid, tags=tags)
+            if shard is not None:
+                outcome = runner.run_shard(cells, shard, strategy)
+            else:
+                outcome = runner.run(cells)
+        finally:
+            if unsubscribe is not None:
+                unsubscribe()
         if runner is not self._runner:
             self._runner.lifetime.accumulate(outcome.stats)
         return outcome

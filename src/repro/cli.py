@@ -111,7 +111,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .api import Session
 
     scenario = build_scenario_from_args(args)
-    session = Session(jobs=args.jobs, cache_dir=args.cache_dir)
+    session = Session(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        executor=args.executor,
+        cache=args.cache,
+    )
     result = session.run(scenario)
     print(f"scenario: {scenario.label} [{result.scenario}] scale={scenario.scale}")
     print(f"fingerprint: {scenario.fingerprint()}")
@@ -154,6 +159,14 @@ def _configure_run(sub) -> None:
                      help="disable the stochastic fetch-noise model")
     run.add_argument("--jobs", type=int, default=1, help="worker processes")
     run.add_argument("--cache-dir", default=None, help="memoize results here")
+    run.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="cache backend spec (dir:/path, mem:NAME); alternative to --cache-dir",
+    )
+    run.add_argument(
+        "--executor", choices=("serial", "process", "batched"), default=None,
+        help="sweep execution strategy (default: derived from --jobs)",
+    )
     run.add_argument("--json", default=None, metavar="FILE|-",
                      help="write the full SimulationResult JSON to FILE ('-' = stdout)")
     run.set_defaults(func=_cmd_run)

@@ -374,6 +374,14 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI entry
     parser.add_argument(
         "--cache-dir", default=None, help="on-disk result cache (default: no cache)"
     )
+    parser.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="cache backend spec (dir:/path, mem:NAME); alternative to --cache-dir",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "process", "batched"), default=None,
+        help="sweep execution strategy (default: derived from --jobs)",
+    )
     parser.add_argument("--profile", choices=("quick", "full"), default="quick")
     parser.add_argument(
         "--figures", default=None, help="comma-separated subset (e.g. fig8,fig9)"
@@ -390,7 +398,12 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI entry
     )
     args = parser.parse_args(argv)
 
-    runner = SweepRunner(n_jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = SweepRunner(
+        n_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        executor=args.executor,
+        cache=args.cache,
+    )
     figures = [f.strip() for f in args.figures.split(",")] if args.figures else None
     if args.artifacts:
         from .artifacts import run_incremental  # deferred: artifacts imports paper

@@ -6,11 +6,20 @@ fully deterministic. This package makes that grid a first-class object:
 
 * :class:`~repro.sweep.grid.ScenarioGrid` declares the axes and expands
   them into :class:`~repro.sweep.grid.SweepCell` s (one simulation each).
-* :class:`~repro.sweep.runner.SweepRunner` fans cells out over a
-  process pool (``n_jobs=1`` falls back to plain in-process execution
-  for debugging) and memoizes every cell's
-  :class:`~repro.sim.result.SimulationResult` in a content-addressed
-  on-disk cache (:class:`~repro.sweep.cache.ResultCache`).
+* :class:`~repro.sweep.runner.SweepRunner` hands cache misses to a
+  pluggable :class:`~repro.sweep.executors.Executor` — ``serial``
+  in-process, ``process`` one-cell-per-worker, or ``batched`` (the
+  parallel default: whole scenario batches per worker, so access
+  streams are built once per scenario, not once per cell) — and
+  memoizes every cell's :class:`~repro.sim.result.SimulationResult`
+  in a content-addressed cache (:class:`~repro.sweep.cache.ResultCache`)
+  over a pluggable :class:`~repro.sweep.backends.CacheBackend`
+  (``dir:/path`` on disk, ``mem:`` in-process, remote stores via
+  :func:`~repro.sweep.backends.register_backend_scheme`).
+* Sweeps stream typed progress events (cell started / cached /
+  finished / unsupported) on the runner's
+  :class:`~repro.sweep.events.ProgressBus` — what the CLI's
+  ``--progress`` flag and ``Session.sweep(on_event=...)`` subscribe to.
 
 Cache entries are keyed by a stable SHA-256 of the fully serialized
 :class:`~repro.sim.config.SimulationConfig`, the policy fingerprint
@@ -44,6 +53,16 @@ across every figure, and its artifact pipeline
 cells or rendering code changed.
 """
 
+from .backends import (
+    CacheBackend,
+    EntryStat,
+    InMemoryBackend,
+    LocalDirBackend,
+    as_backend,
+    memory_backend,
+    parse_cache_spec,
+    register_backend_scheme,
+)
 from .cache import (
     CACHE_SCHEMA_VERSION,
     QUARANTINE_DIR,
@@ -52,6 +71,26 @@ from .cache import (
     cell_key,
     code_fingerprint,
     policy_fingerprint,
+)
+from .events import (
+    CellCached,
+    CellFinished,
+    CellStarted,
+    CellUnsupported,
+    ProgressBus,
+    SweepEvent,
+    SweepFinished,
+    SweepStarted,
+)
+from .executors import (
+    EXECUTORS,
+    BatchedExecutor,
+    CellResult,
+    CellTask,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    resolve_executor,
 )
 from .gc import (
     CacheEntry,
@@ -79,32 +118,56 @@ from .shard import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "EXECUTORS",
     "QUARANTINE_DIR",
+    "BatchedExecutor",
+    "CacheBackend",
     "CacheEntry",
     "CacheIndex",
     "CacheStatsReport",
     "CachedOutcome",
+    "CellCached",
+    "CellFinished",
+    "CellResult",
+    "CellStarted",
+    "CellTask",
+    "CellUnsupported",
+    "EntryStat",
+    "Executor",
     "GCReport",
+    "InMemoryBackend",
+    "LocalDirBackend",
     "MergeReport",
+    "ProcessExecutor",
+    "ProgressBus",
     "ResultCache",
     "ScenarioGrid",
+    "SerialExecutor",
     "ShardManifest",
     "ShardPlan",
     "ShardPlanner",
     "ShardSpec",
     "SweepCell",
+    "SweepEvent",
+    "SweepFinished",
     "SweepOutcome",
     "SweepRunner",
+    "SweepStarted",
     "SweepStats",
     "VerifyReport",
+    "as_backend",
     "cache_stats",
     "cell_key",
     "code_fingerprint",
     "collect_garbage",
     "estimate_cell_cost",
+    "memory_backend",
     "merge_caches",
     "merge_manifests",
+    "parse_cache_spec",
     "policy_fingerprint",
+    "register_backend_scheme",
+    "resolve_executor",
     "scan_entries",
     "verify_cache",
 ]

@@ -1,7 +1,12 @@
-"""Content-addressed on-disk cache for simulation results.
+"""Content-addressed cache for simulation results.
 
-Layout: ``<root>/<key[:2]>/<key>.json``, one JSON file per grid cell,
-where ``key`` is the SHA-256 over the canonical JSON of
+Storage is pluggable (:mod:`repro.sweep.backends`): the default
+:class:`~repro.sweep.backends.LocalDirBackend` keeps the original
+layout — ``<root>/<key[:2]>/<key>.json``, one JSON file per grid cell —
+and :class:`ResultCache` accepts any
+:class:`~repro.sweep.backends.CacheBackend` (or a ``dir:``/``mem:``
+spec string) in place of a directory. ``key`` is the SHA-256 over the
+canonical JSON of
 
 * the full :meth:`~repro.config.ConfigMixin.to_dict` serialization of
   the cell's :class:`~repro.sim.config.SimulationConfig` (dataset,
@@ -28,12 +33,13 @@ Writes are atomic (temp file + :func:`os.replace`), making one cache
 directory safe to share between concurrently sweeping processes.
 
 Corrupt entries — truncated writes from a killed process, foreign
-files — are *quarantined* on read (moved to ``<root>/_quarantine/``)
-and treated as misses, so a damaged cache degrades into re-simulation,
-never a mid-sweep crash; ``python -m repro.sweep verify`` reports and
-sweeps them in bulk. Lifecycle management (stats, LRU GC, shard-cache
-merging) lives in :mod:`repro.sweep.gc`; each hit bumps the entry's
-mtime so that module's LRU eviction order reflects real use.
+files — are *quarantined* on read (set aside by the backend, e.g.
+moved to ``<root>/_quarantine/``) and treated as misses, so a damaged
+cache degrades into re-simulation, never a mid-sweep crash; ``python
+-m repro.sweep verify`` reports and sweeps them in bulk. Lifecycle
+management (stats, LRU GC, shard-cache merging) lives in
+:mod:`repro.sweep.gc`; each hit bumps the entry's LRU clock so that
+module's eviction order reflects real use.
 """
 
 from __future__ import annotations
@@ -42,9 +48,6 @@ import functools
 import hashlib
 import inspect
 import json
-import os
-import tempfile
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -52,6 +55,14 @@ from typing import Any
 from .. import __version__
 from ..errors import ConfigurationError
 from ..sim import Policy, SimulationConfig, SimulationResult
+from .backends import (
+    _ENTRY_GLOB,
+    QUARANTINE_DIR,
+    CacheBackend,
+    LocalDirBackend,
+    _atomic_write_text,
+    as_backend,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -67,19 +78,14 @@ __all__ = [
 #: Bump to invalidate every existing cache entry (serialization changes).
 CACHE_SCHEMA_VERSION = 1
 
-#: Subdirectory corrupt entries are moved to (see :mod:`repro.sweep.gc`).
-QUARANTINE_DIR = "_quarantine"
-
-#: Entry files live in two-hex-char shard dirs; this glob skips the
-#: index, quarantine and temp files that share the cache root.
-_ENTRY_GLOB = "[0-9a-f][0-9a-f]/*.json"
-
 
 def iter_entry_paths(root: str | Path):
     """Yield every cache entry file under ``root`` (shard dirs only).
 
     Skips ``index.json``, the quarantine directory and in-flight temp
-    files — anything not shaped like ``<xx>/<key>.json``.
+    files — anything not shaped like ``<xx>/<key>.json``. Directory
+    caches only; backend-generic consumers iterate
+    :meth:`~repro.sweep.backends.CacheBackend.keys` instead.
     """
     yield from Path(root).glob(_ENTRY_GLOB)
 
@@ -89,29 +95,15 @@ def atomic_write_json(
 ) -> None:
     """Write ``payload`` as JSON crash-safely: temp file + atomic replace.
 
-    The one durability idiom shared by cache entries, the hit index and
-    the shard/artifact manifests — readers never observe a torn file,
-    and a failed write leaves no temp litter behind. ``mode`` restores
-    umask-governed permissions on the mkstemp-created (0600) file so
-    shared directories stay readable across users (Unix only; the 0600
-    default stands elsewhere).
+    The durability idiom shared by the shard/artifact manifests and the
+    dir backend's entries/index (one implementation:
+    ``backends._atomic_write_text``) — readers never observe a torn
+    file, and a failed write leaves no temp litter behind. ``mode``
+    restores umask-governed permissions on the mkstemp-created (0600)
+    file so shared directories stay readable across users (Unix only;
+    the 0600 default stands elsewhere).
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            # fdopen owns fd first so a failing fchmod can't leak it.
-            if mode is not None and hasattr(os, "fchmod"):
-                os.fchmod(fh.fileno(), mode)
-            json.dump(payload, fh, indent=indent)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    _atomic_write_text(Path(path), json.dumps(payload, indent=indent), mode=mode)
 
 #: Policy instance attributes that do not affect simulation output.
 _COSMETIC_ATTRS = ("display_name",)
@@ -242,67 +234,59 @@ class CachedOutcome:
 
 
 class ResultCache:
-    """Filesystem-backed store of :class:`CachedOutcome` s by cell key."""
+    """Backend-backed store of :class:`CachedOutcome` s by cell key.
 
-    #: Orphaned temp files older than this are swept on init. The age
-    #: guard protects a *concurrent* writer's in-flight temp file.
-    _TMP_MAX_AGE_S = 600.0
+    ``store`` names the storage: a directory path (the historical
+    spelling), a ``dir:``/``mem:`` spec string, or any live
+    :class:`~repro.sweep.backends.CacheBackend`. Serialization —
+    what an entry *says* — lives here; how its bytes are kept is
+    entirely the backend's business.
+    """
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        # Read the umask once (os.umask is set-and-restore, a process
-        # global — toggling it per write would race other threads).
-        umask = os.umask(0)
-        os.umask(umask)
-        self._entry_mode = 0o666 & ~umask
+    def __init__(self, store: "str | Path | CacheBackend") -> None:
+        self.backend = as_backend(store)
+        self.backend.prepare()
         #: Hits recorded by this instance since the last flush, folded
-        #: into the on-disk index by :meth:`flush_hit_stats`.
+        #: into the backend's index by :meth:`flush_hit_stats`.
         self._session_hits: dict[str, int] = {}
-        self._sweep_stale_tmp()
 
-    def _sweep_stale_tmp(self) -> None:
-        """Remove temp files orphaned by a killed writer (best effort)."""
-        cutoff = time.time() - self._TMP_MAX_AGE_S
-        for tmp in (*self.root.glob("*.tmp"), *self.root.glob("*/*.tmp")):
-            try:
-                if tmp.stat().st_mtime < cutoff:
-                    tmp.unlink()
-            except OSError:
-                continue
+    @property
+    def root(self) -> Path | None:
+        """The cache directory for dir-backed caches; None otherwise."""
+        return getattr(self.backend, "root", None)
 
     def path_for(self, key: str) -> Path:
-        """Where the entry for ``key`` lives (two-level sharding)."""
-        return self.root / key[:2] / f"{key}.json"
+        """Where the entry for ``key`` lives (dir-backed caches only)."""
+        if not isinstance(self.backend, LocalDirBackend):
+            raise ConfigurationError(
+                f"cache backend {self.backend.url!r} stores no files; "
+                "path_for applies to dir: caches only"
+            )
+        return self.backend.path_for(key)
 
     def get(self, key: str) -> CachedOutcome | None:
         """The memoized outcome for ``key``, or None on a miss.
 
-        A missing file is a plain miss. A present-but-unservable file
+        A missing entry is a plain miss. A present-but-unservable one
         (truncated write from a killed process, foreign JSON, schema
-        drift) is *quarantined* — moved to ``<root>/_quarantine/`` for
-        ``python -m repro.sweep verify`` to report — and then treated
+        drift) is *quarantined* — set aside by the backend for
+        ``python -m repro cache verify`` to report — and then treated
         as a miss, so the cell re-simulates instead of the sweep
-        crashing. Hits bump the entry's mtime (the LRU clock used by
-        :func:`repro.sweep.gc.collect_garbage`) and a session hit
-        counter flushed by :meth:`flush_hit_stats`.
+        crashing. Hits bump the entry's LRU clock (what
+        :func:`repro.sweep.gc.collect_garbage` orders by) and a session
+        hit counter flushed by :meth:`flush_hit_stats`.
         """
-        path = self.path_for(key)
-        outcome = self._load(path)
+        outcome = self._load(key)
         if outcome is None:
             return None
-        try:
-            os.utime(path)  # LRU recency; best-effort (read-only mounts)
-        except OSError:
-            pass
+        self.backend.touch(key)
         self._session_hits[key] = self._session_hits.get(key, 0) + 1
         return outcome
 
-    def _load(self, path: Path) -> CachedOutcome | None:
-        """Deserialize one entry file; quarantine it when unservable."""
-        try:
-            raw = path.read_text()
-        except OSError:
+    def _load(self, key: str) -> CachedOutcome | None:
+        """Deserialize one entry; quarantine it when unservable."""
+        raw = self.backend.read(key)
+        if raw is None:
             return None
         try:
             data = json.loads(raw)
@@ -318,22 +302,11 @@ class ResultCache:
                 error=error,
             )
         except (json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError):
-            self._quarantine(path)
+            self.backend.quarantine(key)
             return None
 
-    def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry aside so it reads as a miss from now on."""
-        qdir = self.root / QUARANTINE_DIR
-        try:
-            qdir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, qdir / path.name)
-        except OSError:
-            # Last resort (e.g. read-only cache): leave it in place;
-            # every read keeps missing, which is still safe.
-            pass
-
     def flush_hit_stats(self) -> None:
-        """Fold this session's hit counts into ``<root>/index.json``.
+        """Fold this session's hit counts into the backend's index.
 
         Called by :class:`~repro.sweep.runner.SweepRunner` after each
         sweep; safe (best-effort) under concurrent writers. Clears the
@@ -343,7 +316,7 @@ class ResultCache:
             return
         from .gc import CacheIndex  # deferred: gc imports this module
 
-        index = CacheIndex(self.root)
+        index = CacheIndex(self.backend)
         index.record_hits(self._session_hits)
         try:
             index.save()
@@ -371,15 +344,18 @@ class ResultCache:
             "result": result_dict,
             "error": outcome.error,
         }
-        atomic_write_json(self.path_for(key), entry, mode=self._entry_mode)
+        # json.dumps with default separators matches the bytes the
+        # pre-backend atomic_write_json path produced, so existing
+        # caches stay warm *and* bitwise-stable across the refactor.
+        self.backend.write(key, json.dumps(entry))
 
     def count(self) -> int:
-        """Number of stored entries (walks the directory; O(entries)).
+        """Number of stored entries (walks the backend; O(entries)).
 
         Deliberately not ``__len__``: that would make an *empty* cache
         falsy, turning the natural ``if cache:`` into a bug.
         """
-        return sum(1 for _ in iter_entry_paths(self.root))
+        return sum(1 for _ in self.backend.keys())
 
     def __contains__(self, key: str) -> bool:
         """Whether :meth:`get` would serve ``key`` (not mere existence).
@@ -388,4 +364,4 @@ class ResultCache:
         the entry's LRU clock untouched, so membership checks from
         monitoring scripts don't shield entries from ``gc --max-age``.
         """
-        return self._load(self.path_for(key)) is not None
+        return self._load(key) is not None

@@ -11,6 +11,11 @@ Subcommands:
     :class:`~repro.sweep.grid.ScenarioGrid`, a list of
     :class:`~repro.sweep.grid.SweepCell` s, or a callable returning
     either (``--grid-kwargs`` passes JSON keyword arguments).
+    ``--executor serial|process|batched`` picks the execution
+    strategy (bitwise-identical results), ``--cache SPEC`` selects a
+    cache backend by URL-style spec (``dir:/path``, ``mem:NAME``) and
+    ``--progress`` streams per-cell progress lines from the runner's
+    event bus to stderr.
 ``merge``
     Union shard caches (and optionally their manifests) into one
     directory that is bitwise-identical to a single-host sweep's.
@@ -37,12 +42,23 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from ..errors import ConfigurationError
+from .events import (
+    CellCached,
+    CellFinished,
+    CellStarted,
+    CellUnsupported,
+    SweepEvent,
+    SweepFinished,
+    SweepStarted,
+)
+from .executors import EXECUTORS
 from .gc import cache_stats, collect_garbage, merge_caches, verify_cache
 from .grid import ScenarioGrid, SweepCell, as_cells
 from .runner import SweepRunner
 from .shard import ShardManifest, ShardPlanner, ShardSpec, merge_manifests
 
 __all__ = [
+    "ProgressPrinter",
     "configure_gc",
     "configure_merge",
     "configure_run",
@@ -53,6 +69,48 @@ __all__ = [
     "parse_bytes",
     "parse_duration",
 ]
+
+
+class ProgressPrinter:
+    """Human-readable sweep progress, one line per completed cell.
+
+    A :class:`~repro.sweep.events.ProgressBus` subscriber
+    (``--progress``): prints ``[done/total] tag: status`` as cells
+    complete — cached, simulated (with the cell's own wall time), or
+    unsupported (with the recorded reason) — and the end-of-sweep
+    stats summary. Writes to stderr by default so stdout stays
+    machine-consumable (rankings, manifests, JSON).
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.total = 0
+
+    def _line(self, text: str) -> None:
+        print(text, file=self.stream)
+
+    def __call__(self, event: SweepEvent) -> None:
+        """Render one bus event (the subscriber entry point)."""
+        if isinstance(event, SweepStarted):
+            self.done, self.total = 0, event.total
+            return
+        if isinstance(event, SweepFinished):
+            self._line(f"sweep: {event.stats.render()}")
+            return
+        if isinstance(event, CellStarted):
+            return  # completion lines carry the signal; starts are noise
+        if isinstance(event, CellCached):
+            status = "cached" if event.supported else "cached (unsupported)"
+        elif isinstance(event, CellFinished):
+            status = f"done in {event.elapsed_s:.2f}s"
+        elif isinstance(event, CellUnsupported):
+            status = f"unsupported: {event.error}" if event.error else "unsupported"
+        else:
+            return
+        self.done += 1
+        width = len(str(self.total)) or 1
+        self._line(f"[{self.done:>{width}}/{self.total}] {event.tag}: {status}")
 
 _SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
 _TIME_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
@@ -198,7 +256,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         shard_cells = cells
         print(f"grid: {len(cells)} cells (unsharded)")
-    runner = SweepRunner(n_jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = SweepRunner(
+        n_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        executor=args.executor,
+        cache=args.cache,
+    )
+    if args.progress:
+        runner.bus.subscribe(ProgressPrinter())
     outcome = runner.run(shard_cells)
     print(outcome.stats.render())
     if args.manifest:
@@ -208,7 +273,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             shard=shard,
             stats=asdict(outcome.stats),
-            cache_dir=args.cache_dir,
+            cache_dir=args.cache_dir if args.cache_dir is not None else args.cache,
         )
         manifest.save(args.manifest)
         print(f"manifest: {args.manifest} ({len(manifest.cells)} cells)")
@@ -231,9 +296,21 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_store(args: argparse.Namespace) -> str:
+    """The cache naming a lifecycle subcommand was given.
+
+    ``--cache-dir PATH`` (the historical flag) and ``--cache SPEC``
+    (``dir:/path``, ``mem:NAME``, any registered scheme) are two
+    spellings of the same thing; exactly one is required.
+    """
+    if (args.cache_dir is None) == (args.cache is None):
+        raise ConfigurationError("pass exactly one of --cache-dir or --cache")
+    return args.cache_dir if args.cache_dir is not None else args.cache
+
+
 def _cmd_gc(args: argparse.Namespace) -> int:
     report = collect_garbage(
-        args.cache_dir,
+        _cache_store(args),
         max_bytes=None if args.max_bytes is None else parse_bytes(args.max_bytes),
         max_age_s=None if args.max_age is None else parse_duration(args.max_age),
         dry_run=args.dry_run,
@@ -243,12 +320,12 @@ def _cmd_gc(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    print(cache_stats(args.cache_dir).render())
+    print(cache_stats(_cache_store(args)).render())
     return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    report = verify_cache(args.cache_dir, quarantine=not args.no_quarantine)
+    report = verify_cache(_cache_store(args), quarantine=not args.no_quarantine)
     print(report.render())
     return 1 if (report.corrupt and args.strict) else 0
 
@@ -275,7 +352,21 @@ def configure_run(sub) -> argparse.ArgumentParser:
         help="shard partition strategy",
     )
     run.add_argument("--jobs", type=int, default=1, help="sweep worker processes")
+    run.add_argument(
+        "--executor", choices=EXECUTORS, default=None,
+        help="execution strategy (default: serial for --jobs 1, else batched; "
+        "results are bitwise-identical across all three)",
+    )
     run.add_argument("--cache-dir", default=None, help="on-disk result cache")
+    run.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="cache backend spec (dir:/path, mem:, mem:NAME); "
+        "alternative to --cache-dir",
+    )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="stream per-cell progress lines + the sweep summary to stderr",
+    )
     run.add_argument("--manifest", default=None, help="write a shard manifest here")
     run.set_defaults(func=_cmd_run)
     return run
@@ -292,10 +383,19 @@ def configure_merge(sub) -> argparse.ArgumentParser:
     return merge
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the two cache-naming spellings lifecycle commands accept."""
+    parser.add_argument("--cache-dir", default=None, help="cache directory")
+    parser.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="cache backend spec (dir:/path, mem:NAME); alternative to --cache-dir",
+    )
+
+
 def configure_gc(sub) -> argparse.ArgumentParser:
     """Attach the ``gc`` subcommand (LRU cache eviction)."""
     gc = sub.add_parser("gc", help="evict LRU cache entries by policy")
-    gc.add_argument("--cache-dir", required=True)
+    _add_store_flags(gc)
     gc.add_argument("--max-bytes", default=None, help="size bound (e.g. 500M, 2G)")
     gc.add_argument("--max-age", default=None, help="age bound (e.g. 3600, 12h, 7d)")
     gc.add_argument("--dry-run", action="store_true", help="report without deleting")
@@ -306,7 +406,7 @@ def configure_gc(sub) -> argparse.ArgumentParser:
 def configure_stats(sub) -> argparse.ArgumentParser:
     """Attach the ``stats`` subcommand (cache size/hit/age summary)."""
     stats = sub.add_parser("stats", help="cache size/hit/age summary")
-    stats.add_argument("--cache-dir", required=True)
+    _add_store_flags(stats)
     stats.set_defaults(func=_cmd_stats)
     return stats
 
@@ -314,7 +414,7 @@ def configure_stats(sub) -> argparse.ArgumentParser:
 def configure_verify(sub) -> argparse.ArgumentParser:
     """Attach the ``verify`` subcommand (quarantine corrupt entries)."""
     verify = sub.add_parser("verify", help="quarantine corrupt cache entries")
-    verify.add_argument("--cache-dir", required=True)
+    _add_store_flags(verify)
     verify.add_argument(
         "--no-quarantine", action="store_true", help="report corruption without moving files"
     )

@@ -1,0 +1,140 @@
+"""Typed sweep progress events and the callback bus they travel on.
+
+Every :class:`~repro.sweep.runner.SweepRunner` owns a
+:class:`ProgressBus`; the runner and its
+:mod:`~repro.sweep.executors` executor publish one event per lifecycle
+transition of every grid cell:
+
+* :class:`SweepStarted` / :class:`SweepFinished` bracket each
+  :meth:`~repro.sweep.runner.SweepRunner.run` call;
+* :class:`CellCached` — the cell was served from the result cache
+  (no simulation);
+* :class:`CellStarted` — the cell was dispatched for simulation
+  (in-process, or submitted to a worker);
+* :class:`CellFinished` — the simulation completed with a result;
+* :class:`CellUnsupported` — the policy rejected the scenario
+  (:class:`~repro.errors.PolicyError`, the paper's "Does not support"
+  cells).
+
+Subscribers are plain callables taking one event. The CLI's
+``--progress`` printer, :meth:`Session.sweep(on_event=...)
+<repro.api.session.Session.sweep>` and the ROADMAP's long-running sweep
+service (streaming job progress to remote clients) all attach here —
+the executors never know who is listening.
+
+Events are emitted from the sweeping process (never from pool
+workers), in completion order; ``index`` ties an event back to its
+cell's position in the sweep's cell list. Subscriber exceptions
+propagate to the caller — a broken subscriber is a bug, not something
+to swallow silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+__all__ = [
+    "CellCached",
+    "CellFinished",
+    "CellStarted",
+    "CellUnsupported",
+    "ProgressBus",
+    "SweepEvent",
+    "SweepFinished",
+    "SweepStarted",
+]
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """Base class for everything published on a :class:`ProgressBus`."""
+
+
+@dataclass(frozen=True)
+class SweepStarted(SweepEvent):
+    """A sweep began; ``total`` counts every cell, cached or not."""
+
+    total: int
+
+
+@dataclass(frozen=True)
+class SweepFinished(SweepEvent):
+    """A sweep completed; ``stats`` is its final counter snapshot."""
+
+    stats: "object"  # SweepStats; untyped to avoid a circular import
+
+
+@dataclass(frozen=True)
+class CellEvent(SweepEvent):
+    """Base for per-cell events: which cell, by tag and list position."""
+
+    tag: Hashable
+    index: int
+
+
+@dataclass(frozen=True)
+class CellCached(CellEvent):
+    """The cell was answered from the cache (``supported`` is the
+    memoized verdict — unsupported rejections are cached too)."""
+
+    supported: bool = True
+
+
+@dataclass(frozen=True)
+class CellStarted(CellEvent):
+    """The cell was dispatched for simulation."""
+
+
+@dataclass(frozen=True)
+class CellFinished(CellEvent):
+    """The cell's simulation completed with a result.
+
+    ``elapsed_s`` is the simulation wall time measured where the
+    simulation ran (inside the worker for pool executors).
+    """
+
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class CellUnsupported(CellEvent):
+    """The policy rejected the scenario; ``error`` is the recorded why."""
+
+    error: str = ""
+
+
+#: The subscriber shape: any callable consuming one event.
+Subscriber = Callable[[SweepEvent], None]
+
+
+class ProgressBus:
+    """A minimal synchronous callback bus for sweep progress.
+
+    Deliberately not thread-aware: all events are emitted from the
+    process driving the sweep, so subscribers run on the caller's
+    thread, in subscription order.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[Subscriber] = []
+
+    def subscribe(self, callback: Subscriber) -> Callable[[], None]:
+        """Attach ``callback``; returns a zero-argument unsubscriber."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass  # already unsubscribed; idempotent
+
+        return unsubscribe
+
+    def emit(self, event: SweepEvent) -> None:
+        """Deliver ``event`` to every subscriber, in subscription order."""
+        for callback in tuple(self._subscribers):
+            callback(event)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)

@@ -1,0 +1,416 @@
+"""Pluggable sweep execution: the :class:`Executor` protocol.
+
+:class:`~repro.sweep.runner.SweepRunner` no longer hard-wires *how*
+cache misses get simulated — it hands the pending cells to an executor
+and records whatever comes back. Three implementations ship:
+
+``serial`` (:class:`SerialExecutor`)
+    In-process, one cell at a time — easiest to debug/profile. One
+    shared :class:`~repro.sim.engine.Simulator` per scenario reuses the
+    expensive access streams across consecutive cells on the same
+    config (Fig 8's nine policies on one scenario build their streams
+    once), keeping only the *current* scenario's streams alive.
+
+``process`` (:class:`ProcessExecutor`)
+    One cell per :class:`~concurrent.futures.ProcessPoolExecutor`
+    task. Maximum scheduling freedom, but every cell pays a fresh
+    ``Simulator`` — the access streams are rebuilt per *cell*.
+
+``batched`` (:class:`BatchedExecutor`) — **the default when
+``n_jobs > 1``**
+    Groups cells by scenario (canonical serialized config) and
+    dispatches whole *scenario batches* to workers: each worker
+    rebuilds one ``Simulator`` and runs all of that scenario's
+    policies against shared access streams. This amortizes
+    spawn/pickle overhead and restores the serial path's stream reuse
+    under parallelism — on multi-policy grids it pays one stream
+    build per scenario instead of one per cell.
+
+All three produce **bitwise-identical** results: every path simulates
+from the same serialized config, and the simulator is deterministic in
+the config's seed. Executors emit typed
+:mod:`~repro.sweep.events` progress events (cell started / finished /
+unsupported) through the ``emit`` callback — always from the sweeping
+process, never from workers — and *yield* results as they land, so the
+runner can memoize each cell the moment it completes (an interrupted
+sweep keeps its finished cells).
+
+Failure contract: a :class:`~repro.errors.PolicyError` is data (an
+"unsupported" cell result); any other exception aborts the sweep.
+Executors cancel undispatched work, keep draining/yielding the results
+that did complete, then raise the first error — so a restart only
+re-simulates what truly never ran. The batched worker returns its
+partial batch alongside the failure for the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+from ..errors import ConfigurationError, PolicyError
+from ..sim import Policy, SimulationConfig, Simulator
+from .events import CellFinished, CellStarted, CellUnsupported, SweepEvent
+from .grid import SweepCell
+
+__all__ = [
+    "EXECUTORS",
+    "BatchedExecutor",
+    "CellResult",
+    "CellTask",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "resolve_executor",
+]
+
+#: Executor spec names accepted by :func:`resolve_executor` / the CLI.
+EXECUTORS = ("serial", "process", "batched")
+
+#: The event sink executors publish progress through.
+Emit = Callable[[SweepEvent], None]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One pending simulation handed to an executor.
+
+    ``config_dict`` is the cell's serialized config — the runner fills
+    it (memoized per config object) for out-of-process executors,
+    which must rebuild the config worker-side; in-process executors
+    may receive None and use ``cell.config`` directly.
+    """
+
+    index: int
+    cell: SweepCell
+    config_dict: dict[str, Any] | None = None
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One completed simulation, in the wire format the cache stores.
+
+    Either ``result_dict`` (a serialized
+    :class:`~repro.sim.result.SimulationResult`) or ``error`` (the
+    recorded :class:`~repro.errors.PolicyError` message) is set —
+    mirroring :class:`~repro.sweep.cache.CachedOutcome`.
+    """
+
+    index: int
+    result_dict: dict[str, Any] | None
+    error: str | None
+    elapsed_s: float = 0.0
+
+    @property
+    def supported(self) -> bool:
+        """Whether the policy ran on this scenario."""
+        return self.result_dict is not None
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """How a batch of pending cells gets simulated.
+
+    Implementations yield a :class:`CellResult` per task, in completion
+    order, emitting progress events along the way; ``name`` labels the
+    strategy in stats and manifests; ``in_process`` tells the runner
+    whether tasks need their configs serialized (workers in other
+    processes cannot share the parent's objects).
+    """
+
+    name: str
+    in_process: bool
+
+    def execute(
+        self, tasks: Sequence[CellTask], emit: Emit
+    ) -> Iterator[CellResult]:
+        """Simulate ``tasks``, yielding one result each as it completes."""
+        ...
+
+
+def _task_config_dict(task: CellTask) -> dict[str, Any]:
+    """The serialized config a pool payload needs (runner pre-fills it)."""
+    if task.config_dict is not None:
+        return task.config_dict
+    return task.cell.config.to_dict()
+
+
+def _simulate_cell(
+    payload: tuple[dict[str, Any], Policy],
+) -> tuple[dict[str, Any] | None, str | None, float]:
+    """Run one cell from its serialized form (top-level: picklable).
+
+    Returns ``(result_dict, None, elapsed)`` or ``(None, policy_error,
+    elapsed)``. The result crosses the process boundary in dict form —
+    the same representation the cache stores — so every path through
+    the runner yields results reconstructed by the same (lossless)
+    deserializer.
+    """
+    config_dict, policy = payload
+    config = SimulationConfig.from_dict(config_dict)
+    start = time.perf_counter()
+    try:
+        result = Simulator(config).run(policy)
+    except PolicyError as exc:
+        return None, str(exc), time.perf_counter() - start
+    return result.to_dict(), None, time.perf_counter() - start
+
+
+def _simulate_batch(
+    payload: tuple[dict[str, Any], list[tuple[int, Policy]]],
+) -> tuple[list[tuple[int, dict[str, Any] | None, str | None, float]], BaseException | None]:
+    """Run one scenario batch: one Simulator, many policies (picklable).
+
+    Returns ``(completed_cells, failure)``: on an unexpected error the
+    cells that finished *before* it are returned alongside the
+    exception, so the parent can memoize them before re-raising —
+    a crash mid-batch loses only the crashing cell's work.
+    """
+    config_dict, items = payload
+    sim = Simulator(SimulationConfig.from_dict(config_dict))
+    done: list[tuple[int, dict[str, Any] | None, str | None, float]] = []
+    for index, policy in items:
+        start = time.perf_counter()
+        try:
+            raw: tuple[dict[str, Any] | None, str | None] = (sim.run(policy).to_dict(), None)
+        except PolicyError as exc:
+            raw = (None, str(exc))
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent to re-raise
+            return done, exc
+        done.append((index, raw[0], raw[1], time.perf_counter() - start))
+    return done, None
+
+
+def _emit_completion(emit: Emit, task: CellTask, result: CellResult) -> None:
+    """Publish the finished/unsupported event for one completed cell."""
+    if result.supported:
+        emit(CellFinished(tag=task.cell.tag, index=task.index, elapsed_s=result.elapsed_s))
+    else:
+        emit(
+            CellUnsupported(
+                tag=task.cell.tag, index=task.index, error=result.error or ""
+            )
+        )
+
+
+class SerialExecutor:
+    """In-process execution with per-scenario Simulator reuse."""
+
+    name = "serial"
+    in_process = True
+
+    def execute(self, tasks: Sequence[CellTask], emit: Emit) -> Iterator[CellResult]:
+        """Simulate each task in order, yielding results as they finish."""
+        # Share one Simulator across consecutive cells on the same
+        # config — but keep only the *current* one alive (grids are
+        # config-major; retaining every scenario's streams would
+        # balloon peak memory on many-config sweeps).
+        sim_config_id: int | None = None
+        sim: Simulator | None = None
+        for task in tasks:
+            cell = task.cell
+            if sim is None or id(cell.config) != sim_config_id:
+                sim_config_id = id(cell.config)
+                sim = Simulator(cell.config)
+            emit(CellStarted(tag=cell.tag, index=task.index))
+            start = time.perf_counter()
+            try:
+                raw: tuple[dict[str, Any] | None, str | None] = (
+                    sim.run(cell.policy).to_dict(),
+                    None,
+                )
+            except PolicyError as exc:
+                raw = (None, str(exc))
+            result = CellResult(
+                index=task.index,
+                result_dict=raw[0],
+                error=raw[1],
+                elapsed_s=time.perf_counter() - start,
+            )
+            _emit_completion(emit, task, result)
+            yield result
+
+
+class _PoolExecutorBase:
+    """Shared pool plumbing: submit, drain, cancel-on-failure, raise."""
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("executor max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+
+    def _drain(self, futures: dict, handle) -> Iterator[CellResult]:
+        """Yield results as futures land; cancel the rest on first failure.
+
+        ``handle(futures[future], future.result())`` turns one future's
+        payload into CellResults (or raises what the worker shipped).
+        Memoization happens caller-side per yielded result, so cells
+        completed before an unexpected failure survive a restart.
+        """
+        first_error: BaseException | None = None
+        for future in as_completed(futures):
+            try:
+                payload = future.result()
+            except BaseException as exc:  # noqa: BLE001 - deferred re-raise below
+                if first_error is None:
+                    first_error = exc
+                    for other in futures:
+                        other.cancel()
+                continue
+            try:
+                yield from handle(futures[future], payload)
+            except GeneratorExit:
+                # The consumer closed us mid-drain (it raised between
+                # results); cancel what we can and let close() proceed.
+                for other in futures:
+                    other.cancel()
+                raise
+            except BaseException as exc:  # noqa: BLE001 - worker-shipped failure
+                if first_error is None:
+                    first_error = exc
+                    for other in futures:
+                        other.cancel()
+        if first_error is not None:
+            raise first_error
+
+
+class ProcessExecutor(_PoolExecutorBase):
+    """One cell per pool task (the historical ``n_jobs > 1`` path)."""
+
+    name = "process"
+    in_process = False
+
+    def execute(self, tasks: Sequence[CellTask], emit: Emit) -> Iterator[CellResult]:
+        """Fan one pool task out per cell; yield in completion order."""
+        if len(tasks) == 1:
+            # A lone cell (Session.run, a warm sweep's single miss)
+            # is not worth a worker process — run it in-process, as
+            # the pre-protocol runner did. Results are identical.
+            yield from SerialExecutor().execute(tasks, emit)
+            return
+        workers = max(1, min(self.max_workers, len(tasks)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict = {}
+            for task in tasks:
+                future = pool.submit(
+                    _simulate_cell, (_task_config_dict(task), task.cell.policy)
+                )
+                futures[future] = task
+                emit(CellStarted(tag=task.cell.tag, index=task.index))
+
+            def handle(task: CellTask, payload) -> Iterator[CellResult]:
+                result_dict, error, elapsed = payload
+                result = CellResult(
+                    index=task.index,
+                    result_dict=result_dict,
+                    error=error,
+                    elapsed_s=elapsed,
+                )
+                _emit_completion(emit, task, result)
+                yield result
+
+            yield from self._drain(futures, handle)
+
+
+class BatchedExecutor(_PoolExecutorBase):
+    """Scenario-batched dispatch: one Simulator per scenario per worker.
+
+    Cells are grouped by their canonical serialized config — the
+    scenario fingerprint — in first-seen order, so two equal-but-
+    distinct config objects still share one batch. Each batch is one
+    pool task: the worker rebuilds the scenario's ``Simulator`` once
+    and runs every policy in the batch against its shared access
+    streams.
+    """
+
+    name = "batched"
+    in_process = False
+
+    @staticmethod
+    def group(tasks: Sequence[CellTask]) -> list[list[CellTask]]:
+        """Batches of tasks sharing one scenario, in first-seen order."""
+        # The serialization memo keys on the config *object* (kept
+        # alive by its cell, so ids cannot be recycled mid-loop), while
+        # batches key on the canonical JSON — equal-but-distinct
+        # configs still share one batch.
+        group_keys: dict[int, str] = {}  # id(cell.config) -> canonical JSON
+        batches: dict[str, list[CellTask]] = {}
+        for task in tasks:
+            config_id = id(task.cell.config)
+            group_key = group_keys.get(config_id)
+            if group_key is None:
+                group_key = group_keys[config_id] = json.dumps(
+                    _task_config_dict(task), sort_keys=True, separators=(",", ":")
+                )
+            batches.setdefault(group_key, []).append(task)
+        return list(batches.values())
+
+    def execute(self, tasks: Sequence[CellTask], emit: Emit) -> Iterator[CellResult]:
+        """Fan one pool task out per scenario batch; yield per cell."""
+        if len(tasks) == 1:
+            # A lone cell is not worth a worker process (see
+            # ProcessExecutor); the serial path shares its semantics.
+            yield from SerialExecutor().execute(tasks, emit)
+            return
+        batches = self.group(tasks)
+        workers = max(1, min(self.max_workers, len(batches)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict = {}
+            for batch in batches:
+                payload = (
+                    _task_config_dict(batch[0]),
+                    [(t.index, t.cell.policy) for t in batch],
+                )
+                future = pool.submit(_simulate_batch, payload)
+                futures[future] = batch
+                for task in batch:
+                    emit(CellStarted(tag=task.cell.tag, index=task.index))
+            by_index = {task.index: task for task in tasks}
+
+            def handle(batch: list[CellTask], payload) -> Iterator[CellResult]:
+                done, failure = payload
+                for index, result_dict, error, elapsed in done:
+                    task = by_index[index]
+                    result = CellResult(
+                        index=index,
+                        result_dict=result_dict,
+                        error=error,
+                        elapsed_s=elapsed,
+                    )
+                    _emit_completion(emit, task, result)
+                    yield result
+                if failure is not None:
+                    raise failure
+
+            yield from self._drain(futures, handle)
+
+
+def resolve_executor(spec: "str | Executor | None", n_jobs: int) -> Executor:
+    """Normalize an executor naming to a live instance.
+
+    ``None`` picks the default for the worker count: ``serial`` when
+    ``n_jobs == 1`` (in-process, debuggable, stream-reusing), else
+    ``batched`` (the parallel path that keeps the stream reuse).
+    Strings name the built-ins; anything implementing the protocol
+    passes through — the seam a distributed executor plugs into.
+    """
+    if spec is None:
+        spec = "serial" if n_jobs == 1 else "batched"
+    if isinstance(spec, str):
+        if spec == "serial":
+            return SerialExecutor()
+        if spec == "process":
+            return ProcessExecutor(n_jobs)
+        if spec == "batched":
+            return BatchedExecutor(n_jobs)
+        raise ConfigurationError(
+            f"unknown executor {spec!r}; known: {', '.join(EXECUTORS)}"
+        )
+    if isinstance(spec, Executor):
+        return spec
+    raise ConfigurationError(
+        f"cannot interpret {type(spec).__name__!r} as a sweep executor"
+    )

@@ -1,36 +1,37 @@
 """Cache lifecycle: index, stats, GC, verification, shard merging.
 
 The :class:`~repro.sweep.cache.ResultCache` is append-only during
-sweeps; this module is everything that happens to the directory
-*between* sweeps:
+sweeps; this module is everything that happens to the store *between*
+sweeps. Every function here speaks the
+:class:`~repro.sweep.backends.CacheBackend` protocol — pass a live
+backend, a ``dir:``/``mem:`` spec string, or a plain directory path
+(the historical spelling) interchangeably:
 
-* :class:`CacheIndex` — a best-effort on-disk index (``index.json`` at
-  the cache root) accumulating per-entry hit counts; recency is carried
-  by the entry files' mtimes, which :meth:`ResultCache.get` bumps on
-  every hit. Hit counts can undercount under concurrent writers (last
-  merge wins); mtime-based recency — what GC orders by — cannot.
+* :class:`CacheIndex` — a best-effort index document (``index.json``
+  at a dir cache's root) accumulating per-entry hit counts; recency is
+  carried by the entries' LRU clocks, which
+  :meth:`ResultCache.get` bumps on every hit. Hit counts can
+  undercount under concurrent writers (last merge wins); clock-based
+  recency — what GC orders by — cannot.
 * :func:`scan_entries` / :func:`cache_stats` — enumerate entries with
-  size/mtime/hit stats (``python -m repro.sweep stats``).
+  size/mtime/hit stats (``python -m repro cache stats``).
 * :func:`collect_garbage` — LRU eviction under ``max_bytes`` and/or
-  ``max_age_s`` policies (``python -m repro.sweep gc``).
+  ``max_age_s`` policies (``python -m repro cache gc``).
 * :func:`verify_cache` — detect corrupt/truncated/foreign entries and
-  quarantine them under ``_quarantine/`` so the next sweep re-simulates
-  those cells (``python -m repro.sweep verify``).
-* :func:`merge_caches` — union shard caches into one directory. Entries
+  quarantine them so the next sweep re-simulates those cells
+  (``python -m repro cache verify``).
+* :func:`merge_caches` — union shard caches into one store. Entries
   are content-addressed and byte-stable, so merging the caches of a
   sharded sweep reproduces the single-host cache bit for bit.
 
-Nothing here blocks concurrent sweeps: eviction and quarantine use
-atomic renames/removals, and a sweep that loses an entry mid-run simply
-re-simulates that cell.
+Nothing here blocks concurrent sweeps: eviction and quarantine use the
+backend's atomic operations, and a sweep that loses an entry mid-run
+simply re-simulates that cell.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import shutil
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,7 +39,8 @@ from typing import Sequence
 
 from ..errors import ConfigurationError
 from ..sim import SimulationResult
-from .cache import QUARANTINE_DIR, ResultCache, atomic_write_json, iter_entry_paths
+from .backends import CacheBackend, LocalDirBackend, as_backend
+from .cache import ResultCache
 
 __all__ = [
     "CacheEntry",
@@ -58,44 +60,51 @@ __all__ = [
 INDEX_SCHEMA_VERSION = 1
 
 
+def _store_label(backend: CacheBackend) -> Path | str:
+    """How a store is reported: its root path when on disk, else its URL."""
+    root = getattr(backend, "root", None)
+    return root if isinstance(root, Path) else backend.url
+
+
 @dataclass(frozen=True)
 class CacheEntry:
-    """One cache entry's on-disk stats.
+    """One cache entry's storage stats.
 
     ``mtime`` doubles as the LRU clock: writes set it and cache hits
-    bump it, so "oldest mtime" means "least recently used".
+    bump it, so "oldest mtime" means "least recently used". ``path``
+    is the entry's file for dir-backed caches, None otherwise.
     """
 
     key: str
-    path: Path
+    path: Path | None
     size_bytes: int
     mtime: float
     hits: int = 0
 
 
 class CacheIndex:
-    """The cache's sidecar hit-count index (``<root>/index.json``).
+    """The cache's sidecar hit-count index (``index.json`` document).
 
     Persists cumulative per-entry hit counters between processes.
     Updates are read-merge-write with an atomic replace: concurrent
     flushes may drop each other's increments (documented best-effort),
-    but the file never tears.
+    but the document never tears.
     """
 
     FILENAME = "index.json"
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.path = self.root / self.FILENAME
+    def __init__(self, store: "str | Path | CacheBackend") -> None:
+        self.backend = as_backend(store)
         self.hits: dict[str, int] = {}
         #: Keys explicitly dropped (evicted/quarantined entries); the
-        #: save-time merge must not resurrect their on-disk counters.
+        #: save-time merge must not resurrect their stored counters.
         self._dropped: set[str] = set()
         self._load()
 
     def _load(self) -> None:
         try:
-            data = json.loads(self.path.read_text())
+            text = self.backend.read_index()
+            data = json.loads(text) if text is not None else {}
             hits = data.get("hits", {})
             self.hits = {
                 str(k): int(v) for k, v in hits.items() if isinstance(v, (int, float))
@@ -117,43 +126,40 @@ class CacheIndex:
             self._dropped.add(key)
 
     def save(self) -> None:
-        """Atomically persist the index (merging with the file's state).
+        """Atomically persist the index (merging with the stored state).
 
-        Re-reads the on-disk index first so two processes flushing
+        Re-reads the stored index first so two processes flushing
         disjoint keys both land; overlapping keys keep the larger count
         (a flush can only ever add hits).
         """
-        on_disk = CacheIndex.__new__(CacheIndex)
-        on_disk.root, on_disk.path, on_disk.hits = self.root, self.path, {}
-        on_disk._dropped = set()
-        on_disk._load()
-        for key, count in on_disk.hits.items():
+        stored = CacheIndex(self.backend)
+        for key, count in stored.hits.items():
             if key not in self._dropped and self.hits.get(key, 0) < count:
                 self.hits[key] = count
-        atomic_write_json(self.path, {"schema": INDEX_SCHEMA_VERSION, "hits": self.hits})
+        self.backend.write_index(
+            json.dumps({"schema": INDEX_SCHEMA_VERSION, "hits": self.hits})
+        )
 
 
-def scan_entries(root: str | Path) -> list[CacheEntry]:
+def scan_entries(store: "str | Path | CacheBackend") -> list[CacheEntry]:
     """Enumerate the cache's entries with size/mtime/hit stats.
 
     Sorted by ``(mtime, key)`` — LRU order, eviction candidates first.
     Entries that vanish mid-scan (concurrent GC) are skipped.
     """
-    root = Path(root)
-    index = CacheIndex(root)
+    backend = as_backend(store)
+    index = CacheIndex(backend)
     entries: list[CacheEntry] = []
-    for path in iter_entry_paths(root):
-        key = path.stem
-        try:
-            stat = path.stat()
-        except OSError:
+    for key in backend.keys():
+        stat = backend.stat(key)
+        if stat is None:
             continue
         entries.append(
             CacheEntry(
                 key=key,
-                path=path,
-                size_bytes=stat.st_size,
-                mtime=stat.st_mtime,
+                path=backend.path_for(key) if isinstance(backend, LocalDirBackend) else None,
+                size_bytes=stat.size_bytes,
+                mtime=stat.mtime,
                 hits=index.hits.get(key, 0),
             )
         )
@@ -163,9 +169,9 @@ def scan_entries(root: str | Path) -> list[CacheEntry]:
 
 @dataclass(frozen=True)
 class CacheStatsReport:
-    """Aggregate cache statistics (``python -m repro.sweep stats``)."""
+    """Aggregate cache statistics (``python -m repro cache stats``)."""
 
-    root: Path
+    root: Path | str
     entries: int
     total_bytes: int
     total_hits: int
@@ -187,19 +193,18 @@ class CacheStatsReport:
         return "\n".join(lines)
 
 
-def cache_stats(root: str | Path) -> CacheStatsReport:
-    """Aggregate entry count/bytes/hits/age for one cache directory."""
-    root = Path(root)
-    entries = scan_entries(root)
-    quarantined = sum(1 for _ in (root / QUARANTINE_DIR).glob("*.json"))
+def cache_stats(store: "str | Path | CacheBackend") -> CacheStatsReport:
+    """Aggregate entry count/bytes/hits/age for one cache store."""
+    backend = as_backend(store)
+    entries = scan_entries(backend)
     return CacheStatsReport(
-        root=root,
+        root=_store_label(backend),
         entries=len(entries),
         total_bytes=sum(e.size_bytes for e in entries),
         total_hits=sum(e.hits for e in entries),
         oldest_mtime=entries[0].mtime if entries else None,
         newest_mtime=entries[-1].mtime if entries else None,
-        quarantined=quarantined,
+        quarantined=backend.quarantined(),
     )
 
 
@@ -225,7 +230,7 @@ class GCReport:
 
 
 def collect_garbage(
-    root: str | Path,
+    store: "str | Path | CacheBackend",
     max_bytes: int | None = None,
     max_age_s: float | None = None,
     dry_run: bool = False,
@@ -235,8 +240,9 @@ def collect_garbage(
 
     Parameters
     ----------
-    root:
-        Cache directory (the ``cache_dir`` sweeps were run with).
+    store:
+        Cache backend, spec string, or directory (the ``cache_dir``
+        sweeps were run with).
     max_bytes:
         Keep total entry bytes at or below this (evicting least
         recently used first).
@@ -254,7 +260,8 @@ def collect_garbage(
         raise ConfigurationError("max_bytes must be >= 0")
     if max_age_s is not None and max_age_s < 0:
         raise ConfigurationError("max_age_s must be >= 0")
-    entries = scan_entries(root)  # LRU order: oldest mtime first
+    backend = as_backend(store)
+    entries = scan_entries(backend)  # LRU order: oldest mtime first
     now = time.time() if now is None else now
 
     victims: list[CacheEntry] = []
@@ -276,21 +283,15 @@ def collect_garbage(
             victim_keys.add(entry.key)
             live_bytes -= entry.size_bytes
 
-    # Only entries actually removed count as evicted — an unlink that
+    # Only entries actually removed count as evicted — a delete that
     # fails (permissions drift on a shared cache) must neither inflate
     # the report nor erase the survivor's hit history.
     if dry_run:
         removed = victims
     else:
-        removed = []
-        for entry in victims:
-            try:
-                entry.path.unlink()
-            except OSError:
-                continue
-            removed.append(entry)
+        removed = [entry for entry in victims if backend.delete(entry.key)]
         if removed:
-            index = CacheIndex(root)
+            index = CacheIndex(backend)
             index.drop([e.key for e in removed])
             index.save()
     removed_keys = {e.key for e in removed}
@@ -313,7 +314,7 @@ class VerifyReport:
     ok: int
     corrupt: tuple[tuple[str, str], ...]  # (filename, reason) pairs
     quarantined: bool
-    quarantine_dir: Path
+    quarantine_dir: Path | str
 
     def render(self) -> str:
         """Human-readable summary, one line per corrupt entry."""
@@ -327,18 +328,18 @@ class VerifyReport:
         return "\n".join(lines)
 
 
-def _entry_problem(path: Path) -> str | None:
-    """Why ``path`` is not a servable cache entry (None when it is)."""
+def _entry_problem(key: str, raw: str | None) -> str | None:
+    """Why an entry text is not servable under ``key`` (None when it is)."""
+    if raw is None:
+        return "unreadable: entry vanished mid-scan"
     try:
-        data = json.loads(path.read_text())
-    except OSError as exc:
-        return f"unreadable: {exc}"
+        data = json.loads(raw)
     except json.JSONDecodeError as exc:
         return f"invalid JSON: {exc}"
     if not isinstance(data, dict):
         return f"not an entry object (top-level {type(data).__name__})"
-    if data.get("key", path.stem) != path.stem:
-        return f"key field {data.get('key')!r} does not match filename"
+    if data.get("key", key) != key:
+        return f"key field {data.get('key')!r} does not match entry key"
     result = data.get("result")
     error = data.get("error")
     if result is None and error is None:
@@ -351,41 +352,39 @@ def _entry_problem(path: Path) -> str | None:
     return None
 
 
-def verify_cache(root: str | Path, quarantine: bool = True) -> VerifyReport:
+def verify_cache(
+    store: "str | Path | CacheBackend", quarantine: bool = True
+) -> VerifyReport:
     """Check every entry deserializes; quarantine the ones that don't.
 
     Corrupt entries (truncated writes, foreign files, schema drift that
-    slipped past the key) are moved to ``<root>/_quarantine/`` — the
-    next sweep sees a miss and re-simulates the cell — unless
-    ``quarantine=False``, which only reports.
+    slipped past the key) are set aside by the backend — the next sweep
+    sees a miss and re-simulates the cell — unless ``quarantine=False``,
+    which only reports.
     """
-    root = Path(root)
-    qdir = root / QUARANTINE_DIR
+    backend = as_backend(store)
     checked = ok = 0
     corrupt: list[tuple[str, str]] = []
-    for path in iter_entry_paths(root):
+    for key in list(backend.keys()):
         checked += 1
-        problem = _entry_problem(path)
+        problem = _entry_problem(key, backend.read(key))
         if problem is None:
             ok += 1
             continue
-        corrupt.append((path.name, problem))
+        corrupt.append((f"{key}.json", problem))
         if quarantine:
-            qdir.mkdir(parents=True, exist_ok=True)
-            try:
-                os.replace(path, qdir / path.name)
-            except OSError:
-                pass
+            backend.quarantine(key)
     if corrupt and quarantine:
-        index = CacheIndex(root)
+        index = CacheIndex(backend)
         index.drop([Path(name).stem for name, _ in corrupt])
         index.save()
+    label = backend.quarantine_label()
     return VerifyReport(
         checked=checked,
         ok=ok,
         corrupt=tuple(corrupt),
         quarantined=quarantine,
-        quarantine_dir=qdir,
+        quarantine_dir=Path(label) if isinstance(backend, LocalDirBackend) else label,
     )
 
 
@@ -393,8 +392,8 @@ def verify_cache(root: str | Path, quarantine: bool = True) -> VerifyReport:
 class MergeReport:
     """What one :func:`merge_caches` call copied."""
 
-    sources: tuple[Path, ...]
-    dest: Path
+    sources: tuple[Path | str, ...]
+    dest: Path | str
     copied: int
     skipped: int
     copied_bytes: int
@@ -408,58 +407,56 @@ class MergeReport:
         )
 
 
-def merge_caches(sources: Sequence[str | Path], dest: str | Path) -> MergeReport:
+def merge_caches(
+    sources: Sequence["str | Path | CacheBackend"], dest: "str | Path | CacheBackend"
+) -> MergeReport:
     """Union shard caches into ``dest`` (content-addressed, idempotent).
 
     Entries already present in ``dest`` are skipped — identical keys
     hold identical bytes, so first-writer-wins loses nothing. Entry
-    bytes and mtimes are preserved (``copy2``), keeping the merged
-    cache bitwise-identical to a single-host sweep's and its LRU clock
+    texts and LRU clocks are preserved, keeping a merged dir cache
+    bitwise-identical to a single-host sweep's and its eviction order
     honest. A source's hit counters are folded in only for the entries
     copied from it in this call, so re-running a merge (a retried CI
-    step) never double-counts; quarantined files are *not* propagated.
+    step) never double-counts; quarantined entries are *not*
+    propagated. Sources and destination may be any mix of backends —
+    merging shard directories into a shared remote store is the same
+    call as merging directories into a directory.
     """
     if not sources:
         raise ConfigurationError("nothing to merge: no source caches given")
-    dest_cache = ResultCache(dest)  # creates dest, sweeps stale temp files
-    dest_root = dest_cache.root
+    dest_backend = ResultCache(dest).backend  # prepares dest, sweeps stale temp files
     copied = skipped = copied_bytes = 0
-    merged_index = CacheIndex(dest_root)
+    merged_index = CacheIndex(dest_backend)
+    source_backends: list[CacheBackend] = []
     for source in sources:
-        source = Path(source)
-        if not source.is_dir():
-            raise ConfigurationError(f"source cache {source} is not a directory")
-        if source.resolve() == dest_root.resolve():
+        backend = as_backend(source)
+        if isinstance(backend, LocalDirBackend) and not backend.root.is_dir():
+            raise ConfigurationError(f"source cache {backend.root} is not a directory")
+        source_backends.append(backend)
+        if backend.same_store(dest_backend):
             continue
         copied_keys: set[str] = set()
-        for path in iter_entry_paths(source):
-            target = dest_root / path.parent.name / path.name
-            if target.exists():
+        for key in backend.keys():
+            if dest_backend.stat(key) is not None:
                 skipped += 1
                 continue
-            target.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
-            os.close(fd)
-            try:
-                shutil.copy2(path, tmp)
-                os.replace(tmp, target)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            text = backend.read(key)
+            if text is None:  # vanished mid-merge (concurrent GC)
+                continue
+            stat = backend.stat(key)
+            dest_backend.write(key, text, mtime_ns=None if stat is None else stat.mtime_ns)
             copied += 1
-            copied_bytes += path.stat().st_size
-            copied_keys.add(path.stem)
-        source_hits = CacheIndex(source).hits
+            copied_bytes += len(text.encode("utf-8"))
+            copied_keys.add(key)
+        source_hits = CacheIndex(backend).hits
         merged_index.record_hits(
             {key: count for key, count in source_hits.items() if key in copied_keys}
         )
     merged_index.save()
     return MergeReport(
-        sources=tuple(Path(s) for s in sources),
-        dest=dest_root,
+        sources=tuple(_store_label(b) for b in source_backends),
+        dest=_store_label(dest_backend),
         copied=copied,
         skipped=skipped,
         copied_bytes=copied_bytes,

@@ -1,23 +1,28 @@
-"""The sweep executor: cache lookup, fan-out, memoization, stats.
+"""The sweep orchestrator: cache lookup, executor dispatch, memoization.
 
 :class:`SweepRunner` evaluates a grid in three steps:
 
 1. Every cell's content key is checked against the
    :class:`~repro.sweep.cache.ResultCache` (when one is configured);
    hits are returned without any simulation.
-2. Misses are simulated — in-process when ``n_jobs == 1`` (easiest to
-   debug/profile; one shared :class:`~repro.sim.engine.Simulator` per
-   scenario reuses the expensive access streams across policies),
-   otherwise fanned out over a
-   :class:`concurrent.futures.ProcessPoolExecutor`. Workers receive the
-   *serialized* config (dict) plus the pickled policy and rebuild both,
-   so results are independent of the parent's in-memory state; because
-   the simulator is deterministic in the config's seed — and result
-   serialization is lossless — parallel and serial sweeps of the same
-   grid produce bitwise-identical results.
-3. Fresh outcomes are written back to the cache (atomically), and all
-   cells — cached and fresh — are assembled into a
-   :class:`SweepOutcome` indexed by the cells' tags.
+2. Misses are handed to the runner's
+   :class:`~repro.sweep.executors.Executor` — ``serial`` in-process,
+   ``process`` one-cell-per-worker, or ``batched`` (the ``n_jobs > 1``
+   default) which dispatches whole scenario batches so workers reuse
+   one :class:`~repro.sim.engine.Simulator` across a scenario's
+   policies. Results are bitwise-identical across all three: the
+   simulator is deterministic in the config's seed and every path
+   reconstructs results through the same (lossless) serializer.
+3. Fresh outcomes are memoized the moment they land (an interrupted
+   sweep keeps its finished cells), and all cells — cached and fresh —
+   are assembled into a :class:`SweepOutcome` indexed by the cells'
+   tags.
+
+Progress streams on the runner's
+:class:`~repro.sweep.events.ProgressBus` (``runner.bus``): one typed
+event per cell lifecycle transition (cached / started / finished /
+unsupported) plus sweep start/finish brackets — what the CLI's
+``--progress`` printer and the ROADMAP's sweep service subscribe to.
 
 Policies that reject a scenario (:class:`~repro.errors.PolicyError`,
 the paper's "Does not support" cells) land in ``outcome.unsupported``
@@ -28,35 +33,20 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Hashable, Iterable
 
-from ..errors import ConfigurationError, PolicyError
-from ..sim import Policy, SimulationConfig, SimulationResult, Simulator
+from ..errors import ConfigurationError
+from ..sim import SimulationResult
+from .backends import CacheBackend
 from .cache import CachedOutcome, ResultCache, cell_key_from_dict
+from .events import CellCached, ProgressBus, SweepFinished, SweepStarted
+from .executors import CellResult, CellTask, Executor, resolve_executor
 from .grid import ScenarioGrid, SweepCell, as_cells
 from .shard import ShardPlanner, ShardSpec
 
 __all__ = ["SweepOutcome", "SweepRunner", "SweepStats"]
-
-
-def _simulate_payload(payload: tuple[dict[str, Any], Policy]) -> tuple[dict[str, Any] | None, str | None]:
-    """Run one cell from its serialized form (top-level: picklable).
-
-    Returns ``(result_dict, None)`` or ``(None, policy_error_message)``.
-    The result crosses the process boundary in dict form — the same
-    representation the cache stores — so every path through the runner
-    yields results reconstructed by the same (lossless) deserializer.
-    """
-    config_dict, policy = payload
-    config = SimulationConfig.from_dict(config_dict)
-    try:
-        result = Simulator(config).run(policy)
-    except PolicyError as exc:
-        return None, str(exc)
-    return result.to_dict(), None
 
 
 @dataclass
@@ -70,6 +60,7 @@ class SweepStats:
     elapsed_s: float = 0.0
     n_jobs: int = 1
     cached: bool = True
+    executor: str = "serial"
 
     @property
     def hit_rate(self) -> float:
@@ -91,7 +82,7 @@ class SweepStats:
 
     def minus(self, before: "SweepStats") -> "SweepStats":
         """The counter delta since a ``before`` snapshot."""
-        delta = SweepStats(n_jobs=self.n_jobs, cached=self.cached)
+        delta = SweepStats(n_jobs=self.n_jobs, cached=self.cached, executor=self.executor)
         for attr in self._COUNTERS:
             setattr(delta, attr, getattr(self, attr) - getattr(before, attr))
         return delta
@@ -106,7 +97,8 @@ class SweepStats:
         )
         return (
             f"{self.cells} cells in {self.elapsed_s:.2f}s "
-            f"({self.cells_per_sec:.1f} cells/s, n_jobs={self.n_jobs}) | "
+            f"({self.cells_per_sec:.1f} cells/s, n_jobs={self.n_jobs}, "
+            f"executor={self.executor}) | "
             f"{cache} | {self.unsupported} unsupported"
         )
 
@@ -139,8 +131,22 @@ class SweepOutcome:
         return len(self.results)
 
 
+def _resolve_cache(
+    cache: "str | Path | CacheBackend | ResultCache | None",
+    cache_dir: str | Path | None,
+) -> ResultCache | None:
+    """Normalize the two cache namings to one (optional) ResultCache."""
+    if cache is not None and cache_dir is not None:
+        raise ConfigurationError("pass cache or cache_dir, not both")
+    if cache is None:
+        return ResultCache(cache_dir) if cache_dir is not None else None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
 class SweepRunner:
-    """Runs scenario grids, optionally parallel, optionally cached.
+    """Runs scenario grids through a pluggable executor and cache.
 
     Parameters
     ----------
@@ -151,52 +157,100 @@ class SweepRunner:
     cache_dir:
         Root of the on-disk result cache. ``None`` disables caching
         (every cell simulates).
+    executor:
+        Execution strategy: ``"serial"`` / ``"process"`` /
+        ``"batched"``, or any :class:`~repro.sweep.executors.Executor`
+        instance. ``None`` picks ``serial`` for ``n_jobs == 1`` and
+        ``batched`` otherwise.
+    cache:
+        Alternative to ``cache_dir``: a
+        :class:`~repro.sweep.backends.CacheBackend`, a ``dir:``/
+        ``mem:`` spec string, or a ready :class:`ResultCache`.
+    bus:
+        Share an existing :class:`~repro.sweep.events.ProgressBus`
+        (the per-call override runners in
+        :meth:`repro.api.session.Session.sweep` keep one subscriber
+        set across runners this way). ``None`` creates a fresh bus.
     """
 
-    def __init__(self, n_jobs: int | None = 1, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        n_jobs: int | None = 1,
+        cache_dir: str | Path | None = None,
+        *,
+        executor: "str | Executor | None" = None,
+        cache: "str | Path | CacheBackend | ResultCache | None" = None,
+        bus: ProgressBus | None = None,
+    ) -> None:
         if n_jobs is None:
             n_jobs = os.cpu_count() or 1
         if n_jobs < 1:
             raise ConfigurationError("n_jobs must be >= 1 (or None for all cores)")
         self.n_jobs = int(n_jobs)
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.cache = _resolve_cache(cache, cache_dir)
+        self.executor = resolve_executor(executor, self.n_jobs)
+        #: The progress bus every sweep on this runner publishes to.
+        self.bus = bus if bus is not None else ProgressBus()
         #: Totals accumulated over every :meth:`run` call on this runner —
         #: the full-paper driver reports one line for its whole sweep.
-        self.lifetime = SweepStats(n_jobs=self.n_jobs, cached=self.cache is not None)
+        self.lifetime = SweepStats(
+            n_jobs=self.n_jobs,
+            cached=self.cache is not None,
+            executor=self.executor.name,
+        )
 
     def run(self, grid: ScenarioGrid | Iterable[SweepCell]) -> SweepOutcome:
         """Evaluate every cell of ``grid`` and collect the outcome."""
         cells = as_cells(grid)
         stats = SweepStats(
-            cells=len(cells), n_jobs=self.n_jobs, cached=self.cache is not None
+            cells=len(cells),
+            n_jobs=self.n_jobs,
+            cached=self.cache is not None,
+            executor=self.executor.name,
         )
         start = time.perf_counter()
+        self.bus.emit(SweepStarted(total=len(cells)))
+
+        # Configs are serialized only when a cache key or a pool
+        # payload needs them, and once per config object (grids share
+        # one config across their policy cells).
+        serialize_configs = self.cache is not None or not self.executor.in_process
+        config_dicts: dict[int, dict[str, Any]] = {}  # id(config) -> to_dict()
+
+        def config_dict_of(cell: SweepCell) -> dict[str, Any] | None:
+            if not serialize_configs:
+                return None
+            config_dict = config_dicts.get(id(cell.config))
+            if config_dict is None:
+                config_dict = config_dicts[id(cell.config)] = cell.config.to_dict()
+            return config_dict
 
         outcomes: dict[int, CachedOutcome] = {}
-        pending: list[tuple[int, SweepCell, str | None, dict[str, Any] | None]] = []
-        config_dicts: dict[int, dict[str, Any]] = {}  # id(config) -> to_dict()
+        tasks: list[CellTask] = []
+        keys: dict[int, str] = {}  # task index -> content key
         for idx, cell in enumerate(cells):
-            # Configs are serialized only when a cache key needs them
-            # (or later, for a pool payload), and once per config object
-            # (grids share one config across their policy cells).
-            config_dict: dict[str, Any] | None = None
-            key: str | None = None
+            config_dict = config_dict_of(cell)
             cached: CachedOutcome | None = None
             if self.cache is not None:
-                config_dict = config_dicts.get(id(cell.config))
-                if config_dict is None:
-                    config_dict = config_dicts[id(cell.config)] = cell.config.to_dict()
                 key = cell_key_from_dict(config_dict, cell.policy)
+                keys[idx] = key
                 cached = self.cache.get(key)
             if cached is not None:
                 outcomes[idx] = cached
                 stats.hits += 1
+                self.bus.emit(
+                    CellCached(tag=cell.tag, index=idx, supported=cached.supported)
+                )
             else:
-                pending.append((idx, cell, key, config_dict))
-        stats.misses = len(pending)
+                tasks.append(CellTask(index=idx, cell=cell, config_dict=config_dict))
+        stats.misses = len(tasks)
 
-        for idx, outcome in self._simulate(pending, config_dicts):
-            outcomes[idx] = outcome
+        # Memoize each outcome as it lands (not after the whole batch):
+        # an interrupted long sweep keeps its finished cells, and a
+        # restart only re-simulates the remainder.
+        if tasks:
+            for result in self.executor.execute(tasks, self.bus.emit):
+                outcomes[result.index] = self._record(keys.get(result.index), result)
 
         results: dict[Hashable, SimulationResult] = {}
         unsupported: list[Hashable] = []
@@ -213,6 +267,7 @@ class SweepRunner:
         self.lifetime.accumulate(stats)
         if self.cache is not None:
             self.cache.flush_hit_stats()
+        self.bus.emit(SweepFinished(stats=stats))
         return SweepOutcome(
             results=results, unsupported=tuple(unsupported), stats=stats, errors=errors
         )
@@ -238,79 +293,16 @@ class SweepRunner:
 
     # -- internals -----------------------------------------------------------
 
-    def _simulate(
-        self,
-        pending: list[tuple[int, SweepCell, str | None, dict[str, Any] | None]],
-        config_dicts: dict[int, dict[str, Any]],
-    ) -> list[tuple[int, CachedOutcome]]:
-        if not pending:
-            return []
-        out: list[tuple[int, CachedOutcome]] = []
-        if self.n_jobs == 1 or len(pending) == 1:
-            # In-process: share one Simulator across consecutive cells
-            # on the same config, so comparing many policies on one
-            # scenario (Fig 8's nine bars) reuses the expensive
-            # access-stream state — but keep only the *current* one
-            # alive (grids are config-major; retaining every scenario's
-            # streams would balloon peak memory on many-config sweeps).
-            sim_config_id: int | None = None
-            sim: Simulator | None = None
-            for idx, cell, key, _ in pending:
-                if sim is None or id(cell.config) != sim_config_id:
-                    sim_config_id = id(cell.config)
-                    sim = Simulator(cell.config)
-                try:
-                    raw = (sim.run(cell.policy).to_dict(), None)
-                except PolicyError as exc:
-                    raw = (None, str(exc))
-                out.append((idx, self._record(key, raw)))
-        else:
-            # Memoize each outcome as it lands (not after the whole
-            # batch): an interrupted long sweep keeps its finished
-            # cells, and a restart only re-simulates the remainder.
-            workers = min(self.n_jobs, len(pending))
-            # Uncached runs reach here with config_dict=None; fill the
-            # same per-config memo run() uses, so each shared config is
-            # serialized once, not once per policy cell.
-            for i, (idx, cell, key, config_dict) in enumerate(pending):
-                if config_dict is None:
-                    config_dict = config_dicts.get(id(cell.config))
-                    if config_dict is None:
-                        config_dict = config_dicts[id(cell.config)] = cell.config.to_dict()
-                    pending[i] = (idx, cell, key, config_dict)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_simulate_payload, (config_dict, cell.policy)): (idx, key)
-                    for idx, cell, key, config_dict in pending
-                }
-                # On an unexpected worker failure, cancel queued cells
-                # but keep draining/memoizing the in-flight ones, so a
-                # restart after the raise only re-simulates what truly
-                # never ran.
-                first_error: BaseException | None = None
-                for future in as_completed(futures):
-                    idx, key = futures[future]
-                    try:
-                        raw = future.result()
-                    except BaseException as exc:
-                        if first_error is None:
-                            first_error = exc
-                            for other in futures:
-                                other.cancel()
-                        continue
-                    out.append((idx, self._record(key, raw)))
-                if first_error is not None:
-                    raise first_error
-        return out
-
-    def _record(
-        self, key: str | None, raw: tuple[dict[str, Any] | None, str | None]
-    ) -> CachedOutcome:
-        result_dict, error = raw
+    def _record(self, key: str | None, raw: CellResult) -> CachedOutcome:
+        """Deserialize one executor result; memoize it when cache-backed."""
         outcome = CachedOutcome(
-            result=None if result_dict is None else SimulationResult.from_dict(result_dict),
-            error=error,
+            result=(
+                None
+                if raw.result_dict is None
+                else SimulationResult.from_dict(raw.result_dict)
+            ),
+            error=raw.error,
         )
         if self.cache is not None and key is not None:
-            self.cache.put(key, outcome, result_dict=result_dict)
+            self.cache.put(key, outcome, result_dict=raw.result_dict)
         return outcome

@@ -214,12 +214,15 @@ class ShardPlanner:
 class ShardManifest:
     """What one shard run computed: cells, keys, stats, provenance.
 
-    Written by ``python -m repro.sweep run --manifest out.json`` and
+    Written by ``python -m repro sweep run --manifest out.json`` and
     consumed by the ``merge`` step. ``cells`` pairs each cell's
     human-readable tag with its content key (the cache address); the
     ``code`` fingerprint pins the simulator version the keys were
     computed against, so merging manifests from mismatched checkouts
     fails loudly instead of silently unioning incompatible keys.
+    ``cache_dir`` records where this shard's results were memoized —
+    a directory path, or a backend spec (``dir:``/``mem:``/...) when
+    the run used ``--cache`` (see :mod:`repro.sweep.backends`).
     """
 
     grid: str

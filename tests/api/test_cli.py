@@ -128,6 +128,43 @@ class TestSweepAndCache:
         assert rc == 2
         assert "--grid-kwargs" in capsys.readouterr().err
 
+    def test_sweep_progress_lines_on_stderr(self, scenarios_file, capsys):
+        rc = main(["sweep", "run", "--scenarios", str(scenarios_file),
+                   "--executor", "batched", "--jobs", "2", "--progress"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "[3/3]" in captured.err  # one line per completed cell
+        assert "sweep:" in captured.err  # end-of-sweep summary
+        assert "executor=batched" in captured.out
+
+    def test_sweep_and_lifecycle_with_mem_cache_spec(self, scenarios_file, capsys):
+        spec = "mem:cli-test"
+        assert main(["sweep", "run", "--scenarios", str(scenarios_file),
+                     "--cache", spec]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "run", "--scenarios", str(scenarios_file),
+                     "--cache", spec]) == 0
+        assert "3 hit / 0 miss" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", spec]) == 0
+        assert "entries: 3" in capsys.readouterr().out
+        assert main(["cache", "verify", "--cache", spec, "--strict"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache", spec, "--max-bytes", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", spec]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_lifecycle_requires_exactly_one_cache_naming(self, tmp_path, capsys):
+        assert main(["cache", "stats"]) == 2
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--cache", "mem:"]) == 2
+
+    def test_run_with_mem_cache_and_executor(self, capsys):
+        assert main([*RUN_FLAGS, "--cache", "mem:cli-run", "--executor", "serial"]) == 0
+        capsys.readouterr()
+        assert main([*RUN_FLAGS, "--cache", "mem:cli-run"]) == 0
+        assert "1 hit / 0 miss" in capsys.readouterr().out
+
     def test_cache_lifecycle_subcommands(self, tmp_path, scenarios_file, capsys):
         cache = str(tmp_path / "cache")
         assert main(["sweep", "run", "--scenarios", str(scenarios_file),

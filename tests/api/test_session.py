@@ -5,7 +5,15 @@ import pytest
 from repro.api import Scenario, Session
 from repro.errors import ConfigurationError, PolicyError
 from repro.sim import Simulator
-from repro.sweep import ScenarioGrid, SweepRunner
+from repro.sweep import (
+    CellCached,
+    CellFinished,
+    InMemoryBackend,
+    ScenarioGrid,
+    SweepFinished,
+    SweepRunner,
+    SweepStarted,
+)
 from repro.sweep.grid import SweepCell
 
 
@@ -43,8 +51,8 @@ class TestRun:
         with pytest.raises(PolicyError):
             Session().run(s)
 
-    def test_run_is_memoized(self, tmp_path):
-        session = Session(cache_dir=tmp_path / "cache")
+    def test_run_is_memoized(self):
+        session = Session(cache=InMemoryBackend())
         session.run(tiny())
         session.run(tiny())
         assert session.stats.hits == 1
@@ -106,6 +114,61 @@ class TestSweep:
         # one-off runner counters fold into the session totals
         assert session.stats.cells == len(SCENARIOS)
 
+    def test_jobs_override_inherits_session_cache(self):
+        backend = InMemoryBackend()
+        session = Session(cache=backend)
+        session.sweep(SCENARIOS)
+        warm = session.sweep(SCENARIOS, jobs=2)  # one-off runner, same cache
+        assert warm.stats.misses == 0
+        assert warm.stats.hits == len(SCENARIOS)
+
+
+class TestExecutors:
+    def test_session_executor_configurable(self):
+        assert Session(jobs=2).runner.executor.name == "batched"
+        assert Session(jobs=2, executor="process").runner.executor.name == "process"
+
+    def test_sweep_executor_override_bitwise_identical(self):
+        serial = Session().sweep(SCENARIOS)
+        batched = Session().sweep(SCENARIOS, jobs=2, executor="batched")
+        for tag, result in serial.results.items():
+            assert batched[tag].to_json() == result.to_json()
+
+    def test_cache_and_cache_dir_conflict(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not both"):
+            Session(cache_dir=tmp_path, cache="mem:")
+
+
+class TestEvents:
+    def test_on_event_sees_the_whole_sweep(self):
+        events = []
+        Session().sweep(SCENARIOS, on_event=events.append)
+        kinds = [type(e) for e in events]
+        assert kinds[0] is SweepStarted and kinds[-1] is SweepFinished
+        assert kinds.count(CellFinished) == len(SCENARIOS)
+
+    def test_on_event_unsubscribes_after_the_sweep(self):
+        events = []
+        session = Session(cache=InMemoryBackend())
+        session.sweep(SCENARIOS, on_event=events.append)
+        first = len(events)
+        session.sweep(SCENARIOS)  # no listener: nothing more recorded
+        assert len(events) == first
+
+    def test_on_event_with_override_runner_still_fires(self):
+        events = []
+        Session().sweep(SCENARIOS, jobs=2, on_event=events.append)
+        assert [e for e in events if isinstance(e, CellFinished)]
+
+    def test_session_bus_survives_across_sweeps(self):
+        session = Session(cache=InMemoryBackend())
+        events = []
+        session.bus.subscribe(events.append)
+        session.sweep(SCENARIOS)
+        session.sweep(SCENARIOS, jobs=2)  # override runner shares the bus
+        cached = [e for e in events if isinstance(e, CellCached)]
+        assert len(cached) == len(SCENARIOS)
+
 
 class TestCacheInterop:
     """ISSUE 3 acceptance: Session sweeps and the pre-refactor
@@ -122,11 +185,14 @@ class TestCacheInterop:
         assert outcome.stats.misses == 0
         assert outcome.stats.hits == len(SCENARIOS)
 
-    def test_runner_warm_from_session_cache(self, tmp_path):
-        session = Session(cache_dir=tmp_path)
+    def test_runner_warm_from_session_cache(self):
+        # The key interop (not the disk round-trip) is the subject here,
+        # so both sides share one in-memory backend.
+        backend = InMemoryBackend()
+        session = Session(cache=backend)
         session.sweep(SCENARIOS)
 
-        runner = SweepRunner(n_jobs=1, cache_dir=tmp_path)
+        runner = SweepRunner(n_jobs=1, cache=backend)
         outcome = runner.run([s.cell(tag=i) for i, s in enumerate(SCENARIOS)])
         assert outcome.stats.misses == 0
         assert outcome.stats.hits == len(SCENARIOS)

@@ -1,0 +1,246 @@
+"""Executor protocol: serial/process/batched equivalence, events, failures."""
+
+import dataclasses
+
+import pytest
+
+from repro.datasets import imagenet22k, mnist
+from repro.errors import ConfigurationError
+from repro.experiments.common import policy_cells, scaled_scenario
+from repro.perfmodel import sec6_cluster
+from repro.sim import LBANNPolicy, NaivePolicy, NoPFSPolicy, StagingBufferPolicy
+from repro.sweep import (
+    BatchedExecutor,
+    CellCached,
+    CellFinished,
+    CellStarted,
+    CellUnsupported,
+    InMemoryBackend,
+    SweepCell,
+    SweepFinished,
+    SweepRunner,
+    SweepStarted,
+    resolve_executor,
+)
+from repro.sweep.executors import CellTask
+
+
+class ExplodingPolicy(NaivePolicy):
+    """Simulates an unexpected (non-PolicyError) worker crash."""
+
+    name = "exploding"
+
+    def prepare(self, ctx):
+        raise RuntimeError("boom")
+
+
+POLICIES = [NaivePolicy(), StagingBufferPolicy(), NoPFSPolicy()]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_scenario(
+        mnist(0).scaled(0.2), sec6_cluster(num_workers=2), batch_size=16, num_epochs=2
+    )
+
+
+@pytest.fixture(scope="module")
+def multi_scenario_cells(config):
+    """Two scenarios x three policies: exercises batching across configs."""
+    other = dataclasses.replace(config, batch_size=32)
+    return policy_cells(config, POLICIES) + policy_cells(
+        other, POLICIES, tag_fn=lambda p: f"b32/{p.name}"
+    )
+
+
+class TestResolution:
+    def test_default_serial_for_one_job(self):
+        assert SweepRunner(n_jobs=1).executor.name == "serial"
+
+    def test_default_batched_for_many_jobs(self):
+        assert SweepRunner(n_jobs=2).executor.name == "batched"
+
+    def test_explicit_name_wins_over_default(self):
+        assert SweepRunner(n_jobs=4, executor="serial").executor.name == "serial"
+        assert SweepRunner(n_jobs=1, executor="process").executor.name == "process"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            SweepRunner(n_jobs=2, executor="threads")
+
+    def test_instance_passes_through(self):
+        executor = BatchedExecutor(3)
+        assert resolve_executor(executor, 8) is executor
+
+    def test_custom_protocol_implementation_accepted(self):
+        class EchoExecutor:
+            name = "echo"
+            in_process = True
+
+            def execute(self, tasks, emit):
+                return iter(())
+
+        assert resolve_executor(EchoExecutor(), 1).name == "echo"
+
+    def test_stats_report_executor_name(self, multi_scenario_cells):
+        outcome = SweepRunner(n_jobs=2, executor="process").run(multi_scenario_cells[:1])
+        assert outcome.stats.executor == "process"
+        assert "executor=process" in outcome.stats.render()
+
+
+class TestEquivalence:
+    """ISSUE 4 acceptance: bitwise-identical results across executors."""
+
+    def test_all_executors_bitwise_identical(self, multi_scenario_cells):
+        serial = SweepRunner(n_jobs=1, executor="serial").run(multi_scenario_cells)
+        process = SweepRunner(n_jobs=2, executor="process").run(multi_scenario_cells)
+        batched = SweepRunner(n_jobs=2, executor="batched").run(multi_scenario_cells)
+        assert serial.results.keys() == process.results.keys() == batched.results.keys()
+        for tag in serial.results:
+            assert serial[tag].to_json() == process[tag].to_json(), tag
+            assert serial[tag].to_json() == batched[tag].to_json(), tag
+
+    def test_executors_populate_interchangeable_caches(self, multi_scenario_cells):
+        """Any executor's cache serves any other executor warm."""
+        backend = InMemoryBackend()
+        SweepRunner(n_jobs=2, executor="batched", cache=backend).run(multi_scenario_cells)
+        warm = SweepRunner(n_jobs=1, executor="serial", cache=backend).run(
+            multi_scenario_cells
+        )
+        assert warm.stats.misses == 0
+        assert warm.stats.hits == len(multi_scenario_cells)
+
+    def test_unsupported_cells_agree_across_executors(self):
+        config = scaled_scenario(
+            imagenet22k(0), sec6_cluster(), batch_size=32, num_epochs=2, scale=0.01
+        )
+        cells = [SweepCell(tag="lbann", config=config, policy=LBANNPolicy("dynamic"))]
+        for executor in ("serial", "process", "batched"):
+            outcome = SweepRunner(n_jobs=2, executor=executor).run(cells)
+            assert outcome.unsupported == ("lbann",), executor
+            assert outcome.errors["lbann"], executor
+
+
+class TestBatching:
+    def test_groups_by_scenario(self, multi_scenario_cells):
+        tasks = [
+            CellTask(index=i, cell=cell, config_dict=cell.config.to_dict())
+            for i, cell in enumerate(multi_scenario_cells)
+        ]
+        batches = BatchedExecutor.group(tasks)
+        assert [len(b) for b in batches] == [3, 3]  # one batch per scenario
+        for batch in batches:
+            configs = {id(t.cell.config) for t in batch}
+            assert len(configs) == 1
+
+    def test_equal_configs_share_a_batch_even_as_distinct_objects(self, config):
+        clone = dataclasses.replace(config)  # equal content, different object
+        cells = policy_cells(config, [NaivePolicy()]) + policy_cells(
+            clone, [NoPFSPolicy()], tag_fn=lambda p: f"clone/{p.name}"
+        )
+        tasks = [
+            CellTask(index=i, cell=cell, config_dict=cell.config.to_dict())
+            for i, cell in enumerate(cells)
+        ]
+        assert [len(b) for b in BatchedExecutor.group(tasks)] == [2]
+
+    def test_crash_keeps_finished_cells_of_same_batch(self, config):
+        """A mid-batch crash memoizes the batch's earlier cells."""
+        backend = InMemoryBackend()
+        good = policy_cells(config, POLICIES)
+        bad = SweepCell(tag="boom", config=config, policy=ExplodingPolicy())
+        with pytest.raises(RuntimeError, match="boom"):
+            SweepRunner(n_jobs=2, executor="batched", cache=backend).run(good + [bad])
+        warm = SweepRunner(n_jobs=2, executor="batched", cache=backend).run(good)
+        assert warm.stats.misses == 0
+
+
+class TestEvents:
+    def _run_with_recorder(self, runner, cells):
+        events = []
+        unsubscribe = runner.bus.subscribe(events.append)
+        outcome = runner.run(cells)
+        unsubscribe()
+        return outcome, events
+
+    @pytest.mark.parametrize("executor", ["serial", "process", "batched"])
+    def test_lifecycle_events_per_cell(self, multi_scenario_cells, executor):
+        runner = SweepRunner(n_jobs=2, executor=executor)
+        _, events = self._run_with_recorder(runner, multi_scenario_cells)
+        n = len(multi_scenario_cells)
+        assert isinstance(events[0], SweepStarted) and events[0].total == n
+        assert isinstance(events[-1], SweepFinished)
+        assert events[-1].stats.cells == n
+        started = [e for e in events if isinstance(e, CellStarted)]
+        finished = [e for e in events if isinstance(e, CellFinished)]
+        assert len(started) == len(finished) == n
+        tags = {cell.tag for cell in multi_scenario_cells}
+        assert {e.tag for e in finished} == tags
+        assert sorted(e.index for e in finished) == list(range(n))
+        assert all(e.elapsed_s >= 0 for e in finished)
+
+    def test_cache_hits_emit_cached_events(self, multi_scenario_cells):
+        runner = SweepRunner(n_jobs=1, cache=InMemoryBackend())
+        runner.run(multi_scenario_cells)
+        _, events = self._run_with_recorder(runner, multi_scenario_cells)
+        cached = [e for e in events if isinstance(e, CellCached)]
+        assert len(cached) == len(multi_scenario_cells)
+        assert all(e.supported for e in cached)
+        assert not [e for e in events if isinstance(e, CellStarted)]
+
+    def test_unsupported_emits_reason(self):
+        config = scaled_scenario(
+            imagenet22k(0), sec6_cluster(), batch_size=32, num_epochs=2, scale=0.01
+        )
+        cells = [SweepCell(tag="lbann", config=config, policy=LBANNPolicy("dynamic"))]
+        runner = SweepRunner(n_jobs=1)
+        _, events = self._run_with_recorder(runner, cells)
+        unsupported = [e for e in events if isinstance(e, CellUnsupported)]
+        assert len(unsupported) == 1
+        assert unsupported[0].tag == "lbann" and unsupported[0].error
+
+    def test_unsubscribe_stops_delivery(self, config):
+        runner = SweepRunner(n_jobs=1)
+        events = []
+        unsubscribe = runner.bus.subscribe(events.append)
+        unsubscribe()
+        runner.run(policy_cells(config, [NaivePolicy()]))
+        assert events == []
+
+
+class TestPoolSemantics:
+    """The historical process-pool guarantees hold for both pool executors."""
+
+    @pytest.mark.parametrize("executor", ["process", "batched"])
+    def test_worker_crash_raises_but_keeps_finished_cells(self, config, executor):
+        backend = InMemoryBackend()
+        good = policy_cells(config, POLICIES)
+        bad = SweepCell(tag="boom", config=config, policy=ExplodingPolicy())
+        with pytest.raises(RuntimeError, match="boom"):
+            SweepRunner(n_jobs=2, executor=executor, cache=backend).run(good + [bad])
+        warm = SweepRunner(n_jobs=2, executor=executor, cache=backend).run(good)
+        assert warm.stats.misses == 0
+
+    @pytest.mark.parametrize("executor", ["process", "batched"])
+    def test_single_pending_cell_still_works(self, config, executor):
+        outcome = SweepRunner(n_jobs=4, executor=executor).run(
+            policy_cells(config, [NoPFSPolicy()])
+        )
+        assert outcome["nopfs"].policy == "nopfs"
+
+    @pytest.mark.parametrize("executor_cls", [BatchedExecutor], ids=["batched"])
+    def test_generator_close_mid_drain_is_clean(self, config, executor_cls):
+        """A consumer abandoning the drain (it raised between results)
+        must close the executor generator without 'generator ignored
+        GeneratorExit' noise or a hang."""
+        other = dataclasses.replace(config, batch_size=32)
+        cells = policy_cells(config, POLICIES) + policy_cells(
+            other, POLICIES, tag_fn=lambda p: f"b32/{p.name}"
+        )
+        tasks = [
+            CellTask(index=i, cell=cell, config_dict=cell.config.to_dict())
+            for i, cell in enumerate(cells)
+        ]
+        iterator = executor_cls(2).execute(tasks, lambda event: None)
+        next(iterator)
+        iterator.close()  # raises RuntimeError if GeneratorExit is swallowed

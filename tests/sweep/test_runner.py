@@ -7,7 +7,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.common import policy_cells, scaled_scenario
 from repro.perfmodel import sec6_cluster
 from repro.sim import LBANNPolicy, NaivePolicy, NoPFSPolicy, StagingBufferPolicy
-from repro.sweep import SweepCell, SweepRunner
+from repro.sweep import InMemoryBackend, SweepCell, SweepRunner
 
 
 class ExplodingPolicy(NaivePolicy):
@@ -55,8 +55,8 @@ class TestSerial:
 
 
 class TestCacheBehaviour:
-    def test_second_run_all_hits_identical_results(self, tmp_path, cells):
-        runner = SweepRunner(n_jobs=1, cache_dir=tmp_path)
+    def test_second_run_all_hits_identical_results(self, cells):
+        runner = SweepRunner(n_jobs=1, cache=InMemoryBackend())
         cold = runner.run(cells)
         warm = runner.run(cells)
         assert cold.stats.misses == len(cells) and cold.stats.hits == 0
@@ -68,17 +68,17 @@ class TestCacheBehaviour:
         warm = SweepRunner(n_jobs=1, cache_dir=tmp_path).run(cells)
         assert warm.stats.misses == 0
 
-    def test_config_change_misses(self, tmp_path, config, cells):
+    def test_config_change_misses(self, config, cells):
         import dataclasses
 
-        runner = SweepRunner(n_jobs=1, cache_dir=tmp_path)
+        runner = SweepRunner(n_jobs=1, cache=InMemoryBackend())
         runner.run(cells)
         other = dataclasses.replace(config, num_epochs=3)
         outcome = runner.run(policy_cells(other, [NoPFSPolicy()]))
         assert outcome.stats.misses == 1
 
-    def test_lifetime_accumulates(self, tmp_path, cells):
-        runner = SweepRunner(n_jobs=1, cache_dir=tmp_path)
+    def test_lifetime_accumulates(self, cells):
+        runner = SweepRunner(n_jobs=1, cache=InMemoryBackend())
         runner.run(cells)
         runner.run(cells)
         assert runner.lifetime.cells == 2 * len(cells)
@@ -108,9 +108,10 @@ class TestParallel:
             for a, b in zip(serial[tag].epochs, parallel[tag].epochs):
                 np.testing.assert_array_equal(a.batch_durations, b.batch_durations)
 
-    def test_parallel_populates_cache_for_serial(self, tmp_path, cells):
-        SweepRunner(n_jobs=2, cache_dir=tmp_path).run(cells)
-        warm = SweepRunner(n_jobs=1, cache_dir=tmp_path).run(cells)
+    def test_parallel_populates_cache_for_serial(self, cells):
+        backend = InMemoryBackend()
+        SweepRunner(n_jobs=2, cache=backend).run(cells)
+        warm = SweepRunner(n_jobs=1, cache=backend).run(cells)
         assert warm.stats.misses == 0
 
     def test_n_jobs_validation(self):
@@ -118,14 +119,15 @@ class TestParallel:
             SweepRunner(n_jobs=0)
         assert SweepRunner(n_jobs=None).n_jobs >= 1
 
-    def test_worker_crash_raises_but_keeps_finished_cells(self, tmp_path, cells, config):
+    def test_worker_crash_raises_but_keeps_finished_cells(self, cells, config):
         """Unexpected failures propagate; completed cells stay memoized."""
+        backend = InMemoryBackend()
         bad = SweepCell(tag="boom", config=config, policy=ExplodingPolicy())
         with pytest.raises(RuntimeError, match="boom"):
-            SweepRunner(n_jobs=2, cache_dir=tmp_path).run(list(cells) + [bad])
+            SweepRunner(n_jobs=2, cache=backend).run(list(cells) + [bad])
         # The good cells were queued ahead of the crashing one, so their
         # results were written before the error surfaced.
-        warm = SweepRunner(n_jobs=2, cache_dir=tmp_path).run(cells)
+        warm = SweepRunner(n_jobs=2, cache=backend).run(cells)
         assert warm.stats.misses == 0
 
 
@@ -149,8 +151,8 @@ class TestUnsupported:
         outcome = SweepRunner(n_jobs=1).run([lbann_cell])
         assert outcome.errors["lbann"]  # the PolicyError message survives
 
-    def test_unsupported_is_cached(self, tmp_path, lbann_cell):
-        runner = SweepRunner(n_jobs=1, cache_dir=tmp_path)
+    def test_unsupported_is_cached(self, lbann_cell):
+        runner = SweepRunner(n_jobs=1, cache=InMemoryBackend())
         runner.run([lbann_cell])
         warm = runner.run([lbann_cell])
         assert warm.stats.misses == 0
@@ -166,14 +168,14 @@ class TestUnsupported:
 
 
 class TestIncrementalWriteback:
-    def test_partial_parallel_run_keeps_finished_cells(self, tmp_path, cells, config):
+    def test_partial_parallel_run_keeps_finished_cells(self, cells, config):
         """Cells completed before an abort stay cached.
 
         Simulated by running a subset first (as an interrupted sweep
         would have persisted), then the full grid: only the remainder
         may miss.
         """
-        runner = SweepRunner(n_jobs=2, cache_dir=tmp_path)
+        runner = SweepRunner(n_jobs=2, cache=InMemoryBackend())
         runner.run(cells[:2])
         full = runner.run(cells)
         assert full.stats.hits == 2
