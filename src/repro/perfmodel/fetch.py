@@ -13,7 +13,10 @@ The paper defines, for worker ``i`` and sample ``k``:
 * ``read_i(k) = fetch_i(k) + write_i(k)``.
 
 Everything here operates on whole sample arrays at once; the simulator
-never loops over samples in Python.
+never loops over samples in Python. All primitives are shape-agnostic:
+the epoch-matrix engine passes whole ``(N, L)`` matrices (every
+worker's epoch at once) and single-worker callers still pass 1-D
+streams — the arithmetic is identical either way.
 """
 
 from __future__ import annotations
@@ -50,11 +53,12 @@ class FetchResolution:
     Attributes
     ----------
     fetch_times:
-        Seconds to fetch each sample into memory (shape ``(n,)``).
+        Seconds to fetch each sample into memory (the input shape —
+        ``(n,)`` for one stream, ``(N, L)`` for a whole epoch).
     sources:
-        :class:`Source` code per sample (int8 array).
+        :class:`Source` code per sample (int8 array, same shape).
     bandwidths:
-        The winning bandwidth per sample in MB/s.
+        The winning bandwidth per sample in MB/s (same shape).
     """
 
     fetch_times: np.ndarray
@@ -65,7 +69,8 @@ class FetchResolution:
 def write_times(sizes_mb: np.ndarray, system: SystemModel) -> np.ndarray:
     """``write_i(k)`` for each sample: preprocess/deposit, pipelined.
 
-    ``max(s/beta, s/(w_0(p_0)/p_0))`` elementwise.
+    ``max(s/beta, s/(w_0(p_0)/p_0))`` elementwise, over any shape —
+    a 1-D stream or a whole ``(N, L)`` epoch sizes matrix.
     """
     sizes = np.asarray(sizes_mb, dtype=np.float64)
     w0 = system.staging.write_per_thread_mbps
@@ -95,6 +100,10 @@ def resolve_fetch(
     pfs_available: bool = True,
 ) -> FetchResolution:
     """Pick the fastest source for every sample and time the fetch.
+
+    Accepts any array shape as long as the three sample arrays align:
+    a 1-D per-worker stream or the engine's ``(N, L)`` epoch matrices
+    (all ``N`` workers resolved in one call).
 
     Parameters
     ----------
@@ -141,7 +150,12 @@ def resolve_fetch(
     stacked = np.stack([np.full_like(sizes, bw_pfs), bw_remote, bw_local])
     sources = np.argmax(stacked[::-1], axis=0)  # reversed => local priority
     sources = np.int8(2) - sources.astype(np.int8)
-    best_bw = stacked[sources, np.arange(sizes.size)] if sizes.size else np.empty(0)
+    if sizes.size:
+        best_bw = np.take_along_axis(
+            stacked, sources[np.newaxis].astype(np.intp), axis=0
+        )[0]
+    else:
+        best_bw = np.empty(sizes.shape)
 
     with np.errstate(divide="ignore"):
         fetch = np.where(best_bw > 0, sizes / np.maximum(best_bw, 1e-300), np.inf)

@@ -1,10 +1,16 @@
-"""The Sec 6 I/O performance simulator: engine, policies, results."""
+"""The Sec 6 I/O performance simulator: engine, policies, results.
 
+The engine evaluates whole epochs as ``(N, L)`` matrices through the
+pure array kernels in :mod:`repro.sim.kernels`; see
+``docs/performance.md`` for the layout and the equivalence guarantees.
+"""
+
+from . import kernels
 from .config import SimulationConfig
 from .context import ScenarioContext
-from .engine import Simulator, analytic_lower_bound
+from .engine import EpochPlan, Simulator, analytic_lower_bound
 from .lockstep import LockstepResult, lockstep_epoch
-from .noise import NoiseConfig, apply_noise
+from .noise import NoiseConfig, apply_noise, apply_noise_matrix
 from .policies import (
     DeepIOPolicy,
     DoubleBufferPolicy,
@@ -28,11 +34,14 @@ __all__ = [
     "SimulationConfig",
     "ScenarioContext",
     "Simulator",
+    "EpochPlan",
     "analytic_lower_bound",
+    "kernels",
     "LockstepResult",
     "lockstep_epoch",
     "NoiseConfig",
     "apply_noise",
+    "apply_noise_matrix",
     "BatchTimeStats",
     "EpochResult",
     "SimulationResult",

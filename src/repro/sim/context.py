@@ -5,6 +5,12 @@ derived objects every policy needs — the clairvoyant access stream, the
 materialized sample sizes, per-worker frequency counts — plus caching so
 that a nine-policy comparison does not regenerate multi-million-entry
 permutations nine times over.
+
+The canonical cached form of an epoch is its *worker-major matrix*
+(:meth:`ScenarioContext.epoch_matrix`): an ``(N, L)`` array whose row
+``w`` is worker ``w``'s in-order stream for the epoch. The engine's
+kernels operate on this matrix directly; the historical ``(T, N, B)``
+batch view and per-worker rows are zero-copy views of it.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ import numpy as np
 
 from ..core import AccessStream
 from ..errors import ConfigurationError
+from ..rng import generator
 from .config import SimulationConfig
 
 __all__ = ["ScenarioContext"]
@@ -36,7 +43,9 @@ class ScenarioContext:
         self.stream = AccessStream(config.stream_config)
         self.sizes_mb = config.dataset.sizes_mb()
         self.system = config.system
-        self._epoch_cache: dict[int, np.ndarray] = {}
+        #: epoch -> ((T, N, B) batch view, (N, L) worker-major matrix);
+        #: both share one buffer, so caching costs one copy per epoch.
+        self._epoch_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._cache_enabled = (
             config.num_epochs * config.dataset.num_samples
             <= _PERM_CACHE_MAX_ELEMENTS
@@ -55,19 +64,58 @@ class ScenarioContext:
         """``L = T * B`` — per-worker stream length each epoch."""
         return self.config.stream_config.samples_per_worker_per_epoch
 
-    def epoch_batches(self, epoch: int) -> np.ndarray:
-        """``(T, N, B)`` batch view of ``epoch`` (cached when small)."""
+    def _epoch_views(self, epoch: int) -> tuple[np.ndarray, np.ndarray]:
+        """``((T, N, B) batches, (N, L) matrix)`` for ``epoch`` (cached)."""
         cached = self._epoch_cache.get(epoch)
         if cached is not None:
             return cached
         batches = self.stream.epoch_batches(epoch)
+        t, n, b = batches.shape
+        # Materialize the worker-major matrix once (the engine's layout);
+        # re-derive the batch view from its buffer so the cache holds a
+        # single copy of the permutation. Read-only: rows/views of the
+        # shared cached permutation are handed to policies, and an
+        # in-place mutation must raise rather than corrupt every later
+        # run on this context.
+        owner = np.ascontiguousarray(batches.transpose(1, 0, 2))
+        owner.setflags(write=False)
+        matrix = owner.reshape(n, t * b)
+        views = (matrix.reshape(n, t, b).transpose(1, 0, 2), matrix)
         if self._cache_enabled:
-            self._epoch_cache[epoch] = batches
-        return batches
+            self._epoch_cache[epoch] = views
+        return views
+
+    def epoch_batches(self, epoch: int) -> np.ndarray:
+        """``(T, N, B)`` batch view of ``epoch`` (cached when small)."""
+        return self._epoch_views(epoch)[0]
+
+    def epoch_matrix(self, epoch: int) -> np.ndarray:
+        """``(N, L)`` worker-major ids for ``epoch`` (cached when small).
+
+        Row ``w`` is worker ``w``'s in-order sample ids — the layout the
+        engine's array kernels (:mod:`repro.sim.kernels`) consume. One
+        materialization replaces the ``N`` per-worker reshape copies the
+        scalar engine made per epoch.
+        """
+        return self._epoch_views(epoch)[1]
+
+    def sizes_matrix(self, epoch: int) -> np.ndarray:
+        """``(N, L)`` per-sample sizes (MB) aligned with ``epoch_matrix``.
+
+        Gathered on demand (one fancy-index over the id matrix) rather
+        than cached: the float matrix is as large as the id matrix and
+        each engine epoch consumes it exactly once.
+        """
+        return self.sizes_mb[self.epoch_matrix(epoch)]
 
     def worker_epoch_ids(self, worker: int, epoch: int) -> np.ndarray:
-        """Worker ``worker``'s in-order sample ids for ``epoch``."""
-        return self.epoch_batches(epoch)[:, worker, :].reshape(-1)
+        """Worker ``worker``'s in-order sample ids for ``epoch``.
+
+        A read-only view of the epoch matrix (historically this was a
+        fresh copy); callers that want to reorder ids in place should
+        copy first — writing to the view raises.
+        """
+        return self.epoch_matrix(epoch)[worker]
 
     # -- frequency analysis -------------------------------------------------
 
@@ -76,23 +124,23 @@ class ScenarioContext:
 
         The sparse form keeps memory at O(samples actually accessed per
         worker) instead of O(N * F), which matters at Sec 7 scales
-        (N=1024). Computed once and cached on the context.
+        (N=1024). Built from the epoch matrices — one horizontal stack
+        plus one ``np.unique`` per worker row — and cached on the
+        context.
         """
         if self._freq_cache is not None:
             return self._freq_cache
+        epochs = self.config.num_epochs
         n = self.num_workers
-        cfg = self.config
-        per_worker: list[list[np.ndarray]] = [[] for _ in range(n)]
-        for epoch in range(cfg.num_epochs):
-            batches = self.epoch_batches(epoch)
-            for worker in range(n):
-                per_worker[worker].append(batches[:, worker, :].reshape(-1))
-        result: list[tuple[np.ndarray, np.ndarray]] = []
-        for worker in range(n):
-            ids = np.concatenate(per_worker[worker])
-            per_worker[worker] = []  # free as we go
-            uids, counts = np.unique(ids, return_counts=True)
-            result.append((uids, counts))
+        length = self.samples_per_worker_per_epoch
+        first = self.epoch_matrix(0)
+        all_ids = np.empty((n, epochs * length), dtype=first.dtype)
+        all_ids[:, :length] = first
+        for epoch in range(1, epochs):
+            all_ids[:, epoch * length : (epoch + 1) * length] = self.epoch_matrix(epoch)
+        result = [
+            np.unique(all_ids[worker], return_counts=True) for worker in range(n)
+        ]
         self._freq_cache = result
         return result
 
@@ -111,8 +159,6 @@ class ScenarioContext:
             raise ConfigurationError(
                 f"worker {worker} has no samples to iterate ({tag})"
             )
-        from ..rng import generator  # local import to avoid cycles
-
         rng = generator(self.config.seed, "policy", tag, worker, epoch)
         shuffled = rng.permutation(ids)
         length = self.samples_per_worker_per_epoch

@@ -6,20 +6,32 @@ arbitrary dataset, system, and I/O strategy configurations. We do not
 aim for a precise simulation of training, but rather to capture the
 relative performance of different I/O strategies."
 
-The engine times each epoch of each policy as follows:
+The engine evaluates whole epochs as ``(N, L)`` matrices — ``N``
+workers by ``L = T * B`` samples — in two phases:
 
-1. The policy's :class:`~repro.sim.policies.base.PreparedPolicy` fixes
-   the cache placement, stream rewriting, prestaging cost and PFS usage.
-2. Per epoch, the PFS contention level ``gamma`` is derived from the
-   byte fraction the policy must fetch from the PFS (cold epochs: all of
-   it; warm epochs: the placement's uncovered bytes).
-3. Per worker, every sample's fetch source is resolved vectorially
-   (local tier / fastest remote tier / PFS — Sec 4's three cases),
-   seeded noise is applied, and per-batch read/compute times are
-   aggregated.
-4. The bulk-synchronous lockstep scan (:mod:`repro.sim.lockstep`) turns
-   those into global batch completion times under the allreduce barrier
-   and the staging-buffer lookahead window.
+1. **Plan** (:meth:`Simulator._plan_epoch`): the policy's
+   :class:`~repro.sim.policies.base.PreparedPolicy` fixes the cache
+   placement, stream rewriting, prestaging cost and PFS usage; per
+   epoch the planner materializes the id/size matrices (one epoch-matrix
+   view from the :class:`~repro.sim.context.ScenarioContext` instead of
+   ``N`` reshape copies), resolves every sample's local/remote cache
+   tier through the policy's batched lookups, and derives the PFS
+   contention level ``gamma`` from the byte fraction the policy must
+   fetch from the PFS (cold epochs: all of it; warm epochs: the
+   placement's uncovered bytes).
+2. **Execute** (:meth:`Simulator._execute_epoch`): pure array kernels
+   (:mod:`repro.sim.kernels`) resolve fetch sources vectorially for all
+   workers at once (local tier / fastest remote tier / PFS — Sec 4's
+   three cases), apply seeded per-worker noise, aggregate per-batch
+   read/compute times, and feed the bulk-synchronous lockstep scan
+   (:mod:`repro.sim.lockstep`), which turns them into global batch
+   completion times under the allreduce barrier and the staging-buffer
+   lookahead window.
+
+Every kernel reproduces the seed scalar engine's floating-point
+operations element for element, so results are bitwise identical to the
+per-worker loop (pinned by ``tests/sim/test_engine_equivalence.py``
+against the reference copy kept in ``tests/sim/reference_engine.py``).
 
 Caches follow the paper's observed dynamics: during epoch 0 every
 policy reads from the PFS while caches fill ("without caching, it is
@@ -30,46 +42,84 @@ cost.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..errors import PolicyError
 from ..perfmodel import Source, resolve_fetch, write_times
 from ..rng import generator
+from . import kernels
 from .config import SimulationConfig
 from .context import ScenarioContext
 from .lockstep import lockstep_epoch
-from .noise import apply_noise
+from .noise import apply_noise_matrix
 from .policies.base import Policy, PreparedPolicy
 from .result import BatchTimeStats, EpochResult, SimulationResult
 
-__all__ = ["Simulator", "analytic_lower_bound"]
-
-_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+__all__ = ["Simulator", "EpochPlan", "analytic_lower_bound"]
 
 
-def _hash01(ids: np.ndarray) -> np.ndarray:
-    """Deterministic per-sample uniforms in [0, 1) (splitmix-style)."""
-    with np.errstate(over="ignore"):
-        x = ids.astype(np.uint64) * _HASH_MULT
-        x ^= x >> np.uint64(31)
-        x *= np.uint64(0xFF51AFD7ED558CCD)
-        x ^= x >> np.uint64(33)
-    return x.astype(np.float64) / float(2**64)
-
-
-def analytic_lower_bound(config: SimulationConfig) -> float:
+def analytic_lower_bound(
+    config: SimulationConfig, ctx: ScenarioContext | None = None
+) -> float:
     """The paper's "Perfect" lower bound: pure compute, no stalls.
 
     ``E * (per-worker bytes per epoch) / c`` — the time to push every
     byte a worker consumes through its compute engine, with I/O and
     synchronization assumed free (Sec 6's "not realistic in practice").
+
+    Pass ``ctx`` to reuse an existing :class:`ScenarioContext` (e.g.
+    ``Simulator.ctx``) for ``config`` instead of regenerating the
+    scenario's access stream and sample sizes from scratch.
     """
-    ctx = ScenarioContext(config)
-    worst = 0.0
-    for worker in range(ctx.num_workers):
-        ids = ctx.worker_epoch_ids(worker, 0)
-        worst = max(worst, float(ctx.sizes_mb[ids].sum()))
+    if ctx is None:
+        ctx = ScenarioContext(config)
+    per_worker_mb = ctx.sizes_matrix(0).sum(axis=1)
+    worst = float(per_worker_mb.max()) if per_worker_mb.size else 0.0
     return config.num_epochs * worst / config.system.compute_mbps
+
+
+@dataclass(frozen=True)
+class EpochPlan:
+    """One epoch's inputs to the execute-phase kernels.
+
+    Everything the policy and contention model decide about an epoch,
+    materialized as ``(N, L)`` matrices; the execute phase is a pure
+    function of this plan.
+
+    Attributes
+    ----------
+    epoch:
+        Epoch index.
+    warm:
+        Whether the policy's cache placement is active this epoch.
+    ids:
+        ``(N, L)`` sample ids, row ``w`` = worker ``w``'s stream order.
+    sizes_mb:
+        ``(N, L)`` per-sample sizes aligned with ``ids``.
+    local_classes / remote_classes:
+        ``(N, L)`` int8 cache-tier matrices (``-1`` = unavailable);
+        ``None`` for the ideal (no-I/O) policy, which skips fetching.
+    gamma:
+        Effective PFS contention level for the epoch.
+    pfs_share_mbps:
+        Per-consumer PFS share ``t(gamma)/gamma`` handed to the fetch
+        resolution (already divided by the staging threads when the
+        policy overlaps I/O with compute).
+    pfs_latency_s:
+        Per-request PFS latency under ``gamma``.
+    """
+
+    epoch: int
+    warm: bool
+    ids: np.ndarray
+    sizes_mb: np.ndarray
+    local_classes: np.ndarray | None
+    remote_classes: np.ndarray | None
+    gamma: float
+    pfs_share_mbps: float
+    pfs_latency_s: float
 
 
 class Simulator:
@@ -105,7 +155,11 @@ class Simulator:
                 continue
         return out
 
-    # -- internals -----------------------------------------------------------
+    def lower_bound(self) -> float:
+        """:func:`analytic_lower_bound` reusing this simulator's context."""
+        return analytic_lower_bound(self.config, self.ctx)
+
+    # -- plan phase ----------------------------------------------------------
 
     def _lookahead_batches(self, prep: PreparedPolicy) -> int | None:
         if prep.lookahead_batches is not None:
@@ -136,149 +190,160 @@ class Simulator:
             return 0.0
         return self._uncovered_fraction(prep)
 
-    def _run_prepared(self, policy: Policy, prep: PreparedPolicy) -> SimulationResult:
-        cfg = self.config
+    def _epoch_ids(self, prep: PreparedPolicy, epoch: int, warm: bool) -> np.ndarray:
+        """The epoch's ``(N, L)`` id matrix, honouring stream rewrites.
+
+        Clairvoyant policies get the context's cached epoch matrix
+        (zero copies); order-changing policies (sharding, DeepIO
+        opportunistic) have their per-worker ``stream_fn`` rows stacked
+        — each row is one deterministic per-worker shuffle, so the loop
+        is O(N) RNG setups, not O(N*L) Python work.
+        """
         ctx = self.ctx
+        if prep.stream_fn is None or not (warm or prep.warm_epochs == 0):
+            return ctx.epoch_matrix(epoch)
+        return np.stack(
+            [prep.stream_fn(worker, epoch) for worker in range(ctx.num_workers)]
+        )
+
+    def _plan_epoch(self, prep: PreparedPolicy, epoch: int) -> EpochPlan:
+        """Materialize one epoch's matrices and contention level."""
+        cfg = self.config
         system = cfg.system
-        n = ctx.num_workers
+        warm = prep.plan is not None and epoch >= prep.warm_epochs
+        fraction = self._epoch_pfs_fraction(prep, epoch)
+        gamma = system.pfs.effective_gamma(self.ctx.num_workers, fraction)
+        pfs_share = float(system.pfs.per_worker_mbps(gamma)) if gamma > 0 else 0.0
+        pfs_latency = system.pfs.per_sample_latency(gamma) if gamma > 0 else 0.0
+        # t(gamma)/gamma is the whole worker's share; with overlap the
+        # p0 staging threads split it (each sees share/p0, and the
+        # cumsum/p0 in the timeline restores the worker total).
+        p0 = system.staging.threads
+        pfs_share_per_thread = pfs_share / p0 if prep.overlap else pfs_share
+
+        ids = self._epoch_ids(prep, epoch, warm)
+        sizes = self.ctx.sizes_mb[ids]
+
+        local_cls: np.ndarray | None = None
+        remote_cls: np.ndarray | None = None
+        if not prep.ideal:
+            if warm:
+                local_cls = prep.classes_matrix(ids)
+                remote_cls = prep.remote_classes_matrix(ids)
+            else:
+                local_cls = np.full(ids.shape, -1, dtype=np.int8)
+                remote_cls = local_cls
+                if prep.plan is not None and prep.best_map is not None:
+                    remote_cls = kernels.warmup_remote_classes(ids, prep.best_map)
+
+        return EpochPlan(
+            epoch=epoch,
+            warm=warm,
+            ids=ids,
+            sizes_mb=sizes,
+            local_classes=local_cls,
+            remote_classes=remote_cls,
+            gamma=float(gamma),
+            pfs_share_mbps=pfs_share_per_thread,
+            pfs_latency_s=pfs_latency,
+        )
+
+    # -- execute phase -------------------------------------------------------
+
+    def _execute_epoch(
+        self, policy: Policy, prep: PreparedPolicy, plan: EpochPlan
+    ) -> EpochResult:
+        """Run one planned epoch through the array kernels."""
+        cfg = self.config
+        system = cfg.system
+        n = self.ctx.num_workers
         t_iters = cfg.iterations_per_epoch
         batch = cfg.batch_size
         p0 = system.staging.threads
-        lookahead = self._lookahead_batches(prep)
 
-        epoch_results: list[EpochResult] = []
-        for epoch in range(cfg.num_epochs):
-            warm = prep.plan is not None and epoch >= prep.warm_epochs
-            fraction = self._epoch_pfs_fraction(prep, epoch)
-            gamma = system.pfs.effective_gamma(n, fraction)
-            pfs_share = float(system.pfs.per_worker_mbps(gamma)) if gamma > 0 else 0.0
-            pfs_latency = system.pfs.per_sample_latency(gamma) if gamma > 0 else 0.0
-            # t(gamma)/gamma is the whole worker's share; with overlap the
-            # p0 staging threads split it (each sees share/p0, and the
-            # cumsum/p0 in the timeline restores the worker total).
-            pfs_share_per_thread = pfs_share / p0 if prep.overlap else pfs_share
+        comps = plan.sizes_mb / system.compute_mbps
+        batch_comps = kernels.batch_totals(comps, t_iters, batch)
+        batch_reads = np.zeros((n, t_iters))
+        fetch_seconds = np.zeros(kernels.NUM_SOURCES)
+        fetch_bytes = np.zeros(kernels.NUM_SOURCES)
+        fetch_counts = np.zeros(kernels.NUM_SOURCES, dtype=np.int64)
 
-            batch_reads = np.zeros((n, t_iters))
-            batch_comps = np.zeros((n, t_iters))
-            fetch_seconds = np.zeros(4)
-            fetch_bytes = np.zeros(4)
-            fetch_counts = np.zeros(4, dtype=np.int64)
-
-            for worker in range(n):
-                use_override = prep.stream_fn is not None and (
-                    warm or prep.warm_epochs == 0
-                )
-                if use_override:
-                    ids = prep.stream_fn(worker, epoch)
-                else:
-                    ids = ctx.worker_epoch_ids(worker, epoch)
-                sizes = ctx.sizes_mb[ids]
-                comps = sizes / system.compute_mbps
-                batch_comps[worker] = comps.reshape(t_iters, batch).sum(axis=1)
-                if prep.ideal:
-                    continue
-
-                if warm:
-                    local_cls = prep.lookups[worker].classes_of(ids)
-                    remote_cls = prep.best_map[ids]
-                else:
-                    local_cls = np.full(ids.shape, -1, dtype=np.int8)
-                    remote_cls = local_cls
-                    if prep.plan is not None and prep.best_map is not None:
-                        # Warm-up remote availability: tier prefetchers run
-                        # ahead of consumption, so a sample may already sit
-                        # in its future holder's cache partway through the
-                        # cold epoch ("NoPFS instead fetches samples from
-                        # remote nodes that have already cached them",
-                        # Sec 7.1). Modelled as: sample k is remotely
-                        # available once the epoch is u_k of the way
-                        # through, u_k a deterministic per-sample uniform.
-                        # PFS contention stays at full cold-epoch level —
-                        # the holder still read the sample from the PFS.
-                        progress = (
-                            np.arange(1, ids.size + 1, dtype=np.float64)
-                            / max(ids.size, 1)
-                        )
-                        available = _hash01(ids) < progress
-                        remote_cls = np.where(
-                            available, prep.best_map[ids], np.int8(-1)
-                        ).astype(np.int8)
-                res = resolve_fetch(
-                    sizes, local_cls, remote_cls, system, pfs_share_per_thread
-                )
-                if np.any(res.sources == int(Source.NONE)):
-                    raise PolicyError(
-                        f"policy {policy.name!r} scheduled a sample with no "
-                        f"available source (epoch {epoch}, worker {worker})"
-                    )
-                fetch = res.fetch_times
-                if pfs_latency > 0:
-                    fetch = fetch + pfs_latency * (
-                        res.sources == int(Source.PFS)
-                    )
-                rng = generator(cfg.seed, "noise", epoch, worker)
-                fetch = apply_noise(fetch, res.sources, cfg.noise, rng)
-                reads = fetch + write_times(sizes, system)
-
-                divisor = float(p0) if prep.overlap else 1.0
-                fetch_seconds += (
-                    np.bincount(res.sources, weights=fetch, minlength=4)[:4]
-                    / divisor
-                )
-                worker_bytes = np.bincount(
-                    res.sources, weights=sizes, minlength=4
-                )[:4]
-                fetch_bytes += worker_bytes
-                fetch_counts += np.bincount(res.sources, minlength=4)[:4]
-
-                # I/O noise on the allreduce path (Sec 7.1): non-local
-                # traffic (PFS + remote) shares the network/cores with
-                # communication and slows the compute step down.
-                if cfg.network_interference > 0:
-                    total_b = worker_bytes.sum()
-                    if total_b > 0:
-                        # PFS traffic (cross-fabric + filesystem) weighs
-                        # fully; one-hop remote fetches at half weight.
-                        nonlocal_frac = (
-                            worker_bytes[int(Source.PFS)]
-                            + 0.5 * worker_bytes[int(Source.REMOTE)]
-                        ) / total_b
-                        batch_comps[worker] *= (
-                            1.0 + cfg.network_interference * nonlocal_frac
-                        )
-
-                per_batch_read = reads.reshape(t_iters, batch).sum(axis=1)
-                if prep.overlap:
-                    batch_reads[worker] = per_batch_read / p0
-                else:
-                    # Synchronous loader: reads serialize with compute.
-                    batch_comps[worker] += per_batch_read
-
-            step = lockstep_epoch(
-                batch_reads,
-                batch_comps,
-                lookahead if prep.overlap else None,
-                barrier=cfg.barrier,
+        if not prep.ideal:
+            res = resolve_fetch(
+                plan.sizes_mb,
+                plan.local_classes,
+                plan.remote_classes,
+                system,
+                plan.pfs_share_mbps,
             )
-            durations = step.batch_durations
-            epoch_results.append(
-                EpochResult(
-                    epoch=epoch,
-                    time_s=step.epoch_time,
-                    stall_mean_s=float(step.worker_stalls.mean()),
-                    stall_max_s=float(step.worker_stalls.max()),
-                    fetch_seconds=tuple((fetch_seconds / n).tolist()),
-                    fetch_bytes=tuple(fetch_bytes.tolist()),
-                    fetch_counts=tuple(int(c) for c in fetch_counts),
-                    batch_stats=BatchTimeStats.from_durations(durations),
-                    gamma=float(gamma),
-                    batch_durations=durations if cfg.record_batch_times else None,
+            unsourced = res.sources == int(Source.NONE)
+            if unsourced.any():
+                worker = int(np.argmax(unsourced.any(axis=1)))
+                raise PolicyError(
+                    f"policy {policy.name!r} scheduled a sample with no "
+                    f"available source (epoch {plan.epoch}, worker {worker})"
                 )
+            fetch = kernels.add_pfs_latency(
+                res.fetch_times, res.sources, plan.pfs_latency_s
             )
+            rngs = [
+                generator(cfg.seed, "noise", plan.epoch, worker)
+                for worker in range(n)
+            ]
+            fetch = apply_noise_matrix(fetch, res.sources, cfg.noise, rngs)
+            reads = fetch + write_times(plan.sizes_mb, system)
 
+            divisor = float(p0) if prep.overlap else 1.0
+            seconds_by_source = kernels.source_totals(res.sources, fetch) / divisor
+            bytes_by_source = kernels.source_totals(res.sources, plan.sizes_mb)
+            fetch_seconds = kernels.accumulate_rows(seconds_by_source)
+            fetch_bytes = kernels.accumulate_rows(bytes_by_source)
+            fetch_counts = kernels.source_totals(res.sources).sum(axis=0)
+
+            # I/O noise on the allreduce path (Sec 7.1): non-local
+            # traffic (PFS + remote) shares the network/cores with
+            # communication and slows the compute step down.
+            if cfg.network_interference > 0:
+                factors = kernels.interference_factors(
+                    bytes_by_source, cfg.network_interference
+                )
+                batch_comps *= factors[:, np.newaxis]
+
+            per_batch_read = kernels.batch_totals(reads, t_iters, batch)
+            if prep.overlap:
+                batch_reads = per_batch_read / p0
+            else:
+                # Synchronous loader: reads serialize with compute.
+                batch_comps += per_batch_read
+
+        step = lockstep_epoch(
+            batch_reads,
+            batch_comps,
+            self._lookahead_batches(prep) if prep.overlap else None,
+            barrier=cfg.barrier,
+        )
+        durations = step.batch_durations
+        return EpochResult(
+            epoch=plan.epoch,
+            time_s=step.epoch_time,
+            stall_mean_s=float(step.worker_stalls.mean()),
+            stall_max_s=float(step.worker_stalls.max()),
+            fetch_seconds=tuple((fetch_seconds / n).tolist()),
+            fetch_bytes=tuple(fetch_bytes.tolist()),
+            fetch_counts=tuple(int(c) for c in fetch_counts),
+            batch_stats=BatchTimeStats.from_durations(durations),
+            gamma=plan.gamma,
+            batch_durations=durations if cfg.record_batch_times else None,
+        )
+
+    def _run_prepared(self, policy: Policy, prep: PreparedPolicy) -> SimulationResult:
+        epoch_results = [
+            self._execute_epoch(policy, prep, self._plan_epoch(prep, epoch))
+            for epoch in range(self.config.num_epochs)
+        ]
         return SimulationResult(
             policy=policy.name,
-            scenario=cfg.scenario,
+            scenario=self.config.scenario,
             prestage_time_s=prep.prestage_time_s,
             accesses_full_dataset=prep.accesses_full_dataset,
             epochs=tuple(epoch_results),

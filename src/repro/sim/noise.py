@@ -15,6 +15,7 @@ All noise flows through :func:`repro.rng.generator` keyed by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -22,7 +23,7 @@ from ..config import ConfigMixin
 from ..errors import ConfigurationError
 from ..perfmodel import Source
 
-__all__ = ["NoiseConfig", "apply_noise"]
+__all__ = ["NoiseConfig", "apply_noise", "apply_noise_matrix"]
 
 
 @dataclass(frozen=True)
@@ -112,3 +113,64 @@ def apply_noise(
     if n_local:
         out[local] *= _lognormal_mean_one(rng, noise.local_sigma, n_local)
     return out
+
+
+def apply_noise_matrix(
+    fetch_times: np.ndarray,
+    sources: np.ndarray,
+    noise: NoiseConfig,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Noise for a whole epoch: ``(N, L)`` fetch/source matrices at once.
+
+    Reproducibility pins noise to *per-worker* RNG streams
+    (``generator(seed, "noise", epoch, worker)``), so the random draws
+    cannot be batched across workers without changing every simulated
+    number. This kernel therefore separates the two halves: the source
+    masks, multiplier scatter and final multiply are single whole-matrix
+    operations, while each worker's draws come from its own generator in
+    ``rngs`` — in exactly the order :func:`apply_noise` consumed them
+    (PFS lognormal, PFS tail Bernoulli, remote, local). Results are
+    bitwise identical to applying :func:`apply_noise` row by row.
+    """
+    times = np.asarray(fetch_times, dtype=np.float64)
+    if not noise.enabled or times.size == 0:
+        return times.copy()
+    src = np.asarray(sources)
+    n = times.shape[0]
+    if len(rngs) != n:
+        raise ConfigurationError(
+            f"apply_noise_matrix needs one generator per worker "
+            f"({n} workers, {len(rngs)} generators)"
+        )
+
+    masks = {
+        name: src == int(code)
+        for name, code in (
+            ("pfs", Source.PFS),
+            ("remote", Source.REMOTE),
+            ("local", Source.LOCAL),
+        )
+    }
+    counts = {name: mask.sum(axis=1) for name, mask in masks.items()}
+
+    mult = np.ones_like(times)
+    for worker, rng in enumerate(rngs):
+        n_pfs = int(counts["pfs"][worker])
+        if n_pfs:
+            draw = _lognormal_mean_one(rng, noise.pfs_sigma, n_pfs)
+            if noise.pfs_tail_prob > 0:
+                tails = rng.random(n_pfs) < noise.pfs_tail_prob
+                draw = np.where(tails, draw * noise.pfs_tail_scale, draw)
+            mult[worker, masks["pfs"][worker]] = draw
+        n_remote = int(counts["remote"][worker])
+        if n_remote:
+            mult[worker, masks["remote"][worker]] = _lognormal_mean_one(
+                rng, noise.remote_sigma, n_remote
+            )
+        n_local = int(counts["local"][worker])
+        if n_local:
+            mult[worker, masks["local"][worker]] = _lognormal_mean_one(
+                rng, noise.local_sigma, n_local
+            )
+    return times * mult

@@ -153,6 +153,40 @@ class PreparedPolicy:
             ]
             self.best_map = self.plan.best_class_map()
 
+    # -- batched lookups (epoch-matrix engine) -------------------------------
+
+    def classes_matrix(self, ids_matrix: np.ndarray) -> np.ndarray:
+        """Local cache tier for every sample of an ``(N, L)`` id matrix.
+
+        Row ``w`` answers "which of worker ``w``'s tiers holds each id"
+        (``-1`` = not cached locally). This is the batched form of
+        ``lookups[w].classes_of(row)`` the engine consumes; the default
+        delegates to the per-worker lookups row by row — each row lookup
+        is itself a vectorized ``searchsorted`` — so existing and custom
+        policies (including ones that substitute their own lookup
+        objects) work unchanged. Placement-aware subclasses may override
+        it with a fully batched gather.
+        """
+        ids = np.asarray(ids_matrix)
+        if not self.lookups:
+            return np.full(ids.shape, -1, dtype=np.int8)
+        out = np.empty(ids.shape, dtype=np.int8)
+        for worker in range(ids.shape[0]):
+            out[worker] = self.lookups[worker].classes_of(ids[worker])
+        return out
+
+    def remote_classes_matrix(self, ids_matrix: np.ndarray) -> np.ndarray:
+        """Fastest remote tier for every sample of an ``(N, L)`` id matrix.
+
+        A single vectorized gather through :attr:`best_map` (``-1`` =
+        cached nowhere); entries equal to the local tier are harmless —
+        the local path always wins the fetch resolution.
+        """
+        ids = np.asarray(ids_matrix)
+        if self.best_map is None:
+            return np.full(ids.shape, -1, dtype=np.int8)
+        return self.best_map[ids]
+
 
 class Policy(abc.ABC):
     """An I/O strategy the simulator can evaluate."""

@@ -54,12 +54,11 @@ class DeepIOPolicy(Policy):
     def prepare(self, ctx: ScenarioContext) -> PreparedPolicy:
         """First-touch placement into RAM; mode decides the warm behaviour."""
         caps = self._memory_capacities(ctx)
-        placements = []
-        for worker in range(ctx.num_workers):
-            first_touch = ctx.worker_epoch_ids(worker, 0)
-            placements.append(
-                partition_placement(first_touch, ctx.sizes_mb, caps, worker)
-            )
+        epoch0 = ctx.epoch_matrix(0)  # (N, L): row w = worker w's first touches
+        placements = [
+            partition_placement(epoch0[worker], ctx.sizes_mb, caps, worker)
+            for worker in range(ctx.num_workers)
+        ]
         plan = CachePlan(
             placements, ctx.config.dataset.num_samples, max(len(caps), 1)
         )

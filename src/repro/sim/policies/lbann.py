@@ -63,10 +63,10 @@ class LBANNPolicy(Policy):
         placements = []
         staged_bytes = []
         staged_counts = []
+        epoch0 = ctx.epoch_matrix(0)  # (N, L): row w = worker w's first touches
         for worker in range(ctx.num_workers):
-            first_touch = ctx.worker_epoch_ids(worker, 0)
             placement = partition_placement(
-                first_touch, ctx.sizes_mb, memory_caps, worker
+                epoch0[worker], ctx.sizes_mb, memory_caps, worker
             )
             placements.append(placement)
             staged_bytes.append(placement.cached_bytes(ctx.sizes_mb))

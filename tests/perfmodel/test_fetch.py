@@ -132,3 +132,61 @@ class TestResolveFetch:
             100.0,
         )
         assert res.fetch_times.size == 0
+
+
+class TestResolveFetch2D:
+    """The epoch-matrix form: all workers resolved in one call."""
+
+    def _matrices(self, n=5, length=40, seed=3):
+        rng = np.random.default_rng(seed)
+        sizes = rng.random((n, length)) + 0.01
+        local = rng.integers(-1, 2, size=(n, length)).astype(np.int8)
+        remote = rng.integers(-1, 2, size=(n, length)).astype(np.int8)
+        return sizes, local, remote
+
+    def test_shapes_follow_input(self):
+        sizes, local, remote = self._matrices()
+        res = resolve_fetch(sizes, local, remote, SYS, 385.0)
+        assert res.fetch_times.shape == sizes.shape
+        assert res.sources.shape == sizes.shape
+        assert res.bandwidths.shape == sizes.shape
+        assert res.sources.dtype == np.int8
+
+    def test_rows_equal_per_worker_resolution(self):
+        """Resolving the matrix ≡ resolving each worker row (bitwise)."""
+        sizes, local, remote = self._matrices()
+        whole = resolve_fetch(sizes, local, remote, SYS, 385.0)
+        for w in range(sizes.shape[0]):
+            row = resolve_fetch(sizes[w], local[w], remote[w], SYS, 385.0)
+            np.testing.assert_array_equal(whole.fetch_times[w], row.fetch_times)
+            np.testing.assert_array_equal(whole.sources[w], row.sources)
+            np.testing.assert_array_equal(whole.bandwidths[w], row.bandwidths)
+
+    def test_times_are_size_over_winning_bandwidth(self):
+        sizes, local, remote = self._matrices()
+        res = resolve_fetch(sizes, local, remote, SYS, 385.0)
+        np.testing.assert_array_equal(res.fetch_times, sizes / res.bandwidths)
+
+    def test_none_marks_infinite_fetch(self):
+        sizes = np.ones((2, 3))
+        nowhere = np.full((2, 3), -1, dtype=np.int8)
+        res = resolve_fetch(sizes, nowhere, nowhere, SYS, 0.0, pfs_available=False)
+        assert (res.sources == int(Source.NONE)).all()
+        assert np.isinf(res.fetch_times).all()
+
+    def test_empty_matrix(self):
+        empty = np.empty((3, 0))
+        res = resolve_fetch(
+            empty, empty.astype(np.int8), empty.astype(np.int8), SYS, 100.0
+        )
+        assert res.fetch_times.shape == (3, 0)
+
+    def test_shape_mismatch_2d(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fetch(
+                np.ones((2, 4)),
+                np.zeros((2, 3), dtype=np.int8),
+                np.zeros((2, 4), dtype=np.int8),
+                SYS,
+                100.0,
+            )

@@ -32,6 +32,47 @@ class TestStreams:
         assert c.worker_epoch_ids(0, 0).size == c.samples_per_worker_per_epoch
 
 
+class TestEpochMatrix:
+    def test_rows_are_worker_streams(self):
+        c = ctx()
+        mat = c.epoch_matrix(1)
+        assert mat.shape == (c.num_workers, c.samples_per_worker_per_epoch)
+        for worker in range(c.num_workers):
+            np.testing.assert_array_equal(
+                mat[worker], c.stream.worker_epoch_stream(worker, 1)
+            )
+
+    def test_matches_batch_view(self):
+        c = ctx()
+        batches = c.epoch_batches(0)  # (T, N, B)
+        mat = c.epoch_matrix(0)
+        for worker in range(c.num_workers):
+            np.testing.assert_array_equal(
+                mat[worker], batches[:, worker, :].reshape(-1)
+            )
+
+    def test_cached_and_shares_buffer_with_batch_view(self):
+        c = ctx()
+        assert c.epoch_matrix(0) is c.epoch_matrix(0)
+        # One permutation copy per epoch: both views alias one buffer.
+        assert np.shares_memory(c.epoch_batches(0), c.epoch_matrix(0))
+
+    def test_sizes_matrix_aligned(self):
+        c = ctx()
+        mat = c.epoch_matrix(2)
+        np.testing.assert_array_equal(c.sizes_matrix(2), c.sizes_mb[mat])
+
+    def test_cached_permutation_is_read_only(self):
+        """Mutating the shared views must raise, not corrupt the cache."""
+        c = ctx()
+        with pytest.raises(ValueError):
+            c.epoch_matrix(0)[0, 0] = -1
+        with pytest.raises(ValueError):
+            c.worker_epoch_ids(1, 0)[0] = -1
+        with pytest.raises(ValueError):
+            c.epoch_batches(0)[0, 0, 0] = -1
+
+
 class TestFrequencies:
     def test_sparse_counts_match_dense(self):
         c = ctx()

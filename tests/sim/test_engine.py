@@ -67,6 +67,15 @@ class TestDominanceRelations:
         for name, res in results.items():
             assert res.total_time_s >= lb - 1e-9, name
 
+    def test_lower_bound_reuses_context(self):
+        """Passing a live context must not change the bound (and must not
+        rebuild the scenario's access stream)."""
+        cfg = make_config()
+        sim = Simulator(cfg)
+        fresh = analytic_lower_bound(cfg)
+        assert analytic_lower_bound(cfg, sim.ctx) == fresh
+        assert sim.lower_bound() == fresh
+
     def test_naive_is_worst(self):
         cfg = make_config()
         results = Simulator(cfg).run_many(fig8_lineup())

@@ -1,0 +1,113 @@
+"""The epoch-matrix engine is bitwise-equivalent to the seed engine.
+
+The vectorized engine (PR 5) must produce byte-identical
+``SimulationResult`` JSON to the per-worker scalar loop it replaced —
+no simulated number may change, so every downstream figure and every
+cache entry written under the current code fingerprint is byte-equal
+to what the scalar loop would write. The seed loop is frozen verbatim in
+``tests/sim/reference_engine.py``; this suite pins every registered
+policy (including the ``name:variant`` lineup specs) against it across
+a small scenario grid that exercises cold/warm epochs, stream
+rewriting, noise, network interference, recorded batch times and the
+unsupported-policy error path.
+"""
+
+import json
+
+import pytest
+
+from repro.api import FIG8_POLICIES, POLICIES, TABLE1_POLICIES, make_policy
+from repro.datasets import DatasetModel
+from repro.errors import PolicyError
+from repro.perfmodel import sec6_cluster
+from repro.sim import NoiseConfig, SimulationConfig, Simulator
+from repro.units import TB
+
+from .reference_engine import ReferenceSimulator
+
+#: Every registered policy spec: canonical names plus the lineup
+#: variants (``deepio:opportunistic``, ``lbann:preloading``, ...).
+ALL_POLICY_SPECS = sorted(
+    {*POLICIES.names(), *FIG8_POLICIES, *TABLE1_POLICIES}
+)
+
+
+def _config(name: str, **kw) -> SimulationConfig:
+    total_mb = kw.pop("total_mb", 200.0)
+    n_samples = kw.pop("n_samples", 2_000)
+    ds = DatasetModel(name, n_samples, total_mb / n_samples, 0.02)
+    base = dict(
+        dataset=ds,
+        system=sec6_cluster(),
+        batch_size=8,
+        num_epochs=3,
+        seed=7,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+#: Small grid covering the engine's behavioural corners. Values chosen
+#: so every code path runs: default noise; noise off + interference +
+#: recorded batch durations; a dataset far beyond aggregate memory
+#: (uncovered placements, LBANN "Does not support", sharded baselines
+#: skipping samples); and a fully-cacheable dataset.
+SCENARIOS = {
+    "default": _config("eq-default"),
+    "interference": _config(
+        "eq-interference",
+        system=sec6_cluster(num_workers=2),
+        batch_size=16,
+        num_epochs=2,
+        noise=NoiseConfig.disabled(),
+        network_interference=0.6,
+        record_batch_times=True,
+    ),
+    "oversized": _config(
+        "eq-oversized",
+        total_mb=1.5 * TB,
+        n_samples=4_000,
+        num_epochs=2,
+        seed=11,
+    ),
+    "tiny": _config("eq-tiny", total_mb=20.0, n_samples=640, num_epochs=2),
+}
+
+
+def _run(sim, policy):
+    """A result's canonical JSON, or the PolicyError it raised."""
+    try:
+        return json.dumps(sim.run(policy).to_dict(), sort_keys=True)
+    except PolicyError as exc:
+        return ("PolicyError", str(exc))
+
+
+@pytest.fixture(scope="module")
+def simulators():
+    """One (reference, vectorized) simulator pair per scenario.
+
+    Module-scoped so the expensive state (access streams, sizes) builds
+    once per scenario; the pair *shares* one ScenarioContext, which also
+    pins that a context primed by one engine serves the other.
+    """
+    pairs = {}
+    for key, config in SCENARIOS.items():
+        sim = Simulator(config)
+        pairs[key] = (ReferenceSimulator(config, ctx=sim.ctx), sim)
+    return pairs
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("spec", ALL_POLICY_SPECS)
+def test_bitwise_identical_to_seed_engine(simulators, scenario, spec):
+    reference_sim, sim = simulators[scenario]
+    assert _run(sim, make_policy(spec)) == _run(reference_sim, make_policy(spec))
+
+
+def test_error_messages_identical():
+    """The no-available-source PolicyError pins epoch/worker indices."""
+    cfg = SCENARIOS["oversized"]
+    ref = _run(ReferenceSimulator(cfg), make_policy("lbann:dynamic"))
+    new = _run(Simulator(cfg), make_policy("lbann:dynamic"))
+    assert isinstance(new, tuple), "oversized LBANN must be unsupported"
+    assert new == ref

@@ -6,7 +6,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.perfmodel import Source
 from repro.rng import generator
-from repro.sim import NoiseConfig, apply_noise
+from repro.sim import NoiseConfig, apply_noise, apply_noise_matrix
 
 
 def sources(n, kind):
@@ -96,3 +96,35 @@ class TestApply:
         times = np.linspace(0.1, 1.0, 50)
         out = apply_noise(times, sources(50, Source.PFS), cfg, generator(9, "n"))
         np.testing.assert_allclose(out, times)
+
+
+class TestApplyNoiseMatrix:
+    """The whole-epoch form must replay the per-worker RNG streams."""
+
+    def _matrices(self, n=4, length=96, seed=13):
+        rng = np.random.default_rng(seed)
+        times = rng.random((n, length)) + 1e-3
+        src = rng.integers(0, 4, size=(n, length)).astype(np.int8)
+        return times, src
+
+    def test_bitwise_matches_per_worker_apply_noise(self):
+        times, src = self._matrices()
+        cfg = NoiseConfig()
+        rngs = [generator(0, "noise", 1, w) for w in range(times.shape[0])]
+        out = apply_noise_matrix(times, src, cfg, rngs)
+        for w in range(times.shape[0]):
+            row_rng = generator(0, "noise", 1, w)
+            np.testing.assert_array_equal(
+                out[w], apply_noise(times[w], src[w], cfg, row_rng)
+            )
+
+    def test_disabled_noise_is_a_copy(self):
+        times, src = self._matrices()
+        out = apply_noise_matrix(times, src, NoiseConfig.disabled(), [])
+        assert out is not times
+        np.testing.assert_array_equal(out, times)
+
+    def test_generator_count_must_match_workers(self):
+        times, src = self._matrices(n=3)
+        with pytest.raises(ConfigurationError):
+            apply_noise_matrix(times, src, NoiseConfig(), [generator(0, "n", 0)])

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""CI smoke: the epoch-matrix engine's sweep cache ≡ the seed engine's.
+
+Builds two sweep caches over the same cells — one filled by the frozen
+scalar reference engine (``tests/sim/reference_engine.py``, the seed
+per-worker loop), one by the production vectorized engine — writing
+both through :class:`repro.sweep.cache.ResultCache`. Because entries
+are content-addressed by ``(config, policy, code)`` and serialized
+canonically, a plain ``diff -r`` between the two directories proves the
+engines produce byte-identical ``SimulationResult`` JSON (and therefore
+identical cache entries) for every cell, the same way the PR 4 smoke
+proves executor equivalence.
+
+Cells: the standard demo grid plus the full Fig 8 nine-policy lineup on
+a scaled-down MNIST scenario, so every registered policy — including
+the unsupported/PolicyError path — flows through both engines.
+
+Usage::
+
+    python tools/engine_equivalence.py REFERENCE_DIR ENGINE_DIR
+    diff -r REFERENCE_DIR ENGINE_DIR
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.api import fig8_lineup  # noqa: E402
+from repro.datasets import mnist  # noqa: E402
+from repro.errors import PolicyError  # noqa: E402
+from repro.perfmodel import sec6_cluster  # noqa: E402
+from repro.sim import SimulationConfig, Simulator  # noqa: E402
+from repro.sweep.cache import CachedOutcome, ResultCache, cell_key  # noqa: E402
+from repro.sweep.cli import demo_grid  # noqa: E402
+from repro.sweep.grid import ScenarioGrid  # noqa: E402
+from tests.sim.reference_engine import ReferenceSimulator  # noqa: E402
+
+
+def _cells():
+    cells = demo_grid().cells()
+    lineup_grid = ScenarioGrid(
+        datasets=[mnist(1).scaled(0.2)],
+        systems=[sec6_cluster(num_workers=2)],
+        policies=fig8_lineup(),
+        batch_sizes=[16],
+        epoch_counts=[2],
+    )
+    cells.extend(lineup_grid.cells())
+    return cells
+
+
+def _outcome(run) -> CachedOutcome:
+    try:
+        return CachedOutcome(result=run(), error=None)
+    except PolicyError as exc:
+        return CachedOutcome(result=None, error=str(exc))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    reference_cache = ResultCache(argv[1])
+    engine_cache = ResultCache(argv[2])
+
+    simulators: dict[str, tuple[ReferenceSimulator, Simulator]] = {}
+    mismatches = 0
+    cells = _cells()
+    for cell in cells:
+        config: SimulationConfig = cell.config
+        key = cell_key(config, cell.policy)
+        scenario = json.dumps(config.to_dict(), sort_keys=True)
+        if scenario not in simulators:
+            simulators[scenario] = (ReferenceSimulator(config), Simulator(config))
+        reference_sim, engine_sim = simulators[scenario]
+
+        ref = _outcome(lambda: reference_sim.run(cell.policy))
+        new = _outcome(lambda: engine_sim.run(cell.policy))
+        reference_cache.put(key, ref)
+        engine_cache.put(key, new)
+
+        ref_desc = ref.error if ref.result is None else ref.result.to_dict()
+        new_desc = new.error if new.result is None else new.result.to_dict()
+        status = "ok" if ref_desc == new_desc else "MISMATCH"
+        mismatches += status != "ok"
+        print(f"[{status}] {cell.policy.name} @ {config.scenario} B={config.batch_size}")
+
+    print(f"{len(cells)} cells, {mismatches} mismatches")
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
