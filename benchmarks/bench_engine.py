@@ -1,18 +1,27 @@
 """Simulation-engine throughput: epoch-matrix kernels vs the seed loop.
 
 Benchmarks the innermost hot path under every sweep cell — one
-``Simulator.run`` — on a multi-worker scenario (N=64, the scale where
-the seed engine's per-worker Python loop dominated wall-clock), and
-asserts the PR 5 acceptance criterion: the vectorized epoch-matrix
-engine beats the retained scalar reference
-(``tests/sim/reference_engine.py``) while producing bitwise-identical
-results. CI uploads the pytest-benchmark timings as
-``BENCH_engine.json`` plus the rendered comparison.
+``Simulator.run`` — at two scales:
+
+* **N=64** (the PR 5 acceptance scenario): the vectorized epoch-matrix
+  engine must beat the retained scalar reference
+  (``tests/sim/reference_engine.py``) while producing
+  bitwise-identical results.
+* **N=1024** (the paper-scale tier): a Sec 7-sized scenario —
+  1024 workers over a multi-million-sample stream — must complete
+  with streaming tiles (``tile_rows=PAPER_SCALE_TILE_ROWS``) under the
+  documented peak-memory bound, bitwise-identical to the untiled run.
+
+CI uploads the pytest-benchmark timings as ``BENCH_engine.json`` plus
+the rendered comparisons; ``tools/bench_gate.py`` compares the timings
+against ``benchmarks/baselines.json`` and fails the build on
+regression.
 """
 
 import json
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
@@ -22,6 +31,7 @@ from repro.perfmodel import sec6_cluster  # noqa: E402
 from repro.sim import (  # noqa: E402
     NaivePolicy,
     NoPFSPolicy,
+    ScenarioContext,
     SimulationConfig,
     Simulator,
     StagingBufferPolicy,
@@ -31,6 +41,19 @@ from tests.sim.reference_engine import ReferenceSimulator  # noqa: E402
 #: N >= 64 per the acceptance criterion: enough workers that per-worker
 #: Python overhead (the seed engine's cost model) is the dominant term.
 NUM_WORKERS = 64
+
+#: The paper's headline scale (Sec 7: up to 1024 workers).
+PAPER_SCALE_WORKERS = 1024
+#: Streaming tile height for the paper-scale runs: 64-worker bands keep
+#: every per-sample float matrix at ~1.5 MB while the untiled run
+#: materializes ~25 MB per temporary.
+PAPER_SCALE_TILE_ROWS = 64
+#: Documented peak-allocation bound (tracemalloc, MB) for the tiled
+#: N=1024 run. Measured ~134 MB (dominated by the policy's placement
+#: lookups and the cached id permutations, not per-sample floats); the
+#: untiled run peaks ~504 MB. The bound carries slack for allocator
+#: variance across numpy versions, not for regressions.
+PAPER_SCALE_TILED_PEAK_MB = 256.0
 
 
 def _scenario(num_workers=NUM_WORKERS, batch=16, iterations=16, epochs=3, seed=5):
@@ -103,3 +126,78 @@ def test_engine_throughput(benchmark):
     sim = Simulator(_scenario())
     sim.run(NaivePolicy())  # warm the scenario state once
     benchmark.pedantic(sim.run, args=(NoPFSPolicy(),), rounds=3, iterations=1)
+
+
+# -- paper scale (N=1024) --------------------------------------------------
+
+
+def _paper_scenario():
+    """A Sec 7-sized cell: N=1024 workers, ~3.1M samples, 2 epochs."""
+    return _scenario(
+        num_workers=PAPER_SCALE_WORKERS, batch=32, iterations=96, epochs=2
+    )
+
+
+def _traced_run(sim, policy):
+    """(result, wall seconds, tracemalloc peak MB) of one engine run."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = sim.run(policy)
+    wall = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, wall, peak / 2**20
+
+
+def test_engine_paper_scale(report):
+    """N=1024: tiled run is bitwise-equal to untiled and memory-bounded.
+
+    Peak memory is measured with ``tracemalloc`` (it traces every numpy
+    buffer and, unlike RSS, is deterministic across allocator reuse),
+    after warming the shared scenario context so both runs are charged
+    only for their own working set.
+    """
+    config = _paper_scenario()
+    ctx = ScenarioContext(config)
+    for epoch in range(config.num_epochs):
+        ctx.epoch_matrix(epoch)
+
+    untiled, untiled_s, untiled_mb = _traced_run(
+        Simulator(config, ctx=ctx), NoPFSPolicy()
+    )
+    tiled, tiled_s, tiled_mb = _traced_run(
+        Simulator(config, tile_rows=PAPER_SCALE_TILE_ROWS, ctx=ctx), NoPFSPolicy()
+    )
+
+    assert json.dumps(tiled.to_dict(), sort_keys=True) == json.dumps(
+        untiled.to_dict(), sort_keys=True
+    ), "tiled paper-scale run diverges from untiled execution"
+    assert tiled_mb < PAPER_SCALE_TILED_PEAK_MB, (
+        f"tiled N={PAPER_SCALE_WORKERS} run peaked at {tiled_mb:.1f} MB; "
+        f"documented bound is {PAPER_SCALE_TILED_PEAK_MB:.0f} MB"
+    )
+
+    cells = config.num_epochs * config.iterations_per_epoch * ctx.num_workers
+    report(
+        "engine_paper_scale",
+        "\n".join(
+            [
+                f"scenario: N={PAPER_SCALE_WORKERS} workers, "
+                f"F={config.dataset.num_samples:,} samples, "
+                f"E={config.num_epochs} epochs, B={config.batch_size}",
+                f"untiled:              {untiled_s:6.2f}s  peak {untiled_mb:7.1f} MB",
+                f"tiled (tile_rows={PAPER_SCALE_TILE_ROWS}):  "
+                f"{tiled_s:6.2f}s  peak {tiled_mb:7.1f} MB",
+                f"matrix cells/s (tiled): {cells / tiled_s:,.0f}",
+                "results: bitwise-identical",
+            ]
+        ),
+    )
+
+
+def test_engine_paper_scale_throughput(benchmark):
+    """Timing series for BENCH_engine.json: one tiled N=1024 cell."""
+    config = _paper_scenario()
+    sim = Simulator(config, tile_rows=PAPER_SCALE_TILE_ROWS)
+    sim.run(NaivePolicy())  # warm the scenario state once
+    benchmark.pedantic(sim.run, args=(NoPFSPolicy(),), rounds=2, iterations=1)

@@ -8,9 +8,10 @@ pure array kernels in :mod:`repro.sim.kernels`; see
 from . import kernels
 from .config import SimulationConfig
 from .context import ScenarioContext
-from .engine import EpochPlan, Simulator, analytic_lower_bound
+from .engine import EpochPlan, EpochTile, Simulator, analytic_lower_bound
 from .lockstep import LockstepResult, lockstep_epoch
 from .noise import NoiseConfig, apply_noise, apply_noise_matrix
+from .plancache import PhasePlan, PlanCache, PlanScalars
 from .policies import (
     DeepIOPolicy,
     DoubleBufferPolicy,
@@ -35,6 +36,10 @@ __all__ = [
     "ScenarioContext",
     "Simulator",
     "EpochPlan",
+    "EpochTile",
+    "PhasePlan",
+    "PlanCache",
+    "PlanScalars",
     "analytic_lower_bound",
     "kernels",
     "LockstepResult",

@@ -60,6 +60,17 @@ class ScenarioContext:
         return self.system.num_workers
 
     @property
+    def cache_enabled(self) -> bool:
+        """Whether full-epoch permutations may be cached (E*F capped).
+
+        Scenario-level caches (here and in the engine's
+        :class:`~repro.sim.plancache.PlanCache`) consult this flag so
+        paper-scale scenarios above ``_PERM_CACHE_MAX_ELEMENTS`` never
+        pin multi-hundred-MB matrices across epochs.
+        """
+        return self._cache_enabled
+
+    @property
     def samples_per_worker_per_epoch(self) -> int:
         """``L = T * B`` — per-worker stream length each epoch."""
         return self.config.stream_config.samples_per_worker_per_epoch

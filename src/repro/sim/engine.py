@@ -11,27 +11,36 @@ workers by ``L = T * B`` samples — in two phases:
 
 1. **Plan** (:meth:`Simulator._plan_epoch`): the policy's
    :class:`~repro.sim.policies.base.PreparedPolicy` fixes the cache
-   placement, stream rewriting, prestaging cost and PFS usage; per
-   epoch the planner materializes the id/size matrices (one epoch-matrix
-   view from the :class:`~repro.sim.context.ScenarioContext` instead of
-   ``N`` reshape copies), resolves every sample's local/remote cache
-   tier through the policy's batched lookups, and derives the PFS
-   contention level ``gamma`` from the byte fraction the policy must
-   fetch from the PFS (cold epochs: all of it; warm epochs: the
-   placement's uncovered bytes).
-2. **Execute** (:meth:`Simulator._execute_epoch`): pure array kernels
-   (:mod:`repro.sim.kernels`) resolve fetch sources vectorially for all
-   workers at once (local tier / fastest remote tier / PFS — Sec 4's
-   three cases), apply seeded per-worker noise, aggregate per-batch
-   read/compute times, and feed the bulk-synchronous lockstep scan
-   (:mod:`repro.sim.lockstep`), which turns them into global batch
-   completion times under the allreduce barrier and the staging-buffer
-   lookahead window.
+   placement, stream rewriting, prestaging cost and PFS usage. The
+   epoch-invariant part — the PFS byte fraction, the contention level
+   ``gamma`` and its derived share/latency, the placement coverage and
+   the staging lookahead — is computed once per prepared policy by the
+   simulator's :class:`~repro.sim.plancache.PlanCache` and reused for
+   every epoch (and across the policies of :meth:`Simulator.run_many`).
+   Per epoch only the id permutation is resolved, yielding an
+   :class:`EpochPlan`.
+2. **Execute** (:meth:`Simulator._execute_epoch`): the plan is
+   materialized tile by tile (:meth:`EpochPlan.tiles`) — contiguous
+   worker-row bands of configurable height ``tile_rows`` — and pure
+   array kernels (:mod:`repro.sim.kernels`) resolve fetch sources
+   vectorially for each band (local tier / fastest remote tier / PFS —
+   Sec 4's three cases), apply seeded per-worker noise, and aggregate
+   per-batch read/compute times. The assembled ``(N, T)`` totals feed
+   the bulk-synchronous lockstep scan (:mod:`repro.sim.lockstep`),
+   which turns them into global batch completion times under the
+   allreduce barrier and the staging-buffer lookahead window.
 
-Every kernel reproduces the seed scalar engine's floating-point
-operations element for element, so results are bitwise identical to the
-per-worker loop (pinned by ``tests/sim/test_engine_equivalence.py``
-against the reference copy kept in ``tests/sim/reference_engine.py``).
+With ``tile_rows=None`` (the default) an epoch is one full-height tile
+— the PR-5 behaviour. With a finite ``tile_rows`` the float
+``(N, L)`` working set (sizes, fetch times, noise draws, read times)
+exists only ``tile_rows`` rows at a time, so paper-scale scenarios
+(N=1024 over multi-million-sample streams) execute in bounded memory.
+Every per-element float operation is row-local and the cross-worker
+reductions run after the loop in strict worker order, so results are
+**bitwise identical for every tile height** — pinned, along with the
+equivalence to the seed scalar engine, by
+``tests/sim/test_engine_equivalence.py`` and ``tests/sim/test_tiling.py``
+against the reference copy kept in ``tests/sim/reference_engine.py``.
 
 Caches follow the paper's observed dynamics: during epoch 0 every
 policy reads from the PFS while caches fill ("without caching, it is
@@ -42,11 +51,12 @@ cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
-from ..errors import PolicyError
+from ..errors import ConfigurationError, PolicyError
 from ..perfmodel import Source, resolve_fetch, write_times
 from ..rng import generator
 from . import kernels
@@ -54,10 +64,11 @@ from .config import SimulationConfig
 from .context import ScenarioContext
 from .lockstep import lockstep_epoch
 from .noise import apply_noise_matrix
+from .plancache import PlanCache
 from .policies.base import Policy, PreparedPolicy
 from .result import BatchTimeStats, EpochResult, SimulationResult
 
-__all__ = ["Simulator", "EpochPlan", "analytic_lower_bound"]
+__all__ = ["Simulator", "EpochPlan", "EpochTile", "analytic_lower_bound"]
 
 
 def analytic_lower_bound(
@@ -81,12 +92,49 @@ def analytic_lower_bound(
 
 
 @dataclass(frozen=True)
+class EpochTile:
+    """One materialized row band of an :class:`EpochPlan`.
+
+    The execute-phase kernels consume tiles: a contiguous block of
+    worker rows with every per-sample matrix the fetch resolution needs
+    gathered for exactly those rows.
+
+    Attributes
+    ----------
+    rows:
+        The worker-row slice of the full ``(N, L)`` epoch this tile
+        covers (``rows.start`` is the first absolute worker index).
+    ids:
+        ``(rows, L)`` sample ids, row ``i`` = worker
+        ``rows.start + i``'s stream order.
+    sizes_mb:
+        ``(rows, L)`` per-sample sizes aligned with ``ids``.
+    local_classes / remote_classes:
+        ``(rows, L)`` int8 cache-tier matrices (``-1`` = unavailable);
+        ``None`` for the ideal (no-I/O) policy, which skips fetching.
+    """
+
+    rows: slice
+    ids: np.ndarray
+    sizes_mb: np.ndarray
+    local_classes: np.ndarray | None
+    remote_classes: np.ndarray | None
+
+    @property
+    def num_rows(self) -> int:
+        """Worker rows in this tile."""
+        return self.ids.shape[0]
+
+
+@dataclass(frozen=True)
 class EpochPlan:
     """One epoch's inputs to the execute-phase kernels.
 
-    Everything the policy and contention model decide about an epoch,
-    materialized as ``(N, L)`` matrices; the execute phase is a pure
-    function of this plan.
+    Everything the policy and contention model decide about an epoch.
+    Only the integer id permutation is held in full; the float
+    size/class matrices are materialized on demand, tile by tile, via
+    :meth:`tile` / :meth:`tiles` — so a plan's resident cost stays at
+    one ``(N, L)`` integer matrix even at paper scale.
 
     Attributes
     ----------
@@ -96,11 +144,6 @@ class EpochPlan:
         Whether the policy's cache placement is active this epoch.
     ids:
         ``(N, L)`` sample ids, row ``w`` = worker ``w``'s stream order.
-    sizes_mb:
-        ``(N, L)`` per-sample sizes aligned with ``ids``.
-    local_classes / remote_classes:
-        ``(N, L)`` int8 cache-tier matrices (``-1`` = unavailable);
-        ``None`` for the ideal (no-I/O) policy, which skips fetching.
     gamma:
         Effective PFS contention level for the epoch.
     pfs_share_mbps:
@@ -114,24 +157,104 @@ class EpochPlan:
     epoch: int
     warm: bool
     ids: np.ndarray
-    sizes_mb: np.ndarray
-    local_classes: np.ndarray | None
-    remote_classes: np.ndarray | None
     gamma: float
     pfs_share_mbps: float
     pfs_latency_s: float
+    prep: PreparedPolicy = field(repr=False)
+    cache: PlanCache = field(repr=False)
+    #: True when ``ids`` is the context's canonical (clairvoyant) epoch
+    #: matrix, making the size gather shareable across policies.
+    shared_ids: bool = field(repr=False, default=False)
+
+    def tile(self, rows: slice) -> EpochTile:
+        """Materialize the size/class matrices for one row band.
+
+        Whole-epoch tiles over the canonical stream reuse the plan
+        cache's shared per-epoch size gather; partial tiles gather just
+        their band. Class resolution is row-local by construction —
+        local tiers via the band's workers' lookups
+        (``worker_offset=rows.start``), remote tiers via the placement
+        gather, warm-up availability via the column-indexed progress
+        hash — so a band's matrices are bitwise equal to the same rows
+        of the full-epoch materialization.
+        """
+        prep = self.prep
+        ids = self.ids[rows]
+        if self.shared_ids and ids.shape[0] == self.ids.shape[0]:
+            sizes = self.cache.sizes_matrix(self.epoch, self.ids)
+        else:
+            sizes = self.cache.ctx.sizes_mb[ids]
+
+        local_cls: np.ndarray | None = None
+        remote_cls: np.ndarray | None = None
+        if not prep.ideal:
+            if self.warm:
+                local_cls = prep.classes_matrix(ids, worker_offset=rows.start)
+                remote_cls = prep.remote_classes_matrix(ids)
+            else:
+                local_cls = self.cache.cold_classes(ids.shape[0])
+                remote_cls = local_cls
+                if prep.plan is not None and prep.best_map is not None:
+                    remote_cls = kernels.warmup_remote_classes(ids, prep.best_map)
+
+        return EpochTile(
+            rows=rows,
+            ids=ids,
+            sizes_mb=sizes,
+            local_classes=local_cls,
+            remote_classes=remote_cls,
+        )
+
+    def tiles(self, tile_rows: int | None) -> Iterator[EpochTile]:
+        """Iterate the epoch as row bands of height ``tile_rows``.
+
+        ``None`` yields the epoch as a single full-height tile (the
+        untiled fast path); otherwise bands of ``tile_rows`` workers
+        (the last band ragged) are materialized lazily, one at a time.
+        """
+        n = self.ids.shape[0]
+        step = n if tile_rows is None else max(1, min(int(tile_rows), n))
+        for start in range(0, n, step):
+            yield self.tile(slice(start, min(start + step, n)))
 
 
 class Simulator:
     """Evaluates I/O policies on one scenario (dataset x system x E x B).
 
-    A single instance caches the scenario's access streams so comparing
-    many policies (Fig 8's nine bars) reuses the expensive state.
+    A single instance caches the scenario's access streams and the
+    epoch-invariant planning state (:class:`~repro.sim.plancache.PlanCache`),
+    so comparing many policies (Fig 8's nine bars) reuses the expensive
+    state instead of re-planning per policy.
+
+    Parameters
+    ----------
+    config:
+        The scenario to simulate.
+    tile_rows:
+        Execute epochs in row bands of this many workers to bound peak
+        memory (``None`` = whole epochs at once). Any value yields
+        bitwise-identical results; see :mod:`docs/performance.md` for
+        the memory/speed trade-off.
+    ctx:
+        Reuse an existing :class:`ScenarioContext` built from the same
+        ``config`` (e.g. to share cached permutations between
+        simulators) instead of constructing a fresh one.
     """
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        tile_rows: int | None = None,
+        ctx: ScenarioContext | None = None,
+    ) -> None:
+        if tile_rows is not None and int(tile_rows) < 1:
+            raise ConfigurationError(
+                f"tile_rows must be a positive worker count, got {tile_rows!r}"
+            )
         self.config = config
-        self.ctx = ScenarioContext(config)
+        self.tile_rows = None if tile_rows is None else int(tile_rows)
+        self.ctx = ctx if ctx is not None else ScenarioContext(config)
+        self.plan_cache = PlanCache(self.ctx)
 
     # -- public API --------------------------------------------------------
 
@@ -143,9 +266,14 @@ class Simulator:
     def run_many(self, policies: list[Policy]) -> dict[str, SimulationResult]:
         """Simulate several policies, skipping unsupported ones.
 
-        Policies raising :class:`~repro.errors.PolicyError` (the paper's
-        "Does not support" / LBANN-overflow cases) are omitted from the
-        result dict rather than aborting the comparison.
+        All policies share this simulator's :class:`ScenarioContext`
+        and :class:`~repro.sim.plancache.PlanCache`, so the scenario's
+        permutations, per-epoch size gathers and cold-class template
+        are materialized once for the whole comparison rather than once
+        per policy. Policies raising
+        :class:`~repro.errors.PolicyError` (the paper's "Does not
+        support" / LBANN-overflow cases) are omitted from the result
+        dict rather than aborting the comparison.
         """
         out: dict[str, SimulationResult] = {}
         for policy in policies:
@@ -161,91 +289,41 @@ class Simulator:
 
     # -- plan phase ----------------------------------------------------------
 
-    def _lookahead_batches(self, prep: PreparedPolicy) -> int | None:
-        if prep.lookahead_batches is not None:
-            return prep.lookahead_batches
-        batch_mb = self.config.batch_size * self.config.dataset.mean_realized_size_mb
-        if batch_mb <= 0:
-            return None
-        return max(1, int(self.config.system.staging.capacity_mb / batch_mb))
-
-    def _uncovered_fraction(self, prep: PreparedPolicy) -> float:
-        if prep.best_map is None:
-            return 1.0
-        sizes = self.ctx.sizes_mb
-        uncovered = prep.best_map < 0
-        total = float(sizes.sum())
-        if total <= 0:
-            return 0.0
-        return float(sizes[uncovered].sum()) / total
-
-    def _epoch_pfs_fraction(self, prep: PreparedPolicy, epoch: int) -> float:
-        if prep.ideal:
-            return 0.0
-        if epoch < prep.warm_epochs:
-            return 1.0
-        if prep.warm_pfs_fraction is not None:
-            return float(prep.warm_pfs_fraction)
-        if not prep.pfs_in_warm:
-            return 0.0
-        return self._uncovered_fraction(prep)
-
-    def _epoch_ids(self, prep: PreparedPolicy, epoch: int, warm: bool) -> np.ndarray:
+    def _epoch_ids(
+        self, prep: PreparedPolicy, epoch: int, warm: bool
+    ) -> tuple[np.ndarray, bool]:
         """The epoch's ``(N, L)`` id matrix, honouring stream rewrites.
 
         Clairvoyant policies get the context's cached epoch matrix
-        (zero copies); order-changing policies (sharding, DeepIO
+        (zero copies; flagged shared so the size gather can be reused
+        across policies); order-changing policies (sharding, DeepIO
         opportunistic) have their per-worker ``stream_fn`` rows stacked
         — each row is one deterministic per-worker shuffle, so the loop
         is O(N) RNG setups, not O(N*L) Python work.
         """
         ctx = self.ctx
         if prep.stream_fn is None or not (warm or prep.warm_epochs == 0):
-            return ctx.epoch_matrix(epoch)
-        return np.stack(
+            return ctx.epoch_matrix(epoch), True
+        stacked = np.stack(
             [prep.stream_fn(worker, epoch) for worker in range(ctx.num_workers)]
         )
+        return stacked, False
 
     def _plan_epoch(self, prep: PreparedPolicy, epoch: int) -> EpochPlan:
-        """Materialize one epoch's matrices and contention level."""
-        cfg = self.config
-        system = cfg.system
+        """Resolve one epoch's ids and (cached) contention scalars."""
         warm = prep.plan is not None and epoch >= prep.warm_epochs
-        fraction = self._epoch_pfs_fraction(prep, epoch)
-        gamma = system.pfs.effective_gamma(self.ctx.num_workers, fraction)
-        pfs_share = float(system.pfs.per_worker_mbps(gamma)) if gamma > 0 else 0.0
-        pfs_latency = system.pfs.per_sample_latency(gamma) if gamma > 0 else 0.0
-        # t(gamma)/gamma is the whole worker's share; with overlap the
-        # p0 staging threads split it (each sees share/p0, and the
-        # cumsum/p0 in the timeline restores the worker total).
-        p0 = system.staging.threads
-        pfs_share_per_thread = pfs_share / p0 if prep.overlap else pfs_share
-
-        ids = self._epoch_ids(prep, epoch, warm)
-        sizes = self.ctx.sizes_mb[ids]
-
-        local_cls: np.ndarray | None = None
-        remote_cls: np.ndarray | None = None
-        if not prep.ideal:
-            if warm:
-                local_cls = prep.classes_matrix(ids)
-                remote_cls = prep.remote_classes_matrix(ids)
-            else:
-                local_cls = np.full(ids.shape, -1, dtype=np.int8)
-                remote_cls = local_cls
-                if prep.plan is not None and prep.best_map is not None:
-                    remote_cls = kernels.warmup_remote_classes(ids, prep.best_map)
-
+        phase = self.plan_cache.scalars(prep).phase(epoch < prep.warm_epochs)
+        ids, shared = self._epoch_ids(prep, epoch, warm)
         return EpochPlan(
             epoch=epoch,
             warm=warm,
             ids=ids,
-            sizes_mb=sizes,
-            local_classes=local_cls,
-            remote_classes=remote_cls,
-            gamma=float(gamma),
-            pfs_share_mbps=pfs_share_per_thread,
-            pfs_latency_s=pfs_latency,
+            gamma=phase.gamma,
+            pfs_share_mbps=phase.pfs_share_mbps,
+            pfs_latency_s=phase.pfs_latency_s,
+            prep=prep,
+            cache=self.plan_cache,
+            shared_ids=shared,
         )
 
     # -- execute phase -------------------------------------------------------
@@ -253,32 +331,49 @@ class Simulator:
     def _execute_epoch(
         self, policy: Policy, prep: PreparedPolicy, plan: EpochPlan
     ) -> EpochResult:
-        """Run one planned epoch through the array kernels."""
+        """Run one planned epoch through the array kernels, tile by tile.
+
+        Per-sample float work (fetch resolution, latency, noise, write
+        times, per-batch totals) happens inside the tile loop on
+        ``(rows, L)`` bands; only the small ``(N, T)`` batch totals and
+        ``(N, 4)`` per-source aggregates persist across tiles. The
+        cross-worker reductions (:func:`kernels.accumulate_rows`) run
+        after the loop over the assembled rows in strict worker order —
+        exactly the seed engine's accumulation order — so the tile
+        height never changes a single bit of the result.
+        """
         cfg = self.config
         system = cfg.system
         n = self.ctx.num_workers
         t_iters = cfg.iterations_per_epoch
         batch = cfg.batch_size
         p0 = system.staging.threads
+        divisor = float(p0) if prep.overlap else 1.0
 
-        comps = plan.sizes_mb / system.compute_mbps
-        batch_comps = kernels.batch_totals(comps, t_iters, batch)
+        batch_comps = np.empty((n, t_iters))
         batch_reads = np.zeros((n, t_iters))
-        fetch_seconds = np.zeros(kernels.NUM_SOURCES)
-        fetch_bytes = np.zeros(kernels.NUM_SOURCES)
-        fetch_counts = np.zeros(kernels.NUM_SOURCES, dtype=np.int64)
+        seconds_by_source = np.zeros((n, kernels.NUM_SOURCES))
+        bytes_by_source = np.zeros((n, kernels.NUM_SOURCES))
+        counts_by_source = np.zeros((n, kernels.NUM_SOURCES), dtype=np.int64)
 
-        if not prep.ideal:
+        for tile in plan.tiles(self.tile_rows):
+            rows = tile.rows
+            comps = tile.sizes_mb / system.compute_mbps
+            tile_comps = kernels.batch_totals(comps, t_iters, batch)
+            if prep.ideal:
+                batch_comps[rows] = tile_comps
+                continue
+
             res = resolve_fetch(
-                plan.sizes_mb,
-                plan.local_classes,
-                plan.remote_classes,
+                tile.sizes_mb,
+                tile.local_classes,
+                tile.remote_classes,
                 system,
                 plan.pfs_share_mbps,
             )
             unsourced = res.sources == int(Source.NONE)
             if unsourced.any():
-                worker = int(np.argmax(unsourced.any(axis=1)))
+                worker = rows.start + int(np.argmax(unsourced.any(axis=1)))
                 raise PolicyError(
                     f"policy {policy.name!r} scheduled a sample with no "
                     f"available source (epoch {plan.epoch}, worker {worker})"
@@ -288,38 +383,44 @@ class Simulator:
             )
             rngs = [
                 generator(cfg.seed, "noise", plan.epoch, worker)
-                for worker in range(n)
+                for worker in range(rows.start, rows.stop)
             ]
             fetch = apply_noise_matrix(fetch, res.sources, cfg.noise, rngs)
-            reads = fetch + write_times(plan.sizes_mb, system)
+            reads = fetch + write_times(tile.sizes_mb, system)
 
-            divisor = float(p0) if prep.overlap else 1.0
-            seconds_by_source = kernels.source_totals(res.sources, fetch) / divisor
-            bytes_by_source = kernels.source_totals(res.sources, plan.sizes_mb)
-            fetch_seconds = kernels.accumulate_rows(seconds_by_source)
-            fetch_bytes = kernels.accumulate_rows(bytes_by_source)
-            fetch_counts = kernels.source_totals(res.sources).sum(axis=0)
+            tile_bytes = kernels.source_totals(res.sources, tile.sizes_mb)
+            seconds_by_source[rows] = (
+                kernels.source_totals(res.sources, fetch) / divisor
+            )
+            bytes_by_source[rows] = tile_bytes
+            counts_by_source[rows] = kernels.source_totals(res.sources)
 
             # I/O noise on the allreduce path (Sec 7.1): non-local
             # traffic (PFS + remote) shares the network/cores with
             # communication and slows the compute step down.
             if cfg.network_interference > 0:
                 factors = kernels.interference_factors(
-                    bytes_by_source, cfg.network_interference
+                    tile_bytes, cfg.network_interference
                 )
-                batch_comps *= factors[:, np.newaxis]
+                tile_comps *= factors[:, np.newaxis]
 
             per_batch_read = kernels.batch_totals(reads, t_iters, batch)
             if prep.overlap:
-                batch_reads = per_batch_read / p0
+                batch_reads[rows] = per_batch_read / p0
             else:
                 # Synchronous loader: reads serialize with compute.
-                batch_comps += per_batch_read
+                tile_comps += per_batch_read
+            batch_comps[rows] = tile_comps
 
+        fetch_seconds = kernels.accumulate_rows(seconds_by_source)
+        fetch_bytes = kernels.accumulate_rows(bytes_by_source)
+        fetch_counts = counts_by_source.sum(axis=0)
+
+        lookahead = self.plan_cache.scalars(prep).lookahead_batches
         step = lockstep_epoch(
             batch_reads,
             batch_comps,
-            self._lookahead_batches(prep) if prep.overlap else None,
+            lookahead if prep.overlap else None,
             barrier=cfg.barrier,
         )
         durations = step.batch_durations

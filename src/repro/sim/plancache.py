@@ -1,0 +1,211 @@
+"""Cross-epoch and cross-policy plan reuse for the epoch-matrix engine.
+
+The plan phase of :class:`~repro.sim.engine.Simulator` decides, per
+epoch, the contention scalars (``gamma``, the per-worker PFS share and
+latency), the staging lookahead, and the ``(N, L)`` size/class
+matrices the execute kernels consume. Most of that work is *not*
+epoch-dependent:
+
+* the PFS byte fraction — and therefore ``gamma`` and everything
+  derived from it — takes exactly two values per policy: the cold
+  value (epochs before ``warm_epochs``) and the warm value;
+* the uncovered-placement byte fraction and the lookahead depth are
+  pure functions of the prepared policy;
+* the per-sample size gather ``sizes_mb[ids]`` and the cold-epoch
+  "nothing cached locally" class template are identical for every
+  policy that consumes the scenario's clairvoyant stream.
+
+A :class:`PlanCache` hoists all of it: scalars are computed once per
+:class:`~repro.sim.policies.base.PreparedPolicy` (keyed on the prepared
+instance), size matrices once per epoch (shared across the policies of
+a :meth:`~repro.sim.engine.Simulator.run_many` comparison), and the
+cold class template once per scenario. Only the genuinely per-epoch
+work — the id permutation, warm cache-tier lookups, warm-up
+availability and noise — is recomputed each epoch.
+
+Everything cached here is a value the per-epoch code used to recompute
+from the same inputs, so reuse is bitwise-neutral by construction; the
+reference-engine equivalence suite pins it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .context import ScenarioContext
+from .policies.base import PreparedPolicy
+
+__all__ = ["PhasePlan", "PlanCache", "PlanScalars"]
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """Contention scalars for one cache phase (cold or warm).
+
+    Attributes
+    ----------
+    pfs_fraction:
+        Byte fraction fetched from the PFS during this phase.
+    gamma:
+        Effective PFS contention level.
+    pfs_share_mbps:
+        Per-consumer PFS share ``t(gamma)/gamma`` — already divided by
+        the staging threads when the policy overlaps I/O with compute.
+    pfs_latency_s:
+        Per-request PFS latency under ``gamma``.
+    """
+
+    pfs_fraction: float
+    gamma: float
+    pfs_share_mbps: float
+    pfs_latency_s: float
+
+
+@dataclass(frozen=True)
+class PlanScalars:
+    """Epoch-invariant planning state of one prepared policy.
+
+    ``cold`` applies to epochs before ``prep.warm_epochs``, ``warm``
+    from ``warm_epochs`` on; the engine picks per epoch with
+    :meth:`phase`.
+    """
+
+    lookahead_batches: int | None
+    uncovered_fraction: float
+    cold: PhasePlan
+    warm: PhasePlan
+
+    def phase(self, cold: bool) -> PhasePlan:
+        """The scalars governing a cold or warm epoch."""
+        return self.cold if cold else self.warm
+
+
+class PlanCache:
+    """Planning state shared across the epochs and policies of one scenario.
+
+    One instance lives on each :class:`~repro.sim.engine.Simulator`
+    (sharing the simulator's :class:`ScenarioContext`), so a
+    ``run_many`` comparison — or repeated ``run`` calls on the same
+    simulator — pays the epoch-invariant planning work once instead of
+    once per epoch per policy.
+
+    ``hits`` / ``misses`` count epoch-size-matrix cache traffic (the
+    dominant shared allocation); they exist for tests and profiling.
+    """
+
+    def __init__(self, ctx: ScenarioContext) -> None:
+        self.ctx = ctx
+        #: id(prep) -> (prep, scalars); the prep reference keeps the id
+        #: stable for the cache's lifetime.
+        self._scalars: dict[int, tuple[PreparedPolicy, PlanScalars]] = {}
+        #: epoch -> read-only (N, L) sizes gather, shared across policies.
+        self._sizes: dict[int, np.ndarray] = {}
+        self._cold_template: np.ndarray | None = None
+        self.hits = 0
+        self.misses = 0
+
+    # -- per-policy scalars -------------------------------------------------
+
+    def scalars(self, prep: PreparedPolicy) -> PlanScalars:
+        """The epoch-invariant scalars of ``prep`` (computed once)."""
+        cached = self._scalars.get(id(prep))
+        if cached is not None:
+            return cached[1]
+        scalars = PlanScalars(
+            lookahead_batches=self._lookahead_batches(prep),
+            uncovered_fraction=self._uncovered_fraction(prep),
+            cold=self._phase(prep, self._pfs_fraction(prep, cold=True)),
+            warm=self._phase(prep, self._pfs_fraction(prep, cold=False)),
+        )
+        self._scalars[id(prep)] = (prep, scalars)
+        return scalars
+
+    def _lookahead_batches(self, prep: PreparedPolicy) -> int | None:
+        """Prefetch depth in batches (policy override or buffer-derived)."""
+        if prep.lookahead_batches is not None:
+            return prep.lookahead_batches
+        config = self.ctx.config
+        batch_mb = config.batch_size * config.dataset.mean_realized_size_mb
+        if batch_mb <= 0:
+            return None
+        return max(1, int(config.system.staging.capacity_mb / batch_mb))
+
+    def _uncovered_fraction(self, prep: PreparedPolicy) -> float:
+        """Byte fraction of the dataset no worker's placement covers."""
+        if prep.best_map is None:
+            return 1.0
+        sizes = self.ctx.sizes_mb
+        uncovered = prep.best_map < 0
+        total = float(sizes.sum())
+        if total <= 0:
+            return 0.0
+        return float(sizes[uncovered].sum()) / total
+
+    def _pfs_fraction(self, prep: PreparedPolicy, cold: bool) -> float:
+        """The PFS byte fraction governing a cold or warm epoch."""
+        if prep.ideal:
+            return 0.0
+        if cold:
+            return 1.0
+        if prep.warm_pfs_fraction is not None:
+            return float(prep.warm_pfs_fraction)
+        if not prep.pfs_in_warm:
+            return 0.0
+        return self._uncovered_fraction(prep)
+
+    def _phase(self, prep: PreparedPolicy, fraction: float) -> PhasePlan:
+        """Contention scalars for one PFS byte fraction."""
+        system = self.ctx.config.system
+        gamma = system.pfs.effective_gamma(self.ctx.num_workers, fraction)
+        pfs_share = float(system.pfs.per_worker_mbps(gamma)) if gamma > 0 else 0.0
+        pfs_latency = system.pfs.per_sample_latency(gamma) if gamma > 0 else 0.0
+        # t(gamma)/gamma is the whole worker's share; with overlap the
+        # p0 staging threads split it (each sees share/p0, and the
+        # cumsum/p0 in the timeline restores the worker total).
+        p0 = system.staging.threads
+        return PhasePlan(
+            pfs_fraction=float(fraction),
+            gamma=float(gamma),
+            pfs_share_mbps=pfs_share / p0 if prep.overlap else pfs_share,
+            pfs_latency_s=pfs_latency,
+        )
+
+    # -- shared epoch matrices ----------------------------------------------
+
+    def sizes_matrix(self, epoch: int, ids: np.ndarray) -> np.ndarray:
+        """The full ``(N, L)`` sizes gather for a clairvoyant epoch.
+
+        Cached per epoch and shared (read-only) across every policy
+        whose epoch ids are the context's canonical matrix — the
+        ``run_many`` case. Callers in tiled mode gather per tile
+        instead and never touch this cache, keeping streaming memory
+        bounded. Falls back to a plain gather when the context's cache
+        is size-capped.
+        """
+        if not self.ctx.cache_enabled:
+            return self.ctx.sizes_mb[ids]
+        cached = self._sizes.get(epoch)
+        if cached is None:
+            self.misses += 1
+            cached = self.ctx.sizes_mb[ids]
+            cached.setflags(write=False)
+            self._sizes[epoch] = cached
+        else:
+            self.hits += 1
+        return cached
+
+    def cold_classes(self, rows: int) -> np.ndarray:
+        """Read-only ``(rows, L)`` "nothing cached" int8 template.
+
+        Cold epochs hand the fetch resolution an all ``-1`` class
+        matrix; one full template is built lazily per scenario and
+        row-sliced for every tile of every policy's cold epochs.
+        """
+        if self._cold_template is None:
+            shape = (self.ctx.num_workers, self.ctx.samples_per_worker_per_epoch)
+            template = np.full(shape, -1, dtype=np.int8)
+            template.setflags(write=False)
+            self._cold_template = template
+        return self._cold_template[:rows]

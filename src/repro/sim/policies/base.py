@@ -155,24 +155,30 @@ class PreparedPolicy:
 
     # -- batched lookups (epoch-matrix engine) -------------------------------
 
-    def classes_matrix(self, ids_matrix: np.ndarray) -> np.ndarray:
-        """Local cache tier for every sample of an ``(N, L)`` id matrix.
+    def classes_matrix(
+        self, ids_matrix: np.ndarray, worker_offset: int = 0
+    ) -> np.ndarray:
+        """Local cache tier for every sample of a worker-major id matrix.
 
-        Row ``w`` answers "which of worker ``w``'s tiers holds each id"
-        (``-1`` = not cached locally). This is the batched form of
-        ``lookups[w].classes_of(row)`` the engine consumes; the default
-        delegates to the per-worker lookups row by row — each row lookup
-        is itself a vectorized ``searchsorted`` — so existing and custom
-        policies (including ones that substitute their own lookup
-        objects) work unchanged. Placement-aware subclasses may override
-        it with a fully batched gather.
+        Row ``i`` answers "which of worker ``worker_offset + i``'s tiers
+        holds each id" (``-1`` = not cached locally). This is the
+        batched form of ``lookups[w].classes_of(row)`` the engine
+        consumes; the default delegates to the per-worker lookups row by
+        row — each row lookup is itself a vectorized ``searchsorted`` —
+        so existing and custom policies (including ones that substitute
+        their own lookup objects) work unchanged. Placement-aware
+        subclasses may override it with a fully batched gather.
+
+        ``worker_offset`` lets the engine's streaming tiles (a
+        contiguous row band of the full ``(N, L)`` matrix) resolve
+        against the right workers' caches.
         """
         ids = np.asarray(ids_matrix)
         if not self.lookups:
             return np.full(ids.shape, -1, dtype=np.int8)
         out = np.empty(ids.shape, dtype=np.int8)
-        for worker in range(ids.shape[0]):
-            out[worker] = self.lookups[worker].classes_of(ids[worker])
+        for i in range(ids.shape[0]):
+            out[i] = self.lookups[worker_offset + i].classes_of(ids[i])
         return out
 
     def remote_classes_matrix(self, ids_matrix: np.ndarray) -> np.ndarray:

@@ -82,11 +82,18 @@ class CellTask:
     it (memoized per config object) for out-of-process executors,
     which must rebuild the config worker-side; in-process executors
     may receive None and use ``cell.config`` directly.
+
+    ``tile_rows`` is the engine's streaming tile height (worker rows
+    per execute-phase band; ``None`` = whole epochs). It is an
+    execution knob, not part of the scenario: results are bitwise
+    identical for every value, so it deliberately stays out of the
+    config dict and therefore out of the cache key.
     """
 
     index: int
     cell: SweepCell
     config_dict: dict[str, Any] | None = None
+    tile_rows: int | None = None
 
 
 @dataclass(frozen=True)
@@ -139,7 +146,7 @@ def _task_config_dict(task: CellTask) -> dict[str, Any]:
 
 
 def _simulate_cell(
-    payload: tuple[dict[str, Any], Policy],
+    payload: tuple[dict[str, Any], Policy, int | None],
 ) -> tuple[dict[str, Any] | None, str | None, float]:
     """Run one cell from its serialized form (top-level: picklable).
 
@@ -149,18 +156,18 @@ def _simulate_cell(
     the runner yields results reconstructed by the same (lossless)
     deserializer.
     """
-    config_dict, policy = payload
+    config_dict, policy, tile_rows = payload
     config = SimulationConfig.from_dict(config_dict)
     start = time.perf_counter()
     try:
-        result = Simulator(config).run(policy)
+        result = Simulator(config, tile_rows=tile_rows).run(policy)
     except PolicyError as exc:
         return None, str(exc), time.perf_counter() - start
     return result.to_dict(), None, time.perf_counter() - start
 
 
 def _simulate_batch(
-    payload: tuple[dict[str, Any], list[tuple[int, Policy]]],
+    payload: tuple[dict[str, Any], list[tuple[int, Policy]], int | None],
 ) -> tuple[list[tuple[int, dict[str, Any] | None, str | None, float]], BaseException | None]:
     """Run one scenario batch: one Simulator, many policies (picklable).
 
@@ -169,8 +176,8 @@ def _simulate_batch(
     exception, so the parent can memoize them before re-raising —
     a crash mid-batch loses only the crashing cell's work.
     """
-    config_dict, items = payload
-    sim = Simulator(SimulationConfig.from_dict(config_dict))
+    config_dict, items, tile_rows = payload
+    sim = Simulator(SimulationConfig.from_dict(config_dict), tile_rows=tile_rows)
     done: list[tuple[int, dict[str, Any] | None, str | None, float]] = []
     for index, policy in items:
         start = time.perf_counter()
@@ -208,13 +215,13 @@ class SerialExecutor:
         # config — but keep only the *current* one alive (grids are
         # config-major; retaining every scenario's streams would
         # balloon peak memory on many-config sweeps).
-        sim_config_id: int | None = None
+        sim_key: tuple[int, int | None] | None = None
         sim: Simulator | None = None
         for task in tasks:
             cell = task.cell
-            if sim is None or id(cell.config) != sim_config_id:
-                sim_config_id = id(cell.config)
-                sim = Simulator(cell.config)
+            if sim is None or (id(cell.config), task.tile_rows) != sim_key:
+                sim_key = (id(cell.config), task.tile_rows)
+                sim = Simulator(cell.config, tile_rows=task.tile_rows)
             emit(CellStarted(tag=cell.tag, index=task.index))
             start = time.perf_counter()
             try:
@@ -296,7 +303,8 @@ class ProcessExecutor(_PoolExecutorBase):
             futures: dict = {}
             for task in tasks:
                 future = pool.submit(
-                    _simulate_cell, (_task_config_dict(task), task.cell.policy)
+                    _simulate_cell,
+                    (_task_config_dict(task), task.cell.policy, task.tile_rows),
                 )
                 futures[future] = task
                 emit(CellStarted(tag=task.cell.tag, index=task.index))
@@ -337,7 +345,7 @@ class BatchedExecutor(_PoolExecutorBase):
         # batches key on the canonical JSON — equal-but-distinct
         # configs still share one batch.
         group_keys: dict[int, str] = {}  # id(cell.config) -> canonical JSON
-        batches: dict[str, list[CellTask]] = {}
+        batches: dict[tuple[str, int | None], list[CellTask]] = {}
         for task in tasks:
             config_id = id(task.cell.config)
             group_key = group_keys.get(config_id)
@@ -345,7 +353,9 @@ class BatchedExecutor(_PoolExecutorBase):
                 group_key = group_keys[config_id] = json.dumps(
                     _task_config_dict(task), sort_keys=True, separators=(",", ":")
                 )
-            batches.setdefault(group_key, []).append(task)
+            # tile_rows rides along in the key (not the scenario JSON):
+            # a batch shares one Simulator, so it must be tile-uniform.
+            batches.setdefault((group_key, task.tile_rows), []).append(task)
         return list(batches.values())
 
     def execute(self, tasks: Sequence[CellTask], emit: Emit) -> Iterator[CellResult]:
@@ -363,6 +373,7 @@ class BatchedExecutor(_PoolExecutorBase):
                 payload = (
                     _task_config_dict(batch[0]),
                     [(t.index, t.cell.policy) for t in batch],
+                    batch[0].tile_rows,
                 )
                 future = pool.submit(_simulate_batch, payload)
                 futures[future] = batch

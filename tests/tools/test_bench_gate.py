@@ -1,0 +1,181 @@
+"""The benchmark-trajectory gate (tools/bench_gate.py).
+
+Exercises the gate against synthetic pytest-benchmark JSON fixtures:
+``--write-baseline`` creates a baselines file the same series then
+passes against; a >= 10% synthetic cells/sec regression fails (exit 1)
+under a 5% tolerance; in-tolerance drift passes; a benchmark that
+disappears from the input fails; and the ``--summary`` /
+``--previous`` markdown carries the old-vs-new delta.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    Path(__file__).resolve().parents[2] / "tools" / "bench_gate.py",
+)
+bench_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_gate)  # type: ignore[union-attr]
+
+
+def _bench_json(path: Path, means: dict[str, float]) -> Path:
+    """Write a minimal pytest-benchmark file with the given means."""
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+    return path
+
+
+@pytest.fixture()
+def bench_dir(tmp_path):
+    """A BENCH_engine.json (two benchmarks) plus a baselines path."""
+    bench = _bench_json(
+        tmp_path / "BENCH_engine.json",
+        {"test_engine_throughput": 0.05, "test_paper_scale": 2.0},
+    )
+    return bench, tmp_path / "baselines.json"
+
+
+def test_write_baseline_then_pass(bench_dir, capsys):
+    bench, baselines = bench_dir
+    assert (
+        bench_gate.main([str(bench), "--baselines", str(baselines), "--write-baseline"])
+        == 0
+    )
+    doc = json.loads(baselines.read_text())
+    assert doc["suites"]["engine"]["test_engine_throughput"]["cells_per_sec"] == 20.0
+    assert doc["suites"]["engine"]["test_paper_scale"]["cells_per_sec"] == 0.5
+    assert bench_gate.main([str(bench), "--baselines", str(baselines)]) == 0
+    assert "bench gate passed" in capsys.readouterr().out
+
+
+def test_ten_percent_regression_fails(bench_dir, tmp_path):
+    """The acceptance criterion: a synthetic >=10% regression exits non-zero."""
+    bench, baselines = bench_dir
+    bench_gate.main([str(bench), "--baselines", str(baselines), "--write-baseline"])
+    (tmp_path / "slow").mkdir()
+    slow = _bench_json(
+        tmp_path / "slow" / "BENCH_engine.json",
+        # mean up 12.5% -> cells/sec down ~11.1%
+        {"test_engine_throughput": 0.05 * 1.125, "test_paper_scale": 2.0 * 1.125},
+    )
+    assert (
+        bench_gate.main(
+            [str(slow), "--baselines", str(baselines), "--tolerance", "0.05"]
+        )
+        == 1
+    )
+
+
+def test_within_tolerance_passes(bench_dir, tmp_path):
+    bench, baselines = bench_dir
+    bench_gate.main([str(bench), "--baselines", str(baselines), "--write-baseline"])
+    (tmp_path / "ok").mkdir()
+    drift = _bench_json(
+        tmp_path / "ok" / "BENCH_engine.json",
+        {"test_engine_throughput": 0.05 * 1.02, "test_paper_scale": 2.0 * 1.02},
+    )
+    assert (
+        bench_gate.main(
+            [str(drift), "--baselines", str(baselines), "--tolerance", "0.05"]
+        )
+        == 0
+    )
+
+
+def test_missing_benchmark_fails(bench_dir, tmp_path):
+    """Dropping a baselined benchmark is a failure, not a silent pass."""
+    bench, baselines = bench_dir
+    bench_gate.main([str(bench), "--baselines", str(baselines), "--write-baseline"])
+    (tmp_path / "partial").mkdir()
+    partial = _bench_json(
+        tmp_path / "partial" / "BENCH_engine.json",
+        {"test_engine_throughput": 0.05},
+    )
+    assert bench_gate.main([str(partial), "--baselines", str(baselines)]) == 1
+
+
+def test_new_benchmark_is_noted_not_failed(bench_dir, tmp_path, capsys):
+    bench, baselines = bench_dir
+    bench_gate.main([str(bench), "--baselines", str(baselines), "--write-baseline"])
+    (tmp_path / "extra").mkdir()
+    extra = _bench_json(
+        tmp_path / "extra" / "BENCH_engine.json",
+        {
+            "test_engine_throughput": 0.05,
+            "test_paper_scale": 2.0,
+            "test_brand_new": 1.0,
+        },
+    )
+    assert bench_gate.main([str(extra), "--baselines", str(baselines)]) == 0
+    assert "no baseline yet" in capsys.readouterr().out
+
+
+def test_summary_carries_previous_delta(bench_dir, tmp_path):
+    bench, baselines = bench_dir
+    bench_gate.main([str(bench), "--baselines", str(baselines), "--write-baseline"])
+    (tmp_path / "prev").mkdir()
+    prev = _bench_json(
+        tmp_path / "prev" / "BENCH_engine.json",
+        {"test_engine_throughput": 0.04, "test_paper_scale": 2.0},
+    )
+    summary = tmp_path / "summary.md"
+    assert (
+        bench_gate.main(
+            [
+                str(bench),
+                "--baselines",
+                str(baselines),
+                "--previous",
+                str(prev),
+                "--summary",
+                str(summary),
+            ]
+        )
+        == 0
+    )
+    text = summary.read_text()
+    assert "## Benchmark gate" in text
+    # previous 25.0 -> current 20.0 cells/sec: a -20% delta row
+    assert "| engine:test_engine_throughput | 25.00 | 20.00 | -20.0% |" in text
+
+
+def test_missing_previous_artifact_tolerated(bench_dir, tmp_path):
+    bench, baselines = bench_dir
+    bench_gate.main([str(bench), "--baselines", str(baselines), "--write-baseline"])
+    summary = tmp_path / "summary.md"
+    assert (
+        bench_gate.main(
+            [
+                str(bench),
+                "--baselines",
+                str(baselines),
+                "--previous",
+                str(tmp_path / "nope" / "BENCH_engine.json"),
+                "--summary",
+                str(summary),
+            ]
+        )
+        == 0
+    )
+    assert "no previous artifact" in summary.read_text()
+
+
+def test_missing_bench_file_is_usage_error(tmp_path):
+    assert bench_gate.main([str(tmp_path / "BENCH_engine.json")]) == 2
+
+
+def test_no_baselines_is_usage_error(bench_dir):
+    bench, baselines = bench_dir
+    assert bench_gate.main([str(bench), "--baselines", str(baselines)]) == 2

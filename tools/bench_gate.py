@@ -1,0 +1,301 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory gate: compare BENCH_*.json against baselines.
+
+Stdlib-only (runs anywhere the repo checks out). CI has always
+*recorded* pytest-benchmark timings (``BENCH_engine.json``,
+``BENCH_sweep.json``) but never compared them — this tool closes the
+loop: every benchmark's throughput (cells/sec, the reciprocal of
+pytest-benchmark's mean) is checked against the committed
+``benchmarks/baselines.json`` and the build fails when any benchmark
+regresses beyond its tolerance.
+
+Usage::
+
+    # the CI gate: fail on regression vs the committed baselines
+    python tools/bench_gate.py BENCH_engine.json BENCH_sweep.json
+
+    # also show the delta vs the previous run's downloaded artifacts
+    python tools/bench_gate.py BENCH_engine.json BENCH_sweep.json \
+        --previous .bench-prev/BENCH_engine.json \
+        --summary "$GITHUB_STEP_SUMMARY"
+
+    # legitimate perf change: refresh the committed baselines
+    python tools/bench_gate.py BENCH_engine.json BENCH_sweep.json \
+        --write-baseline
+
+Each input file's suite is its filename's ``BENCH_<suite>.json`` stem.
+``benchmarks/baselines.json`` holds, per suite and benchmark name, the
+reference ``cells_per_sec`` plus an optional per-benchmark tolerance
+overriding the global one. The default tolerance is deliberately loose
+(CI machines are noisy); it exists to catch order-of-magnitude
+regressions — an accidentally quadratic kernel, a lost cache — not 5%
+jitter.
+
+Exit codes: 0 pass, 1 regression (or a baselined benchmark missing
+from the input), 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines.json"
+
+#: Global fallback when baselines.json carries no tolerance: current
+#: throughput may drop to (1 - tolerance) x baseline before failing.
+DEFAULT_TOLERANCE = 0.5
+
+
+def suite_of(path: Path) -> str:
+    """A BENCH file's suite name (``BENCH_engine.json`` -> ``engine``)."""
+    stem = path.stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def load_series(path: Path) -> dict[str, float]:
+    """``{benchmark name: cells_per_sec}`` from one pytest-benchmark file.
+
+    Throughput is ``1 / stats.mean`` — one "cell" per benchmark round,
+    matching the sweep layer's cells/sec vocabulary.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    series: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        mean = bench.get("stats", {}).get("mean")
+        name = bench.get("name")
+        if name and mean and mean > 0:
+            series[name] = 1.0 / float(mean)
+    return series
+
+
+def load_baselines(path: Path) -> dict:
+    """The committed baselines document (validated shape)."""
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read baselines {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: baselines {path} is not valid JSON: {exc}")
+    if not isinstance(data, dict) or not isinstance(data.get("suites"), dict):
+        raise SystemExit(
+            f"error: baselines {path} must be an object with a 'suites' map"
+        )
+    return data
+
+
+def write_baselines(
+    path: Path, current: dict[str, dict[str, float]], tolerance: float
+) -> None:
+    """Refresh ``path`` from the current series, keeping the tolerance."""
+    doc = {
+        "comment": (
+            "Benchmark-trajectory baselines (cells/sec = 1/mean of the "
+            "pytest-benchmark series). Refresh after a legitimate perf "
+            "change with: python tools/bench_gate.py BENCH_*.json "
+            "--write-baseline"
+        ),
+        "tolerance": tolerance,
+        "suites": {
+            suite: {
+                name: {"cells_per_sec": round(value, 4)}
+                for name, value in sorted(series.items())
+            }
+            for suite, series in sorted(current.items())
+        },
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+
+
+def compare(
+    current: dict[str, dict[str, float]],
+    baselines: dict,
+    tolerance_override: float | None,
+) -> tuple[list[str], list[str]]:
+    """(failures, report lines) of current series vs the baselines."""
+    global_tol = (
+        tolerance_override
+        if tolerance_override is not None
+        else float(baselines.get("tolerance", DEFAULT_TOLERANCE))
+    )
+    failures: list[str] = []
+    lines: list[str] = []
+    for suite, expected in sorted(baselines["suites"].items()):
+        series = current.get(suite)
+        if series is None:
+            failures.append(f"suite {suite!r} has no BENCH input file")
+            continue
+        for name, spec in sorted(expected.items()):
+            base = float(spec["cells_per_sec"])
+            tol = (
+                tolerance_override
+                if tolerance_override is not None
+                else float(spec.get("tolerance", global_tol))
+            )
+            got = series.get(name)
+            if got is None:
+                failures.append(f"{suite}:{name}: benchmark missing from input")
+                continue
+            floor = base * (1.0 - tol)
+            delta = (got - base) / base
+            status = "ok" if got >= floor else "REGRESSION"
+            lines.append(
+                f"{status:>10}  {suite}:{name}: {got:.2f} cells/s "
+                f"(baseline {base:.2f}, {delta:+.1%}, floor {floor:.2f})"
+            )
+            if got < floor:
+                failures.append(
+                    f"{suite}:{name}: {got:.2f} cells/s is below the "
+                    f"regression floor {floor:.2f} "
+                    f"(baseline {base:.2f}, tolerance {tol:.0%})"
+                )
+    for suite, series in sorted(current.items()):
+        known = baselines["suites"].get(suite, {})
+        for name in sorted(set(series) - set(known)):
+            lines.append(
+                f"{'new':>10}  {suite}:{name}: {series[name]:.2f} cells/s "
+                "(no baseline yet; add via --write-baseline)"
+            )
+    return failures, lines
+
+
+def previous_delta(
+    current: dict[str, dict[str, float]], previous_paths: list[Path]
+) -> list[str]:
+    """Markdown old-vs-new rows against the previous run's artifacts.
+
+    Missing/unreadable previous files are tolerated (the first run of a
+    repo, an expired artifact): the row notes the absence instead.
+    """
+    rows = ["| benchmark | previous | current | delta |", "|---|---|---|---|"]
+    seen_any = False
+    for path in previous_paths:
+        suite = suite_of(path)
+        if not path.is_file():
+            rows.append(f"| {suite}:* | _no previous artifact_ | | |")
+            continue
+        try:
+            prev = load_series(path)
+        except SystemExit:
+            rows.append(f"| {suite}:* | _unreadable previous artifact_ | | |")
+            continue
+        series = current.get(suite, {})
+        for name in sorted(set(prev) | set(series)):
+            old, new = prev.get(name), series.get(name)
+            if old is None or new is None:
+                old_s = f"{old:.2f}" if old is not None else "—"
+                new_s = f"{new:.2f}" if new is not None else "—"
+                rows.append(f"| {suite}:{name} | {old_s} | {new_s} | |")
+                continue
+            seen_any = True
+            rows.append(
+                f"| {suite}:{name} | {old:.2f} | {new:.2f} | "
+                f"{(new - old) / old:+.1%} |"
+            )
+    if not seen_any and len(rows) == 2:
+        rows.append("| _none_ | | | |")
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "bench_files", nargs="+", type=Path,
+        help="pytest-benchmark JSON files (BENCH_<suite>.json)",
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=DEFAULT_BASELINES,
+        help="committed baselines file (default: benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="refresh the baselines from the given BENCH files and exit",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override every tolerance (fraction, e.g. 0.1 = allow -10%%)",
+    )
+    parser.add_argument(
+        "--previous", nargs="*", type=Path, default=[],
+        help="previous run's BENCH files (artifact downloads) for the "
+        "old-vs-new delta; missing files are tolerated",
+    )
+    parser.add_argument(
+        "--summary", type=Path, default=None,
+        help="append a markdown summary here (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args(argv)
+
+    missing = [str(p) for p in args.bench_files if not p.is_file()]
+    if missing:
+        print(f"error: no such BENCH file(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    current = {suite_of(p): load_series(p) for p in args.bench_files}
+
+    if args.write_baseline:
+        tolerance = args.tolerance
+        if tolerance is None:
+            tolerance = (
+                float(load_baselines(args.baselines).get("tolerance", DEFAULT_TOLERANCE))
+                if args.baselines.is_file()
+                else DEFAULT_TOLERANCE
+            )
+        write_baselines(args.baselines, current, tolerance)
+        total = sum(len(s) for s in current.values())
+        print(f"wrote {args.baselines} ({total} benchmarks, tolerance {tolerance:.0%})")
+        return 0
+
+    if not args.baselines.is_file():
+        print(
+            f"error: no baselines at {args.baselines}; create them with "
+            "--write-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    baselines = load_baselines(args.baselines)
+    failures, lines = compare(current, baselines, args.tolerance)
+    for line in lines:
+        print(line)
+
+    summary_parts = ["## Benchmark gate", ""]
+    summary_parts += ["```", *lines, "```", ""]
+    if args.previous:
+        summary_parts += ["### vs previous run", ""]
+        summary_parts += previous_delta(current, args.previous)
+        summary_parts += [""]
+    if failures:
+        summary_parts += ["**FAILED:**", ""]
+        summary_parts += [f"- {f}" for f in failures]
+    else:
+        summary_parts += ["All benchmarks within tolerance."]
+    if args.summary is not None:
+        with args.summary.open("a") as fh:
+            fh.write("\n".join(summary_parts) + "\n")
+
+    if args.previous:
+        print()
+        print("vs previous run:")
+        for row in previous_delta(current, args.previous):
+            print(f"  {row}")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print()
+    print(f"bench gate passed ({sum(len(s) for s in current.values())} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
