@@ -8,7 +8,10 @@ scenario is constructible from plain data:
   ``"lbann:dynamic"``, ``"pytorch:4"``); every concrete policy
   ``.name`` (``"deepio_ordered"``, ...) resolves via aliases.
 * ``DATASETS`` — the Sec 6.1 evaluation datasets (``"mnist"`` ...
-  ``"cosmoflow512"``), factories keyed on ``seed``.
+  ``"cosmoflow512"``), factories keyed on ``seed``, plus the in-memory
+  test dataset ``"fake:tiny|small|medium"`` whose byte-level twin
+  (:class:`~repro.ports.fakes.FakeDataset`) the parity harness and the
+  runtime tests consume.
 * ``SYSTEMS`` — the machine presets (``"sec6_cluster"``,
   ``"piz_daint"``, ``"lassen"``); ``:N`` sets the worker count
   (``"sec6_cluster:8"``).
@@ -27,6 +30,7 @@ from typing import Any, Mapping
 from ..datasets import DatasetModel
 from ..datasets import registry as _dataset_registry
 from ..perfmodel import SystemModel, lassen, piz_daint, sec6_cluster
+from ..ports.fakes import fake_dataset_model as _fake_dataset_model
 from ..sim.policies import (
     DeepIOPolicy,
     DoubleBufferPolicy,
@@ -109,6 +113,13 @@ POLICIES.alias("lbann_preloading", "lbann", mode="preloading")
 
 # -- datasets ----------------------------------------------------------
 
+DATASETS.register(
+    "fake",
+    _fake_dataset_model,
+    summary="In-memory test dataset with a byte-level twin (:profile = "
+    "tiny | small | medium)",
+    variant_param="profile",
+)
 DATASETS.register("mnist", _dataset_registry.mnist)
 DATASETS.register("imagenet1k", _dataset_registry.imagenet1k)
 DATASETS.register("openimages", _dataset_registry.openimages)

@@ -1,0 +1,71 @@
+"""Shared domain ports: the seam between the simulator and the runtime.
+
+The paper's central claim is that the analytic performance model
+predicts what the real prefetching runtime does. For that claim to be
+*testable*, both worlds must speak the same vocabulary. This package
+defines it:
+
+* :mod:`repro.ports.ports` — the port protocols (:class:`DatasetSource`,
+  :class:`StorageTier`, :class:`PolicyPort`, :class:`ClusterClock`,
+  :class:`MetricsSink`). The simulator's policies and the runtime's
+  backends/datasets already satisfy them structurally; anything new
+  (a key-value store tier, a trace-driven dataset) plugs in by
+  implementing the protocol.
+* :mod:`repro.ports.fakes` — deterministic in-memory implementations
+  (:class:`FakeDataset`, :class:`FakeTier`, :class:`FakeClock`) used by
+  the contract suites, the parity harness, and any test that would
+  otherwise hand-roll a dataset.
+* :mod:`repro.ports.testing` — reusable pytest contract suites every
+  implementation of a port must pass (capacity, concurrency,
+  eviction-order, corruption behaviour).
+* :mod:`repro.ports.worlds` — the two adapters: :class:`SimWorld` runs
+  a policy through the analytic engine, :class:`RuntimeWorld` runs the
+  *same* policy through the threaded runtime (staging buffer, prefetch
+  threads, worker group) against a :class:`FakeDataset`, producing a
+  :class:`WorldReport` in the same shape.
+* :mod:`repro.ports.parity` — compares the two reports under declared
+  tolerances (``tools/parity.py`` is the CLI).
+"""
+
+from .fakes import (
+    BYTES_PER_MB,
+    FAKE_PROFILES,
+    FakeClock,
+    FakeDataset,
+    FakeTier,
+    FetchEvent,
+    RecordingMetricsSink,
+    fake_dataset_model,
+)
+from .ports import (
+    ClusterClock,
+    DatasetSource,
+    MetricsSink,
+    NullMetricsSink,
+    PolicyPort,
+    StorageTier,
+    SystemClock,
+)
+from .worlds import RuntimeWorld, SimWorld, WorldReport, parity_system
+
+__all__ = [
+    "BYTES_PER_MB",
+    "FAKE_PROFILES",
+    "ClusterClock",
+    "DatasetSource",
+    "FakeClock",
+    "FakeDataset",
+    "FakeTier",
+    "FetchEvent",
+    "MetricsSink",
+    "NullMetricsSink",
+    "PolicyPort",
+    "RecordingMetricsSink",
+    "RuntimeWorld",
+    "SimWorld",
+    "StorageTier",
+    "SystemClock",
+    "WorldReport",
+    "fake_dataset_model",
+    "parity_system",
+]

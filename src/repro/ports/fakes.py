@@ -1,0 +1,373 @@
+"""Deterministic in-memory fakes for the domain ports.
+
+These follow the ``FakeDatasetLoader`` idiom: real implementations of
+the port protocols, cheap enough for unit tests, deterministic enough
+for the parity harness. Nothing here touches the filesystem, sleeps on
+a real clock, or consults a random source at call time — every byte is
+a pure function of ``(seed, sample_id)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import DatasetModel
+from ..errors import ConfigurationError, RuntimeIOError
+from ..loader.dataset import Dataset
+from ..rng import DEFAULT_SEED
+
+__all__ = [
+    "BYTES_PER_MB",
+    "FAKE_PROFILES",
+    "FakeClock",
+    "FakeDataset",
+    "FakeTier",
+    "FetchEvent",
+    "RecordingMetricsSink",
+    "fake_dataset_model",
+]
+
+BYTES_PER_MB = 1 << 20
+
+#: Laptop-scale dataset profiles. Sizes are dyadic MB values so that
+#: ``bytes = size_mb * 2**20`` is an exact integer and the round trip
+#: ``bytes / 2**20`` reproduces the float MB exactly — the property the
+#: parity harness relies on to make the simulator's float placement
+#: math and the runtime's integer byte accounting agree bit for bit.
+FAKE_PROFILES: dict[str, tuple[int, float]] = {
+    "tiny": (32, 0.0625),
+    "small": (64, 0.25),
+    "medium": (256, 0.5),
+}
+
+
+def fake_dataset_model(profile: str = "small", seed: int = DEFAULT_SEED) -> DatasetModel:
+    """A :class:`DatasetModel` for the in-memory fake (``fake:<profile>``).
+
+    Registered under ``DATASETS`` so the fake sweeps, caches and searches
+    exactly like the built-in datasets; :meth:`FakeDataset.from_model`
+    materializes the matching byte-level dataset for runtime tests.
+    """
+    if profile not in FAKE_PROFILES:
+        raise ConfigurationError(
+            f"unknown fake profile {profile!r}; choose from {sorted(FAKE_PROFILES)}"
+        )
+    num_samples, mean_size_mb = FAKE_PROFILES[profile]
+    return DatasetModel(
+        name=f"fake-{profile}",
+        num_samples=num_samples,
+        mean_size_mb=mean_size_mb,
+        std_size_mb=0.0,
+        seed=seed,
+    )
+
+
+class FakeDataset(Dataset):
+    """In-memory dataset with deterministic, verifiable payloads.
+
+    Each sample's bytes are generated on demand from ``(seed,
+    sample_id)`` — an 16-byte header encoding the id and seed followed
+    by a per-sample fill byte — so tests can verify content end-to-end
+    with :meth:`expected_payload` without holding the dataset in memory.
+    The dataset also counts reads (:meth:`read_count`,
+    :attr:`total_reads`), which is how the parity harness and the comm
+    tests assert *how often the PFS was touched*, not just what came
+    back.
+    """
+
+    _HEADER_BYTES = 16
+
+    def __init__(
+        self,
+        sizes_bytes: list[int] | np.ndarray,
+        num_classes: int = 10,
+        seed: int = DEFAULT_SEED,
+        latency_s: float = 0.0,
+        clock=None,
+    ) -> None:
+        sizes = [int(s) for s in sizes_bytes]
+        if not sizes:
+            raise ConfigurationError("dataset must not be empty")
+        if any(s <= 0 for s in sizes):
+            raise ConfigurationError("sample sizes must be positive")
+        self._sizes = sizes
+        self._num_classes = max(1, min(int(num_classes), len(sizes)))
+        self._seed = int(seed)
+        self._latency = float(latency_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._reads: dict[int, int] = {}
+        self._fail_ids: set[int] = set()
+
+    @classmethod
+    def from_model(
+        cls,
+        model: DatasetModel,
+        num_classes: int = 10,
+        latency_s: float = 0.0,
+        clock=None,
+    ) -> "FakeDataset":
+        """Byte-level twin of a simulator-side :class:`DatasetModel`.
+
+        Sample ``i`` gets exactly ``round(sizes_mb[i] * 2**20)`` bytes,
+        so both worlds observe identical sizes (exactly identical for
+        the dyadic ``fake:*`` profiles).
+        """
+        sizes = np.rint(model.sizes_mb() * BYTES_PER_MB).astype(np.int64)
+        return cls(
+            sizes,
+            num_classes=num_classes,
+            seed=model.seed,
+            latency_s=latency_s,
+            clock=clock,
+        )
+
+    # -- Dataset interface ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def read(self, sample_id: int) -> bytes:
+        self._check_id(sample_id)
+        with self._lock:
+            if sample_id in self._fail_ids:
+                raise RuntimeIOError(f"injected read failure for sample {sample_id}")
+            self._reads[sample_id] = self._reads.get(sample_id, 0) + 1
+        if self._latency > 0:
+            if self._clock is not None:
+                self._clock.sleep(self._latency)
+            else:  # pragma: no cover - fakes default to a zero-cost clock
+                import time
+
+                time.sleep(self._latency)
+        return self.expected_payload(sample_id)
+
+    def size(self, sample_id: int) -> int:
+        self._check_id(sample_id)
+        return self._sizes[sample_id]
+
+    def label(self, sample_id: int) -> int:
+        self._check_id(sample_id)
+        return sample_id % self._num_classes
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    # -- test instrumentation ------------------------------------------
+
+    def expected_payload(self, sample_id: int) -> bytes:
+        """The exact bytes :meth:`read` returns for ``sample_id``."""
+        self._check_id(sample_id)
+        size = self._sizes[sample_id]
+        header = sample_id.to_bytes(8, "little") + (
+            self._seed & 0xFFFFFFFFFFFFFFFF
+        ).to_bytes(8, "little")
+        fill = (sample_id * 131 + self._seed) % 256
+        payload = header + bytes([fill]) * max(0, size - self._HEADER_BYTES)
+        return payload[:size]
+
+    def read_count(self, sample_id: int) -> int:
+        """How many times ``sample_id`` has been read."""
+        with self._lock:
+            return self._reads.get(sample_id, 0)
+
+    @property
+    def total_reads(self) -> int:
+        """Total reads across all samples (PFS traffic, in fetches)."""
+        with self._lock:
+            return sum(self._reads.values())
+
+    def reset_reads(self) -> None:
+        """Zero the read counters (e.g. between measured epochs)."""
+        with self._lock:
+            self._reads.clear()
+
+    def fail_reads(self, sample_ids) -> None:
+        """Inject read failures: subsequent reads of these ids raise."""
+        with self._lock:
+            self._fail_ids.update(int(i) for i in sample_ids)
+
+    def heal(self) -> None:
+        """Clear all injected failures."""
+        with self._lock:
+            self._fail_ids.clear()
+
+
+class FakeTier:
+    """Protocol-first :class:`~repro.ports.ports.StorageTier`.
+
+    Unlike :class:`~repro.runtime.backends.MemoryBackend` it does *not*
+    inherit from ``StorageBackend`` — it implements the port directly,
+    which is how the contract suite proves the protocol (not the ABC)
+    is the real interface. Adds fault injection for corruption and
+    failure-path tests.
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "fake") -> None:
+        if capacity_bytes < 0:
+            raise ConfigurationError("capacity_bytes must be non-negative")
+        self._name = name
+        self._capacity = int(capacity_bytes)
+        self._lock = threading.RLock()
+        self._store: dict[int, bytes] = {}
+        self._fail_reads: set[int] = set()
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._store.values())
+
+    def put(self, sample_id: int, data: bytes) -> bool:
+        with self._lock:
+            if sample_id in self._store:
+                return True
+            if self.used_bytes + len(data) > self._capacity:
+                return False
+            self._store[sample_id] = bytes(data)
+            return True
+
+    def get(self, sample_id: int) -> bytes | None:
+        with self._lock:
+            if sample_id in self._fail_reads:
+                raise RuntimeIOError(f"injected tier read failure for {sample_id}")
+            return self._store.get(sample_id)
+
+    def delete(self, sample_id: int) -> bool:
+        with self._lock:
+            return self._store.pop(sample_id, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+    def sample_ids(self) -> list[int]:
+        with self._lock:
+            return list(self._store)
+
+    def __contains__(self, sample_id: int) -> bool:
+        with self._lock:
+            return sample_id in self._store
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    # -- fault injection -----------------------------------------------
+
+    def corrupt(self, sample_id: int) -> None:
+        """Flip every stored byte of ``sample_id`` (silent corruption)."""
+        with self._lock:
+            data = self._store.get(sample_id)
+            if data is None:
+                raise ConfigurationError(f"sample {sample_id} not cached")
+            self._store[sample_id] = bytes(b ^ 0xFF for b in data)
+
+    def fail_reads(self, sample_ids) -> None:
+        """Inject read failures: subsequent gets of these ids raise."""
+        with self._lock:
+            self._fail_reads.update(int(i) for i in sample_ids)
+
+    def heal(self) -> None:
+        """Clear all injected failures."""
+        with self._lock:
+            self._fail_reads.clear()
+
+
+class FakeClock:
+    """A virtual :class:`~repro.ports.ports.ClusterClock`.
+
+    ``sleep`` advances virtual time instantly; ``monotonic`` reads it.
+    Thread-safe, and records every sleep so tests can assert on the
+    delay model a component applied instead of measuring wall time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self._now += max(0.0, float(seconds))
+            self.sleeps.append(float(seconds))
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        with self._lock:
+            self._now += float(seconds)
+
+    @property
+    def total_slept(self) -> float:
+        """Sum of all requested sleeps."""
+        with self._lock:
+            return float(sum(self.sleeps))
+
+
+@dataclass(frozen=True)
+class FetchEvent:
+    """One staged fetch as reported to a metrics sink."""
+
+    rank: int
+    epoch: int
+    source: str
+    sample_id: int
+    nbytes: int
+
+
+class RecordingMetricsSink:
+    """A :class:`~repro.ports.ports.MetricsSink` that keeps every event.
+
+    The parity harness reads its per-epoch, per-source aggregates; unit
+    tests assert on individual events.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: list[FetchEvent] = []
+
+    def record_fetch(
+        self, rank: int, epoch: int, source: str, sample_id: int, nbytes: int
+    ) -> None:
+        with self._lock:
+            self.events.append(FetchEvent(rank, epoch, source, sample_id, nbytes))
+
+    def counts(self, epoch: int | None = None) -> dict[str, int]:
+        """Fetch counts by source, optionally restricted to one epoch."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for ev in self.events:
+                if epoch is not None and ev.epoch != epoch:
+                    continue
+                out[ev.source] = out.get(ev.source, 0) + 1
+        return out
+
+    def bytes_by_source(self, epoch: int | None = None) -> dict[str, int]:
+        """Fetched bytes by source, optionally restricted to one epoch."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for ev in self.events:
+                if epoch is not None and ev.epoch != epoch:
+                    continue
+                out[ev.source] = out.get(ev.source, 0) + ev.nbytes
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        with self._lock:
+            self.events.clear()

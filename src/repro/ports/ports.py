@@ -1,0 +1,197 @@
+"""The port protocols both worlds share.
+
+Each port names a role that exists in *both* the analytic simulator and
+the threaded runtime, so a policy (or a test) can be written against
+the role and executed in either world:
+
+==================  ======================================  =========================
+port                simulator side                          runtime side
+==================  ======================================  =========================
+:class:`DatasetSource`  :class:`~repro.datasets.DatasetModel`   :class:`~repro.loader.dataset.Dataset`
+                        sizes (via :class:`~repro.ports.fakes.FakeDataset`)  real bytes
+:class:`StorageTier`    :class:`~repro.perfmodel.StorageClassModel`          :class:`~repro.runtime.backends.StorageBackend`
+                        capacity in the placement math       byte-enforced cache
+:class:`PolicyPort`     :class:`~repro.sim.policies.base.Policy`             the same object, executed
+                                                             by :class:`~repro.ports.worlds.RuntimeWorld`
+:class:`ClusterClock`   simulated seconds                    wall clock / :class:`~repro.ports.fakes.FakeClock`
+:class:`MetricsSink`    engine aggregation                   per-fetch event stream
+==================  ======================================  =========================
+
+All protocols are ``runtime_checkable`` so contract suites can assert
+compliance with ``isinstance``; they check method presence only (the
+semantics are what :mod:`repro.ports.testing` verifies).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "ClusterClock",
+    "DatasetSource",
+    "MetricsSink",
+    "NullMetricsSink",
+    "PolicyPort",
+    "StorageTier",
+    "SystemClock",
+]
+
+
+@runtime_checkable
+class DatasetSource(Protocol):
+    """Sample storage as the loaders see it: sized, labelled byte blobs.
+
+    The runtime's :class:`~repro.loader.dataset.Dataset` implementations
+    (in-memory, synthetic files, binary folders) satisfy this
+    structurally; :class:`~repro.ports.fakes.FakeDataset` bridges a
+    simulator-side :class:`~repro.datasets.DatasetModel` into the same
+    shape so both worlds read identical sizes.
+    """
+
+    def __len__(self) -> int:
+        """Number of samples ``F``."""
+        ...
+
+    def read(self, sample_id: int) -> bytes:
+        """One sample's raw bytes (may be slow — this is the PFS)."""
+        ...
+
+    def size(self, sample_id: int) -> int:
+        """Sample size in bytes without reading it (metadata only)."""
+        ...
+
+    def label(self, sample_id: int) -> int:
+        """The sample's class label."""
+        ...
+
+
+@runtime_checkable
+class StorageTier(Protocol):
+    """A byte-budgeted key/value cache for samples (one storage class).
+
+    :class:`~repro.runtime.backends.StorageBackend` subclasses
+    (memory, filesystem) implement this; so does the protocol-first
+    :class:`~repro.ports.fakes.FakeTier`. Semantics every
+    implementation must honour (verified by
+    :class:`~repro.ports.testing.StorageTierContract`):
+
+    * ``put`` returns ``False`` — without storing — when the sample
+      would exceed the remaining capacity; re-putting an existing id is
+      a no-op returning ``True``.
+    * ``get`` returns ``None`` on a miss, never raises for unknown ids.
+    * all operations are safe under concurrent use by prefetcher
+      threads and remote-serving calls.
+    """
+
+    @property
+    def name(self) -> str:
+        """Human-readable tier name."""
+        ...
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Configured byte budget."""
+        ...
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        ...
+
+    def put(self, sample_id: int, data: bytes) -> bool:
+        """Cache ``data``; ``False`` when it does not fit."""
+        ...
+
+    def get(self, sample_id: int) -> bytes | None:
+        """Cached bytes, or ``None`` on a miss."""
+        ...
+
+    def delete(self, sample_id: int) -> bool:
+        """Evict one sample; whether it was present."""
+        ...
+
+    def clear(self) -> None:
+        """Evict everything."""
+        ...
+
+    def __contains__(self, sample_id: int) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+
+@runtime_checkable
+class PolicyPort(Protocol):
+    """An I/O strategy preparable for a scenario — in either world.
+
+    This is exactly the simulator's :class:`~repro.sim.policies.base.Policy`
+    surface; the point of naming it as a port is that
+    :class:`~repro.ports.worlds.RuntimeWorld` executes the *same*
+    prepared object (placement plan, warm epochs, stream rewrites) with
+    real threads and real bytes instead of array kernels.
+    """
+
+    @property
+    def name(self) -> str:
+        """Machine-readable policy name."""
+        ...
+
+    def prepare(self, ctx) -> object:
+        """Instantiate for a scenario; returns a ``PreparedPolicy``."""
+        ...
+
+
+@runtime_checkable
+class ClusterClock(Protocol):
+    """Time as the runtime components observe it.
+
+    Injecting the clock lets tests replace real sleeps (network delay
+    models, PFS latency stand-ins) with a deterministic
+    :class:`~repro.ports.fakes.FakeClock` that advances virtually.
+    """
+
+    def monotonic(self) -> float:
+        """Current monotonic time in seconds."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or virtually advance) for ``seconds``."""
+        ...
+
+
+class SystemClock:
+    """The real wall clock (default for runtime components)."""
+
+    def monotonic(self) -> float:
+        """``time.monotonic()``."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """``time.sleep(seconds)``."""
+        time.sleep(seconds)
+
+
+@runtime_checkable
+class MetricsSink(Protocol):
+    """Receiver for per-fetch events emitted by the runtime fetch path.
+
+    ``source`` follows :class:`repro.perfmodel.Source` naming
+    (``"pfs"`` / ``"remote"`` / ``"local"``); ``epoch`` is derived from
+    the sample's position in the access stream, so attribution is
+    deterministic regardless of thread timing.
+    """
+
+    def record_fetch(
+        self, rank: int, epoch: int, source: str, sample_id: int, nbytes: int
+    ) -> None:
+        """One staged fetch landed."""
+        ...
+
+
+class NullMetricsSink:
+    """Discards every event (the default sink)."""
+
+    def record_fetch(
+        self, rank: int, epoch: int, source: str, sample_id: int, nbytes: int
+    ) -> None:
+        """Ignore the event."""

@@ -1,0 +1,382 @@
+"""Reusable contract suites for the domain ports.
+
+Each class here is an abstract pytest suite: subclass it, implement the
+``make_*`` factory, and every implementation of the port inherits the
+full behavioural contract. The suites live in ``src`` (not ``tests``)
+deliberately — an out-of-tree backend (a key-value store tier, an
+object-store cache) imports the suite and proves itself against the
+same contract the built-ins pass::
+
+    from repro.ports.testing import StorageTierContract
+
+    class TestRedisTier(StorageTierContract):
+        def make_tier(self, capacity_bytes):
+            return RedisTier(capacity_bytes, url=...)
+
+The in-tree subclasses are in ``tests/contracts/``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from ..errors import ReproError
+from .ports import DatasetSource, StorageTier
+
+__all__ = [
+    "CacheBackendContract",
+    "DatasetSourceContract",
+    "StorageTierContract",
+]
+
+
+class StorageTierContract:
+    """Behavioural contract for :class:`~repro.ports.ports.StorageTier`.
+
+    Covers the semantics the prefetchers and the remote-serving path
+    depend on: strict capacity enforcement, idempotent re-puts,
+    miss-as-None, caller-driven eviction, and thread safety.
+    """
+
+    #: Payload used by the capacity tests; override for tiers with
+    #: per-entry overhead.
+    SAMPLE_BYTES = 1024
+
+    def make_tier(self, capacity_bytes: int) -> StorageTier:
+        """Build a fresh, empty tier with the given byte budget."""
+        raise NotImplementedError
+
+    def _data(self, sample_id: int, size: int | None = None) -> bytes:
+        size = self.SAMPLE_BYTES if size is None else size
+        return bytes([sample_id % 256]) * size
+
+    def test_satisfies_protocol(self):
+        tier = self.make_tier(self.SAMPLE_BYTES)
+        assert isinstance(tier, StorageTier)
+
+    def test_starts_empty(self):
+        tier = self.make_tier(4 * self.SAMPLE_BYTES)
+        assert len(tier) == 0
+        assert tier.used_bytes == 0
+        assert tier.capacity_bytes == 4 * self.SAMPLE_BYTES
+
+    def test_put_get_roundtrip(self):
+        tier = self.make_tier(4 * self.SAMPLE_BYTES)
+        data = self._data(7)
+        assert tier.put(7, data) is True
+        assert tier.get(7) == data
+        assert 7 in tier
+        assert len(tier) == 1
+        assert tier.used_bytes == len(data)
+
+    def test_get_miss_returns_none(self):
+        tier = self.make_tier(4 * self.SAMPLE_BYTES)
+        assert tier.get(99) is None
+        assert 99 not in tier
+
+    def test_capacity_rejection_leaves_tier_unchanged(self):
+        tier = self.make_tier(2 * self.SAMPLE_BYTES)
+        assert tier.put(0, self._data(0)) is True
+        assert tier.put(1, self._data(1)) is True
+        used = tier.used_bytes
+        assert tier.put(2, self._data(2)) is False
+        assert 2 not in tier
+        assert tier.get(2) is None
+        assert tier.used_bytes == used
+        assert len(tier) == 2
+
+    def test_oversized_sample_rejected_even_when_empty(self):
+        tier = self.make_tier(self.SAMPLE_BYTES)
+        assert tier.put(0, self._data(0, 2 * self.SAMPLE_BYTES)) is False
+        assert len(tier) == 0
+
+    def test_zero_capacity_rejects_everything(self):
+        tier = self.make_tier(0)
+        assert tier.put(0, self._data(0)) is False
+        assert tier.get(0) is None
+
+    def test_reput_is_idempotent(self):
+        tier = self.make_tier(4 * self.SAMPLE_BYTES)
+        data = self._data(3)
+        assert tier.put(3, data) is True
+        assert tier.put(3, self._data(3, 2 * self.SAMPLE_BYTES)) is True
+        # The original bytes stay; re-puts never re-account capacity.
+        assert tier.get(3) == data
+        assert tier.used_bytes == len(data)
+        assert len(tier) == 1
+
+    def test_delete_frees_capacity_for_later_puts(self):
+        tier = self.make_tier(2 * self.SAMPLE_BYTES)
+        tier.put(0, self._data(0))
+        tier.put(1, self._data(1))
+        assert tier.put(2, self._data(2)) is False
+        assert tier.delete(0) is True
+        assert tier.delete(0) is False
+        assert tier.put(2, self._data(2)) is True
+        assert tier.get(2) == self._data(2)
+        assert tier.get(0) is None
+
+    def test_caller_driven_eviction_order(self):
+        # Tiers never evict on their own (Bélády is the planner's job):
+        # the *caller* chooses victims, and exactly the freed bytes
+        # become available again, in any order the caller picks.
+        tier = self.make_tier(3 * self.SAMPLE_BYTES)
+        for i in range(3):
+            assert tier.put(i, self._data(i)) is True
+        assert tier.put(3, self._data(3)) is False
+        assert sorted(tier.sample_ids()) == [0, 1, 2]
+        tier.delete(1)  # evict the middle one, not FIFO/LRU
+        assert tier.put(3, self._data(3)) is True
+        assert sorted(tier.sample_ids()) == [0, 2, 3]
+
+    def test_clear(self):
+        tier = self.make_tier(4 * self.SAMPLE_BYTES)
+        for i in range(4):
+            tier.put(i, self._data(i))
+        tier.clear()
+        assert len(tier) == 0
+        assert tier.used_bytes == 0
+        assert tier.get(0) is None
+        assert tier.put(0, self._data(0)) is True
+
+    def test_concurrent_put_get_delete_is_safe(self):
+        samples = 16
+        threads_per_role = 4
+        tier = self.make_tier(samples * self.SAMPLE_BYTES)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer(offset: int) -> None:
+            try:
+                for round_ in range(25):
+                    for i in range(offset, samples, threads_per_role):
+                        tier.put(i, self._data(i))
+                        if round_ % 3 == 0:
+                            tier.delete(i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    for i in range(samples):
+                        data = tier.get(i)
+                        # A hit must always be the full, correct payload.
+                        if data is not None and data != self._data(i):
+                            raise AssertionError(f"torn read for sample {i}")
+                    assert 0 <= tier.used_bytes <= tier.capacity_bytes
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [
+            threading.Thread(target=writer, args=(k,)) for k in range(threads_per_role)
+        ]
+        readers = [threading.Thread(target=reader) for _ in range(threads_per_role)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join(timeout=30.0)
+        stop.set()
+        for t in readers:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        assert tier.used_bytes <= tier.capacity_bytes
+
+
+class DatasetSourceContract:
+    """Behavioural contract for :class:`~repro.ports.ports.DatasetSource`.
+
+    Covers what the loaders and prefetchers rely on: stable sizes,
+    deterministic repeat reads, valid labels, and loud failures for
+    out-of-range ids.
+    """
+
+    def make_dataset(self) -> DatasetSource:
+        """Build a dataset with at least two samples."""
+        raise NotImplementedError
+
+    def test_satisfies_protocol(self):
+        assert isinstance(self.make_dataset(), DatasetSource)
+
+    def test_len_is_positive(self):
+        assert len(self.make_dataset()) >= 2
+
+    def test_read_matches_declared_size(self):
+        ds = self.make_dataset()
+        for i in range(len(ds)):
+            data = ds.read(i)
+            assert isinstance(data, bytes)
+            assert len(data) == ds.size(i)
+
+    def test_repeat_reads_are_identical(self):
+        ds = self.make_dataset()
+        for i in range(min(len(ds), 4)):
+            assert ds.read(i) == ds.read(i)
+
+    def test_labels_are_nonnegative_ints(self):
+        ds = self.make_dataset()
+        for i in range(len(ds)):
+            label = ds.label(i)
+            assert isinstance(label, int)
+            assert label >= 0
+
+    def test_out_of_range_ids_raise(self):
+        ds = self.make_dataset()
+        for bad in (-1, len(ds), len(ds) + 7):
+            with pytest.raises(ReproError):
+                ds.read(bad)
+            with pytest.raises(ReproError):
+                ds.size(bad)
+            with pytest.raises(ReproError):
+                ds.label(bad)
+
+    def test_concurrent_reads_are_safe(self):
+        ds = self.make_dataset()
+        expected = [ds.read(i) for i in range(len(ds))]
+        errors: list[Exception] = []
+
+        def reader() -> None:
+            try:
+                for _ in range(10):
+                    for i in range(len(ds)):
+                        assert ds.read(i) == expected[i]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+
+
+class CacheBackendContract:
+    """Behavioural contract for :class:`~repro.sweep.backends.CacheBackend`.
+
+    Covers the semantics :class:`~repro.sweep.cache.ResultCache` and the
+    GC/verify/merge tooling depend on: atomic overwrites, the mtime LRU
+    clock, quarantine-as-miss, and the opaque index document.
+    """
+
+    def make_backend(self):
+        """Build a fresh, prepared, empty backend."""
+        raise NotImplementedError
+
+    @staticmethod
+    def key(i: int) -> str:
+        """A well-formed (hex, shardable) cache key."""
+        return f"{i:040x}"
+
+    def test_satisfies_protocol(self):
+        from ..sweep.backends import CacheBackend
+
+        assert isinstance(self.make_backend(), CacheBackend)
+
+    def test_read_missing_key_is_none(self):
+        backend = self.make_backend()
+        assert backend.read(self.key(1)) is None
+        assert backend.stat(self.key(1)) is None
+
+    def test_write_read_roundtrip(self):
+        backend = self.make_backend()
+        backend.write(self.key(1), '{"v": 1}')
+        assert backend.read(self.key(1)) == '{"v": 1}'
+        assert list(backend.keys()) == [self.key(1)]
+
+    def test_overwrite_replaces_text(self):
+        backend = self.make_backend()
+        backend.write(self.key(1), "old")
+        backend.write(self.key(1), "new")
+        assert backend.read(self.key(1)) == "new"
+        assert len(list(backend.keys())) == 1
+
+    def test_delete(self):
+        backend = self.make_backend()
+        backend.write(self.key(1), "x")
+        assert backend.delete(self.key(1)) is True
+        assert backend.delete(self.key(1)) is False
+        assert backend.read(self.key(1)) is None
+
+    def test_stat_reports_size_and_pinned_mtime(self):
+        backend = self.make_backend()
+        pinned = 1_700_000_000_000_000_000
+        backend.write(self.key(1), "abcd", mtime_ns=pinned)
+        st = backend.stat(self.key(1))
+        assert st is not None
+        assert st.key == self.key(1)
+        assert st.size_bytes == 4
+        assert st.mtime_ns == pinned
+
+    def test_touch_advances_lru_clock(self):
+        backend = self.make_backend()
+        old = 1_000_000_000_000_000_000  # far in the past
+        backend.write(self.key(1), "x", mtime_ns=old)
+        backend.touch(self.key(1))
+        st = backend.stat(self.key(1))
+        assert st is not None
+        assert st.mtime_ns > old
+
+    def test_quarantine_reads_as_miss(self):
+        backend = self.make_backend()
+        backend.write(self.key(1), "damaged")
+        assert backend.quarantine(self.key(1)) is True
+        assert backend.read(self.key(1)) is None
+        assert self.key(1) not in list(backend.keys())
+        assert backend.quarantined() == 1
+        assert isinstance(backend.quarantine_label(), str)
+
+    def test_quarantine_missing_key_is_false(self):
+        backend = self.make_backend()
+        assert backend.quarantine(self.key(9)) is False
+        assert backend.quarantined() == 0
+
+    def test_index_roundtrip(self):
+        backend = self.make_backend()
+        assert backend.read_index() is None
+        backend.write_index('{"hits": {}}')
+        assert backend.read_index() == '{"hits": {}}'
+
+    def test_index_is_not_an_entry(self):
+        backend = self.make_backend()
+        backend.write_index("{}")
+        assert list(backend.keys()) == []
+
+    def test_same_store_identity(self):
+        backend = self.make_backend()
+        assert backend.same_store(backend) is True
+
+    def test_concurrent_writers_never_tear(self):
+        backend = self.make_backend()
+        errors: list[Exception] = []
+        text_a, text_b = "A" * 4096, "B" * 4096
+
+        def writer(text: str) -> None:
+            try:
+                for _ in range(50):
+                    backend.write(self.key(1), text)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                for _ in range(200):
+                    text = backend.read(self.key(1))
+                    if text is not None and text not in (text_a, text_b):
+                        raise AssertionError("torn read")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(text_a,)),
+            threading.Thread(target=writer, args=(text_b,)),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        assert backend.read(self.key(1)) in (text_a, text_b)

@@ -6,7 +6,7 @@ from .comm import WorkerGroup
 from .distributed import DistributedJobGroup
 from .job import Job, JobStats
 from .metadata import MetadataStore
-from .planner import RuntimePlan, build_runtime_plan
+from .planner import RuntimePlan, best_holders, build_runtime_plan
 from .prefetcher import SharedCursor, StagingPrefetcher, TierPrefetcher
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "MetadataStore",
     "WorkerGroup",
     "RuntimePlan",
+    "best_holders",
     "build_runtime_plan",
     "SharedCursor",
     "TierPrefetcher",

@@ -49,6 +49,7 @@ class StagingBuffer:
         self._slots: dict[int, tuple[int, bytes]] = {}
         self._used = 0
         self._closed = False
+        self._error: Exception | None = None
         self._peak_used = 0
         self._next_deposit = 0
 
@@ -95,6 +96,8 @@ class StagingBuffer:
         with self._space_free:
             deadline_misses = 0
             while True:
+                if self._error is not None:
+                    raise self._error
                 if self._closed:
                     raise RuntimeError("staging buffer closed")
                 if seq < self._next_deposit or seq in self._slots:
@@ -123,10 +126,14 @@ class StagingBuffer:
     def get(self, seq: int) -> tuple[int, bytes]:
         """Retrieve stream position ``seq``; frees the slot (drop-after-use).
 
-        Blocks until a producer deposits that position.
+        Blocks until a producer deposits that position. If a producer
+        reported a failure via :meth:`fail`, that exception is re-raised
+        here — in the consumer's thread — instead of timing out.
         """
         with self._available:
             while seq not in self._slots:
+                if self._error is not None:
+                    raise self._error
                 if self._closed:
                     raise RuntimeError("staging buffer closed")
                 if not self._available.wait(self._timeout):
@@ -148,6 +155,25 @@ class StagingBuffer:
             self._used = 0
             self._space_free.notify_all()
             self._available.notify_all()
+
+    def fail(self, exc: Exception) -> None:
+        """Poison the buffer with a producer-side failure.
+
+        Every blocked or future :meth:`put`/:meth:`get` re-raises
+        ``exc``, so a prefetcher error surfaces in the consumer's thread
+        instead of as a silent daemon death followed by a timeout. The
+        first failure wins; later ones are ignored.
+        """
+        with self._lock:
+            if self._error is None:
+                self._error = exc
+            self._space_free.notify_all()
+            self._available.notify_all()
+
+    @property
+    def error(self) -> Exception | None:
+        """The failure recorded by :meth:`fail`, if any."""
+        return self._error
 
     @property
     def closed(self) -> bool:

@@ -35,6 +35,7 @@ class WorkerGroup:
         size: int,
         network_delay_s_per_mb: float = 0.0,
         timeout_s: float = 30.0,
+        clock=None,
     ) -> None:
         if size <= 0:
             raise ConfigurationError("group size must be positive")
@@ -43,6 +44,10 @@ class WorkerGroup:
         self._size = size
         self._delay_per_mb = float(network_delay_s_per_mb)
         self._timeout = float(timeout_s)
+        # Any ClusterClock; the stdlib time module satisfies the port
+        # structurally, so it is the default. Tests inject a FakeClock
+        # to make the network delay model assertable without sleeping.
+        self._clock = clock if clock is not None else time
         self._lock = threading.Lock()
         self._gathered = threading.Condition(self._lock)
         self._allgather_slots: dict[str, dict[int, Any]] = {}
@@ -80,7 +85,7 @@ class WorkerGroup:
             self._gathered.notify_all()
             deadline = time.monotonic() + self._timeout
             while len(slot) < self._size:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - time.monotonic()  # real time: waits a Condition
                 if remaining <= 0:
                     raise CommunicationError(
                         f"allgather {key!r} timed out with "
@@ -121,7 +126,7 @@ class WorkerGroup:
             if data is not None:
                 self._remote_bytes_served += len(data)
         if data is not None and self._delay_per_mb > 0:
-            time.sleep(self._delay_per_mb * len(data) / (1 << 20))
+            self._clock.sleep(self._delay_per_mb * len(data) / (1 << 20))
         return data
 
     def progress(self, target_rank: int) -> int:

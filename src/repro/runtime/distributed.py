@@ -107,6 +107,13 @@ class DistributedJobGroup:
     def __exit__(self, *exc) -> None:
         self.stop()
 
+    def errors(self) -> list[Exception]:
+        """Prefetcher errors across all ranks (empty when healthy)."""
+        found: list[Exception] = []
+        for job in self.jobs:
+            found.extend(job.errors)
+        return found
+
     def run_consumers(
         self,
         consume_fn: Callable[[Job, int, bytes, int], None] | None = None,
@@ -138,6 +145,7 @@ class DistributedJobGroup:
             t.join(timeout=timeout_s)
             if t.is_alive():
                 raise ConfigurationError("consumer thread timed out")
+        errors.extend(self.errors())
         if errors:
             raise errors[0]
         return [job.stats.as_dict() for job in self.jobs]

@@ -108,6 +108,12 @@ class Job:
         holder directly (exact, in-process shortcut).
     drop_last:
         Drop the ragged final global batch each epoch.
+    metrics_sink:
+        Optional :class:`~repro.ports.ports.MetricsSink`: receives one
+        ``record_fetch(rank, epoch, source, sample_id, nbytes)`` event
+        per staged sample, with ``source`` in ``{"local", "remote",
+        "pfs"}`` and ``epoch`` derived from the sample's stream
+        position (deterministic under any thread timing).
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class Job:
         use_progress_heuristic: bool = True,
         drop_last: bool = True,
         buffer_timeout_s: float = 30.0,
+        metrics_sink=None,
     ) -> None:
         if staging_threads < 1:
             raise ConfigurationError("staging_threads must be >= 1 (p_0 >= 1)")
@@ -150,6 +157,7 @@ class Job:
         self._staging_threads = staging_threads
         self._preprocess = preprocess
         self._heuristic = use_progress_heuristic
+        self._sink = metrics_sink
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._consume_seq = 0
@@ -192,6 +200,7 @@ class Job:
                     self._store_in_tier,
                     self.metadata.advance_progress,
                     self._stop,
+                    fail_fn=self.buffer.fail,
                 )
                 self._threads.append(t)
                 t.start()
@@ -204,6 +213,7 @@ class Job:
                 self._fetch_for_staging,
                 self.buffer.put,
                 self._stop,
+                fail_fn=self.buffer.fail,
             )
             self._threads.append(t)
             t.start()
@@ -213,8 +223,24 @@ class Job:
         """Stop all prefetchers and release the staging buffer."""
         self._stop.set()
         self.buffer.close()
+        stuck = []
         for t in self._threads:
             t.join(timeout=10.0)
+            if t.is_alive():  # pragma: no cover - would be a deadlock bug
+                stuck.append(t.name)
+        if stuck:  # pragma: no cover - would be a deadlock bug
+            raise ConfigurationError(
+                f"prefetcher threads failed to stop: {', '.join(stuck)}"
+            )
+
+    @property
+    def errors(self) -> list[Exception]:
+        """Errors recorded by prefetcher threads (empty when healthy)."""
+        found = [t.error for t in self._threads if t.error is not None]
+        buffer_error = self.buffer.error
+        if buffer_error is not None and buffer_error not in found:
+            found.append(buffer_error)
+        return found
 
     def __enter__(self) -> "Job":
         return self.start()
@@ -278,13 +304,19 @@ class Job:
             return False
         return self.group.progress(holder) > position
 
-    def _fetch_for_staging(self, sample_id: int) -> bytes:
+    def _emit(self, seq: int, source: str, sample_id: int, data: bytes) -> None:
+        if self._sink is not None:
+            epoch = seq // self.stream_config.samples_per_worker_per_epoch
+            self._sink.record_fetch(self.rank, epoch, source, sample_id, len(data))
+
+    def _fetch_for_staging(self, seq: int, sample_id: int) -> bytes:
         # 1. Local cache (fastest tier recorded wins).
         tier = self.metadata.tier_of(sample_id)
         if tier is not None:
             data = self.tiers[tier].get(sample_id)
             if data is not None:
                 self.stats.record("local")
+                self._emit(seq, "local", sample_id, data)
                 return self._apply_preprocess(data)
         # 2. Remote holder, gated by the availability heuristic.
         holder = int(self.plan.holder_of[sample_id])
@@ -295,14 +327,19 @@ class Job:
                 data = self.group.request_sample(holder, sample_id)
                 if data is not None:
                     self.stats.record("remote")
+                    self._emit(seq, "remote", sample_id, data)
                     return self._apply_preprocess(data)
                 # "the failure of this heuristic is not an error" — fall
                 # through to the dataset and count the false positive.
                 self.stats.record("dataset", false_positive=self._heuristic)
-                return self._apply_preprocess(self.dataset.read(sample_id))
+                data = self.dataset.read(sample_id)
+                self._emit(seq, "pfs", sample_id, data)
+                return self._apply_preprocess(data)
         # 3. The dataset itself (the PFS path).
         self.stats.record("dataset")
-        return self._apply_preprocess(self.dataset.read(sample_id))
+        data = self.dataset.read(sample_id)
+        self._emit(seq, "pfs", sample_id, data)
+        return self._apply_preprocess(data)
 
     def _apply_preprocess(self, data: bytes) -> bytes:
         if self._preprocess is None:

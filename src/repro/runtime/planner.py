@@ -21,7 +21,7 @@ import numpy as np
 from ..core import AccessStream, CachePlan, StreamConfig, frequency_placement_sparse
 from ..errors import ConfigurationError
 
-__all__ = ["RuntimePlan", "build_runtime_plan"]
+__all__ = ["RuntimePlan", "best_holders", "build_runtime_plan"]
 
 
 class RuntimePlan:
@@ -57,6 +57,26 @@ class RuntimePlan:
                 arr = arr[np.argsort(keys)]
             lists.append(arr)
         return lists
+
+
+def best_holders(placements, num_samples: int) -> tuple[np.ndarray, np.ndarray]:
+    """Best holder per sample: fastest tier wins, ties -> lowest rank.
+
+    Returns ``(holder_of, holder_tier)``; ``holder_of`` is ``-1`` (and
+    ``holder_tier`` 127) for samples nobody caches. Shared with the
+    parity harness, which routes the simulator's cache plan through the
+    very same resolution the runtime uses.
+    """
+    holder_of = np.full(num_samples, -1, dtype=np.int32)
+    holder_tier = np.full(num_samples, np.int8(127), dtype=np.int8)
+    for worker, placement in enumerate(placements):
+        for tier, ids in enumerate(placement.class_ids):
+            arr = np.asarray(ids, dtype=np.int64)
+            if arr.size:
+                better = holder_tier[arr] > tier
+                holder_of[arr[better]] = worker
+                holder_tier[arr[better]] = tier
+    return holder_of, holder_tier
 
 
 def build_runtime_plan(
@@ -111,17 +131,7 @@ def build_runtime_plan(
         )
 
     plan = CachePlan(placements, f, max(len(tier_capacities_bytes), 1))
-
-    # Best holder per sample: fastest tier wins, ties -> lowest rank.
-    holder_of = np.full(f, -1, dtype=np.int32)
-    holder_tier = np.full(f, np.int8(127), dtype=np.int8)
-    for worker, placement in enumerate(placements):
-        for tier, ids in enumerate(placement.class_ids):
-            arr = np.asarray(ids, dtype=np.int64)
-            if arr.size:
-                better = holder_tier[arr] > tier
-                holder_of[arr[better]] = worker
-                holder_tier[arr[better]] = tier
+    holder_of, _ = best_holders(placements, f)
 
     holder_position = np.full(f, -1, dtype=np.int64)
     for worker, order in enumerate(prefetch_orders):

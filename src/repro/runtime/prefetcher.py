@@ -14,6 +14,14 @@ Two thread bodies live here:
   stream ``R`` from a shared cursor, resolves each sample from the
   cheapest source (local tier -> remote holder -> dataset), applies the
   preprocessing callable, and deposits into the staging buffer.
+
+Both are :class:`_PrefetchThread` subclasses, which fixes the shutdown
+discipline: a failure during an orderly stop (the staging buffer closing
+under a blocked ``put``) is a *clean* exit, while any other exception is
+recorded on ``.error`` **and** pushed through ``fail_fn`` — typically
+:meth:`StagingBuffer.fail <repro.runtime.buffer.StagingBuffer.fail>` —
+so it re-raises in the consuming thread instead of dying silently with
+the daemon.
 """
 
 from __future__ import annotations
@@ -22,8 +30,6 @@ import threading
 from typing import Callable
 
 import numpy as np
-
-from ..errors import ReproError
 
 __all__ = ["SharedCursor", "TierPrefetcher", "StagingPrefetcher"]
 
@@ -52,7 +58,38 @@ class SharedCursor:
             return self._next
 
 
-class TierPrefetcher(threading.Thread):
+class _PrefetchThread(threading.Thread):
+    """Shared error/shutdown discipline for the prefetcher threads."""
+
+    def __init__(
+        self,
+        name: str,
+        stop_event: threading.Event,
+        fail_fn: Callable[[Exception], None] | None,
+    ) -> None:
+        super().__init__(daemon=True, name=name)
+        self._stop_event = stop_event
+        self._fail = fail_fn
+        self.error: Exception | None = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via thread tests
+        try:
+            self._work()
+        except Exception as exc:
+            if self._stop_event.is_set():
+                # Orderly shutdown: the buffer closing (or a tier being
+                # torn down) under a blocked call is expected noise, not
+                # a failure to report.
+                return
+            self.error = exc
+            if self._fail is not None:
+                self._fail(exc)
+
+    def _work(self) -> None:
+        raise NotImplementedError
+
+
+class TierPrefetcher(_PrefetchThread):
     """Fills one storage tier with its planned samples, access order."""
 
     def __init__(
@@ -65,8 +102,9 @@ class TierPrefetcher(threading.Thread):
         store_fn: Callable[[int, int, bytes], bool],
         advance_fn: Callable[[], int],
         stop_event: threading.Event,
+        fail_fn: Callable[[Exception], None] | None = None,
     ) -> None:
-        super().__init__(daemon=True, name=f"tier{tier}-prefetch{thread_index}")
+        super().__init__(f"tier{tier}-prefetch{thread_index}", stop_event, fail_fn)
         self._tier = tier
         # Round-robin split of the tier's list across its threads keeps
         # the access-order property per thread.
@@ -74,53 +112,46 @@ class TierPrefetcher(threading.Thread):
         self._read = read_fn
         self._store = store_fn
         self._advance = advance_fn
-        self._stop_event = stop_event
-        self.error: Exception | None = None
 
-    def run(self) -> None:  # pragma: no cover - exercised via Job tests
-        try:
-            for sample_id in self._ids:
-                if self._stop_event.is_set():
-                    return
-                data = self._read(int(sample_id))
-                self._store(self._tier, int(sample_id), data)
-                self._advance()
-        except ReproError as exc:
-            self.error = exc
-        except RuntimeError as exc:  # buffer closed during shutdown
-            self.error = exc
+    def _work(self) -> None:
+        for sample_id in self._ids:
+            if self._stop_event.is_set():
+                return
+            data = self._read(int(sample_id))
+            self._store(self._tier, int(sample_id), data)
+            self._advance()
 
 
-class StagingPrefetcher(threading.Thread):
-    """Deposits the access stream into the staging buffer, in order."""
+class StagingPrefetcher(_PrefetchThread):
+    """Deposits the access stream into the staging buffer, in order.
+
+    ``fetch_fn`` receives ``(seq, sample_id)`` — the stream position as
+    well as the id — so the fetch path can attribute each sample to its
+    epoch deterministically (``epoch = seq // samples_per_epoch``)
+    regardless of thread timing.
+    """
 
     def __init__(
         self,
         thread_index: int,
         stream: np.ndarray,
         cursor: SharedCursor,
-        fetch_fn: Callable[[int], bytes],
+        fetch_fn: Callable[[int, int], bytes],
         put_fn: Callable[[int, int, bytes], None],
         stop_event: threading.Event,
+        fail_fn: Callable[[Exception], None] | None = None,
     ) -> None:
-        super().__init__(daemon=True, name=f"staging-prefetch{thread_index}")
+        super().__init__(f"staging-prefetch{thread_index}", stop_event, fail_fn)
         self._stream = stream
         self._cursor = cursor
         self._fetch = fetch_fn
         self._put = put_fn
-        self._stop_event = stop_event
-        self.error: Exception | None = None
 
-    def run(self) -> None:  # pragma: no cover - exercised via Job tests
-        try:
-            while not self._stop_event.is_set():
-                seq = self._cursor.next()
-                if seq is None:
-                    return
-                sample_id = int(self._stream[seq])
-                data = self._fetch(sample_id)
-                self._put(seq, sample_id, data)
-        except ReproError as exc:
-            self.error = exc
-        except RuntimeError as exc:  # buffer closed during shutdown
-            self.error = exc
+    def _work(self) -> None:
+        while not self._stop_event.is_set():
+            seq = self._cursor.next()
+            if seq is None:
+                return
+            sample_id = int(self._stream[seq])
+            data = self._fetch(seq, sample_id)
+            self._put(seq, sample_id, data)

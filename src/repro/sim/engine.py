@@ -9,7 +9,7 @@ relative performance of different I/O strategies."
 The engine evaluates whole epochs as ``(N, L)`` matrices — ``N``
 workers by ``L = T * B`` samples — in two phases:
 
-1. **Plan** (:meth:`Simulator._plan_epoch`): the policy's
+1. **Plan** (:meth:`Simulator.plan_epoch`): the policy's
    :class:`~repro.sim.policies.base.PreparedPolicy` fixes the cache
    placement, stream rewriting, prestaging cost and PFS usage. The
    epoch-invariant part — the PFS byte fraction, the contention level
@@ -19,7 +19,7 @@ workers by ``L = T * B`` samples — in two phases:
    every epoch (and across the policies of :meth:`Simulator.run_many`).
    Per epoch only the id permutation is resolved, yielding an
    :class:`EpochPlan`.
-2. **Execute** (:meth:`Simulator._execute_epoch`): the plan is
+2. **Execute** (:meth:`Simulator.execute_epoch`): the plan is
    materialized tile by tile (:meth:`EpochPlan.tiles`) — contiguous
    worker-row bands of configurable height ``tile_rows`` — and pure
    array kernels (:mod:`repro.sim.kernels`) resolve fetch sources
@@ -309,8 +309,15 @@ class Simulator:
         )
         return stacked, False
 
-    def _plan_epoch(self, prep: PreparedPolicy, epoch: int) -> EpochPlan:
-        """Resolve one epoch's ids and (cached) contention scalars."""
+    def plan_epoch(self, prep: PreparedPolicy, epoch: int) -> EpochPlan:
+        """Resolve one epoch's ids and (cached) contention scalars.
+
+        Public because the plan is the sim/runtime seam: the parity
+        harness (:mod:`repro.ports.worlds`) replays ``plan.ids`` — the
+        exact per-worker stream, honouring policy stream rewrites —
+        through the threaded runtime, so both worlds consume
+        bitwise-identical access streams.
+        """
         warm = prep.plan is not None and epoch >= prep.warm_epochs
         phase = self.plan_cache.scalars(prep).phase(epoch < prep.warm_epochs)
         ids, shared = self._epoch_ids(prep, epoch, warm)
@@ -328,10 +335,20 @@ class Simulator:
 
     # -- execute phase -------------------------------------------------------
 
-    def _execute_epoch(
+    def execute_epoch(
         self, policy: Policy, prep: PreparedPolicy, plan: EpochPlan
     ) -> EpochResult:
         """Run one planned epoch through the array kernels, tile by tile.
+
+        Public because it is the pricing half of the sim/runtime seam:
+        the parity harness (:mod:`repro.ports.worlds`) replays the tier
+        assignments the *threaded runtime* actually served through this
+        very method (via a recorded plan whose tiles carry the observed
+        class matrices), so both worlds are timed by identical kernels.
+
+        ``plan`` may be any object with the :class:`EpochPlan` surface
+        (``epoch`` / ``gamma`` / ``pfs_share_mbps`` / ``pfs_latency_s``
+        and a ``tiles(tile_rows)`` iterator).
 
         Per-sample float work (fetch resolution, latency, noise, write
         times, per-batch totals) happens inside the tile loop on
@@ -439,7 +456,7 @@ class Simulator:
 
     def _run_prepared(self, policy: Policy, prep: PreparedPolicy) -> SimulationResult:
         epoch_results = [
-            self._execute_epoch(policy, prep, self._plan_epoch(prep, epoch))
+            self.execute_epoch(policy, prep, self.plan_epoch(prep, epoch))
             for epoch in range(self.config.num_epochs)
         ]
         return SimulationResult(

@@ -1,0 +1,1 @@
+"""In-tree instantiations of the :mod:`repro.ports.testing` contracts."""

@@ -1,0 +1,25 @@
+"""CacheBackend contract over the sweep-cache store implementations."""
+
+import pytest
+
+from repro.ports.testing import CacheBackendContract
+from repro.sweep.backends import InMemoryBackend, LocalDirBackend
+
+
+class TestLocalDirBackendContract(CacheBackendContract):
+    @pytest.fixture(autouse=True)
+    def _tmpdir(self, tmp_path):
+        self._root = tmp_path
+
+    def make_backend(self) -> LocalDirBackend:
+        self._count = getattr(self, "_count", 0) + 1
+        backend = LocalDirBackend(self._root / f"cache{self._count}")
+        backend.prepare()
+        return backend
+
+
+class TestInMemoryBackendContract(CacheBackendContract):
+    def make_backend(self) -> InMemoryBackend:
+        backend = InMemoryBackend()
+        backend.prepare()
+        return backend

@@ -1,0 +1,29 @@
+"""DatasetSource contract over every in-tree dataset implementation."""
+
+import pytest
+
+from repro.loader.dataset import InMemoryDataset, SyntheticFileDataset
+from repro.ports.fakes import FakeDataset
+from repro.ports.testing import DatasetSourceContract
+
+
+class TestInMemoryDatasetContract(DatasetSourceContract):
+    def make_dataset(self) -> InMemoryDataset:
+        return InMemoryDataset.random(num_samples=8, sample_bytes=64)
+
+
+class TestSyntheticFileDatasetContract(DatasetSourceContract):
+    @pytest.fixture(autouse=True)
+    def _tmpdir(self, tmp_path):
+        self._root = tmp_path / "dataset"
+        SyntheticFileDataset.generate(
+            self._root, num_samples=6, mean_bytes=128, num_classes=3
+        )
+
+    def make_dataset(self) -> SyntheticFileDataset:
+        return SyntheticFileDataset(self._root)
+
+
+class TestFakeDatasetContract(DatasetSourceContract):
+    def make_dataset(self) -> FakeDataset:
+        return FakeDataset([64, 128, 256, 24, 8], num_classes=3)

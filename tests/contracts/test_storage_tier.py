@@ -1,0 +1,35 @@
+"""StorageTier contract over every in-tree tier implementation.
+
+Three implementations, three storage substrates — a dict ABC subclass,
+a file-per-sample cache dir, and the protocol-first fake — all proving
+the same behavioural contract the prefetchers and the remote-serving
+path rely on.
+"""
+
+import pytest
+
+from repro.ports.fakes import FakeTier
+from repro.ports.testing import StorageTierContract
+from repro.runtime import FilesystemBackend, MemoryBackend
+
+
+class TestMemoryBackendContract(StorageTierContract):
+    def make_tier(self, capacity_bytes: int) -> MemoryBackend:
+        return MemoryBackend(capacity_bytes)
+
+
+class TestFilesystemBackendContract(StorageTierContract):
+    @pytest.fixture(autouse=True)
+    def _tmpdir(self, tmp_path):
+        self._root = tmp_path
+
+    def make_tier(self, capacity_bytes: int) -> FilesystemBackend:
+        # A fresh subdirectory per tier: contract tests build several
+        # tiers per test and each must start empty.
+        self._count = getattr(self, "_count", 0) + 1
+        return FilesystemBackend(capacity_bytes, self._root / f"tier{self._count}")
+
+
+class TestFakeTierContract(StorageTierContract):
+    def make_tier(self, capacity_bytes: int) -> FakeTier:
+        return FakeTier(capacity_bytes)

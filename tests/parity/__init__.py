@@ -1,0 +1,1 @@
+"""Sim-vs-runtime parity harness tests."""

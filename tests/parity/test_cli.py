@@ -1,0 +1,45 @@
+"""The ``tools/parity.py`` CLI: exit codes, report files, determinism."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+@pytest.fixture(scope="module")
+def parity_cli():
+    spec = importlib.util.spec_from_file_location("parity_cli", TOOLS / "parity.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("parity_cli", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_run_writes_ok_report(parity_cli, tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = parity_cli.main(
+        ["--policies", "naive", "nopfs", "--epochs", "2", "--out", str(out)]
+    )
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["ok"] is True
+    assert [p["policy"] for p in data["policies"]] == ["naive", "nopfs"]
+    assert "PARITY OK" in capsys.readouterr().out
+
+
+def test_two_runs_byte_identical(parity_cli, tmp_path):
+    """The CI smoke job's contract: run twice, diff the files."""
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    args = ["--quiet", "--policies", "naive", "locality_aware", "--epochs", "2"]
+    assert parity_cli.main([*args, "--out", str(a)]) == 0
+    assert parity_cli.main([*args, "--out", str(b)]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_quiet_suppresses_summary(parity_cli, capsys):
+    assert parity_cli.main(["--quiet", "--policies", "naive", "--epochs", "1"]) == 0
+    assert capsys.readouterr().out == ""

@@ -1,0 +1,1 @@
+"""Tests for the shared domain ports and their fakes."""

@@ -1,0 +1,157 @@
+"""The deterministic fakes themselves, plus their registry wiring."""
+
+import pytest
+
+from repro.api import make_dataset
+from repro.datasets import DatasetModel
+from repro.errors import ConfigurationError, RuntimeIOError
+from repro.ports import (
+    BYTES_PER_MB,
+    FAKE_PROFILES,
+    FakeClock,
+    FakeDataset,
+    FakeTier,
+    RecordingMetricsSink,
+    fake_dataset_model,
+)
+from repro.ports.ports import ClusterClock, DatasetSource, MetricsSink, StorageTier
+
+
+class TestFakeDataset:
+    def test_payloads_deterministic_and_sized(self):
+        ds = FakeDataset([64, 128, 17])
+        for sid in range(3):
+            data = ds.read(sid)
+            assert data == ds.expected_payload(sid)
+            assert len(data) == ds.size(sid)
+        assert ds.read(0) == ds.read(0)
+
+    def test_payloads_distinguish_samples_and_seeds(self):
+        ds = FakeDataset([64, 64])
+        assert ds.read(0) != ds.read(1)
+        other = FakeDataset([64, 64], seed=999)
+        assert ds.read(0) != other.read(0)
+
+    def test_read_counters(self):
+        ds = FakeDataset([64] * 4)
+        ds.read(1)
+        ds.read(1)
+        ds.read(2)
+        assert ds.read_count(1) == 2
+        assert ds.read_count(0) == 0
+        assert ds.total_reads == 3
+        ds.reset_reads()
+        assert ds.total_reads == 0
+
+    def test_fail_reads_and_heal(self):
+        ds = FakeDataset([64] * 4)
+        ds.fail_reads([2])
+        with pytest.raises(RuntimeIOError, match="sample 2"):
+            ds.read(2)
+        ds.heal()
+        assert ds.read(2) == ds.expected_payload(2)
+
+    def test_latency_charged_to_injected_clock(self):
+        clock = FakeClock()
+        ds = FakeDataset([64] * 2, latency_s=0.25, clock=clock)
+        ds.read(0)
+        ds.read(1)
+        assert clock.sleeps == [0.25, 0.25]
+
+    def test_from_model_sizes_exact_for_dyadic_profiles(self):
+        for profile, (n, mb) in FAKE_PROFILES.items():
+            model = fake_dataset_model(profile)
+            ds = FakeDataset.from_model(model)
+            assert len(ds) == n
+            assert all(ds.size(i) == int(mb * BYTES_PER_MB) for i in range(n))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FakeDataset([])
+        with pytest.raises(ConfigurationError):
+            FakeDataset([64, 0])
+
+
+class TestFakeTier:
+    def test_corrupt_flips_stored_bytes(self):
+        tier = FakeTier(1 << 20)
+        tier.put(0, b"\x00\x0f")
+        tier.corrupt(0)
+        assert tier.get(0) == b"\xff\xf0"
+
+    def test_corrupt_missing_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FakeTier(1 << 20).corrupt(0)
+
+    def test_fail_reads_and_heal(self):
+        tier = FakeTier(1 << 20)
+        tier.put(0, b"abc")
+        tier.fail_reads([0])
+        with pytest.raises(RuntimeIOError):
+            tier.get(0)
+        tier.heal()
+        assert tier.get(0) == b"abc"
+
+
+class TestFakeClock:
+    def test_sleep_advances_virtual_time(self):
+        clock = FakeClock(start=10.0)
+        clock.sleep(1.5)
+        clock.sleep(0.5)
+        assert clock.monotonic() == 12.0
+        assert clock.sleeps == [1.5, 0.5]
+        assert clock.total_slept == 2.0
+
+    def test_advance_does_not_record_a_sleep(self):
+        clock = FakeClock()
+        clock.advance(5.0)
+        assert clock.monotonic() == 5.0
+        assert clock.sleeps == []
+
+    def test_negative_sleep_clamped(self):
+        clock = FakeClock()
+        clock.sleep(-1.0)
+        assert clock.monotonic() == 0.0
+
+
+class TestRecordingMetricsSink:
+    def test_aggregates_by_epoch_and_source(self):
+        sink = RecordingMetricsSink()
+        sink.record_fetch(0, 0, "pfs", 1, 100)
+        sink.record_fetch(1, 0, "local", 2, 50)
+        sink.record_fetch(0, 1, "pfs", 1, 100)
+        assert sink.counts() == {"pfs": 2, "local": 1}
+        assert sink.counts(epoch=0) == {"pfs": 1, "local": 1}
+        assert sink.bytes_by_source(epoch=1) == {"pfs": 100}
+        sink.clear()
+        assert sink.events == []
+
+
+class TestPortConformance:
+    """The fakes really are the ports (runtime_checkable protocols)."""
+
+    def test_fakes_satisfy_their_protocols(self):
+        assert isinstance(FakeDataset([64]), DatasetSource)
+        assert isinstance(FakeTier(1024), StorageTier)
+        assert isinstance(FakeClock(), ClusterClock)
+        assert isinstance(RecordingMetricsSink(), MetricsSink)
+
+
+class TestRegistryWiring:
+    def test_fake_registered_as_dataset_variant(self):
+        model = make_dataset("fake:small")
+        assert isinstance(model, DatasetModel)
+        assert model.name == "fake-small"
+        assert model.num_samples == FAKE_PROFILES["small"][0]
+
+    def test_model_and_twin_agree_on_bytes(self):
+        model = make_dataset("fake:tiny")
+        ds = FakeDataset.from_model(model)
+        sizes_mb = model.sizes_mb()
+        assert all(
+            ds.size(i) == sizes_mb[i] * BYTES_PER_MB for i in range(len(ds))
+        )
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError, match="profile"):
+            fake_dataset_model("huge")

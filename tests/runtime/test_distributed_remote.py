@@ -1,0 +1,117 @@
+"""Remote-serving paths of comm.py and distributed.py, driven by fakes.
+
+The :class:`FakeDataset` gives every byte a checkable identity and
+counts PFS reads; the :class:`FakeClock` makes the network delay model
+assertable without sleeping.
+"""
+
+import pytest
+
+from repro.errors import RuntimeIOError
+from repro.ports.fakes import FakeClock, FakeDataset, RecordingMetricsSink
+from repro.runtime import DistributedJobGroup, MemoryBackend, WorkerGroup
+
+
+class TestWorkerGroupDelayModel:
+    def _serving_group(self, payload, delay=0.5):
+        clock = FakeClock()
+        group = WorkerGroup(2, network_delay_s_per_mb=delay, clock=clock)
+        group.register(0, lambda sid: payload if sid == 7 else None, lambda: 0)
+        return group, clock
+
+    def test_hit_charges_transfer_time_on_the_clock(self):
+        payload = b"\xab" * (1 << 20)  # exactly 1 MB
+        group, clock = self._serving_group(payload)
+        assert group.request_sample(0, 7) == payload
+        assert clock.sleeps == [0.5]
+        assert group.remote_bytes_served == len(payload)
+        assert group.remote_requests == 1
+
+    def test_miss_costs_nothing(self):
+        group, clock = self._serving_group(b"x" * 1024)
+        assert group.request_sample(0, 99) is None
+        assert clock.sleeps == []
+        assert group.remote_bytes_served == 0
+        assert group.remote_requests == 1
+
+    def test_delay_scales_with_size(self):
+        group, clock = self._serving_group(b"y" * (1 << 19))  # 0.5 MB
+        group.request_sample(0, 7)
+        assert clock.sleeps == [0.25]
+
+
+def _make_group(ds, workers=2, epochs=2, tier_bytes=None, **job_kwargs):
+    if tier_bytes is None:
+        tier_bytes = ds.total_bytes()  # every shard fits fully
+    job_kwargs.setdefault("use_progress_heuristic", False)
+    job_kwargs.setdefault("buffer_timeout_s", 5.0)
+    return DistributedJobGroup(
+        ds,
+        num_workers=workers,
+        batch_size=4,
+        num_epochs=epochs,
+        seed=11,
+        tier_factories=[lambda rank: MemoryBackend(tier_bytes)],
+        **job_kwargs,
+    )
+
+
+class TestDistributedRemoteServing:
+    def test_remote_path_serves_verified_bytes(self):
+        # Tight per-worker caches (~60 of 200 samples) force fetches
+        # through the group's serving path.
+        ds = FakeDataset([64] * 200, num_classes=3)
+        group = _make_group(ds, epochs=3, tier_bytes=64 * 60)
+
+        def verify(job, sample_id, data, label):
+            assert data == ds.expected_payload(sample_id)
+            assert label == sample_id % 3
+
+        with group:
+            stats = group.run_consumers(verify)
+        assert group.errors() == []
+        total = sum(s["local_hits"] + s["remote_hits"] + s["dataset_reads"] for s in stats)
+        assert total == sum(j.total_samples for j in group.jobs)
+        remote_hits = sum(s["remote_hits"] for s in stats)
+        assert remote_hits > 0
+        assert group.group.remote_requests >= remote_hits
+        assert group.group.remote_bytes_served == 64 * remote_hits
+
+    def test_caching_bounds_pfs_traffic(self):
+        """Once tiers are warm, later epochs stop touching the dataset."""
+        ds = FakeDataset([128] * 24)
+        group = _make_group(ds, epochs=3)
+        with group:
+            stats = group.run_consumers()
+        staged = sum(j.total_samples for j in group.jobs)
+        assert ds.total_reads < staged
+        assert sum(s["dataset_reads"] for s in stats) < staged
+
+    def test_metrics_sink_sees_every_staged_sample(self):
+        ds = FakeDataset([128] * 16)
+        sink = RecordingMetricsSink()
+        group = _make_group(ds, epochs=1, metrics_sink=sink)
+        with group:
+            group.run_consumers()
+        counts = sink.counts()
+        assert sum(counts.values()) == sum(j.total_samples for j in group.jobs)
+        assert set(counts) <= {"local", "remote", "pfs"}
+
+    def test_injected_read_failure_raises_and_is_recorded(self):
+        ds = FakeDataset([128] * 16)
+        ds.fail_reads([5])
+        group = _make_group(ds, epochs=1)
+        group.start()
+        try:
+            with pytest.raises(RuntimeIOError, match="sample 5"):
+                group.run_consumers()
+            assert any(isinstance(e, RuntimeIOError) for e in group.errors())
+        finally:
+            group.stop()
+
+    def test_errors_empty_when_healthy(self):
+        ds = FakeDataset([64] * 12)
+        group = _make_group(ds, epochs=1)
+        with group:
+            group.run_consumers()
+        assert group.errors() == []

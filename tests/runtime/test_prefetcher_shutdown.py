@@ -1,0 +1,156 @@
+"""Prefetcher shutdown discipline: error propagation vs orderly exit.
+
+A prefetcher thread that dies must poison the staging buffer so the
+consumer sees the original exception (not a timeout); a thread
+interrupted by an orderly ``stop()`` must exit silently even if the
+closing buffer raises under it.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeIOError
+from repro.ports.fakes import FakeDataset
+from repro.runtime import (
+    Job,
+    SharedCursor,
+    StagingBuffer,
+    StagingPrefetcher,
+    TierPrefetcher,
+    WorkerGroup,
+)
+
+
+class TestPrefetchThreadDiscipline:
+    def test_fetch_error_poisons_buffer_and_records(self):
+        buf = StagingBuffer(1 << 20, timeout_s=2.0)
+        stop = threading.Event()
+
+        def fetch(seq, sample_id):
+            raise RuntimeIOError("injected fetch failure")
+
+        t = StagingPrefetcher(
+            0, np.arange(4), SharedCursor(4), fetch, buf.put, stop, fail_fn=buf.fail
+        )
+        t.start()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert isinstance(t.error, RuntimeIOError)
+        # The consumer sees the producer's exception, not a timeout.
+        with pytest.raises(RuntimeIOError, match="injected fetch failure"):
+            buf.get(0)
+        with pytest.raises(RuntimeIOError, match="injected fetch failure"):
+            buf.put(0, 0, b"x")
+
+    def test_error_during_orderly_stop_is_suppressed(self):
+        buf = StagingBuffer(1 << 20, timeout_s=2.0)
+        stop = threading.Event()
+        started = threading.Event()
+
+        def fetch(seq, sample_id):
+            started.set()
+            stop.wait(timeout=5.0)
+            raise RuntimeError("resource torn down under me")
+
+        t = StagingPrefetcher(
+            0, np.arange(2), SharedCursor(2), fetch, buf.put, stop, fail_fn=buf.fail
+        )
+        t.start()
+        assert started.wait(timeout=5.0)
+        stop.set()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert t.error is None
+        assert buf.error is None
+
+    def test_blocked_put_released_by_close(self):
+        """The Job.stop() path: close() unblocks a waiting producer."""
+        buf = StagingBuffer(100, timeout_s=10.0)
+        stop = threading.Event()
+
+        t = StagingPrefetcher(
+            0,
+            np.arange(3),
+            SharedCursor(3),
+            lambda seq, sid: b"\x01" * 80,  # second deposit cannot fit
+            buf.put,
+            stop,
+            fail_fn=buf.fail,
+        )
+        t.start()
+        deadline = threading.Event()
+        while len(buf) == 0 and not deadline.wait(0.01):
+            pass
+        stop.set()
+        buf.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert t.error is None  # closing under a blocked put is clean
+
+    def test_tier_prefetcher_read_error_propagates(self):
+        buf = StagingBuffer(1 << 20, timeout_s=2.0)
+        stop = threading.Event()
+
+        def read(sample_id):
+            raise RuntimeIOError("tier fill failed")
+
+        t = TierPrefetcher(
+            0,
+            0,
+            1,
+            np.arange(3),
+            read,
+            lambda tier, sid, data: True,
+            lambda: 0,
+            stop,
+            fail_fn=buf.fail,
+        )
+        t.start()
+        t.join(timeout=5.0)
+        assert isinstance(t.error, RuntimeIOError)
+        with pytest.raises(RuntimeIOError, match="tier fill failed"):
+            buf.get(0)
+
+
+def _single_rank_job(dataset, **kwargs):
+    kwargs.setdefault("batch_size", 4)
+    kwargs.setdefault("num_epochs", 1)
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("buffer_timeout_s", 5.0)
+    return Job(dataset, rank=0, group=WorkerGroup(1), **kwargs)
+
+
+class TestJobShutdown:
+    def test_failed_read_surfaces_in_consumer(self):
+        ds = FakeDataset([64] * 16)
+        ds.fail_reads([3])
+        job = _single_rank_job(ds)
+        job.start()
+        try:
+            with pytest.raises(RuntimeIOError, match="sample 3"):
+                for _ in job:
+                    pass
+            assert job.errors
+            assert any(isinstance(e, RuntimeIOError) for e in job.errors)
+        finally:
+            job.stop()
+
+    def test_clean_stop_midstream_records_no_errors(self):
+        # A staging buffer that holds ~2 samples keeps producers blocked
+        # the whole time, so stop() exercises the release path for real.
+        ds = FakeDataset([64] * 32)
+        job = _single_rank_job(ds, staging_bytes=160)
+        job.start()
+        for _ in range(4):
+            job.get()
+        job.stop()
+        assert job.errors == []
+
+    def test_stop_joins_every_thread(self):
+        ds = FakeDataset([64] * 16)
+        job = _single_rank_job(ds, staging_threads=3)
+        job.start()
+        job.stop()
+        assert all(not t.is_alive() for t in job._threads)

@@ -113,7 +113,7 @@ def test_epoch_plan_tiles_cover_all_rows():
     config = SCENARIOS["default"]
     sim = Simulator(config, tile_rows=3)
     prep = make_policy("staging_buffer").prepare(sim.ctx)
-    plan = sim._plan_epoch(prep, 0)
+    plan = sim.plan_epoch(prep, 0)
     tiles = list(plan.tiles(3))
     assert [(t.rows.start, t.rows.stop) for t in tiles] == [(0, 3), (3, 6), (6, 8)]
     stitched = np.vstack([t.ids for t in tiles])
@@ -175,7 +175,7 @@ def test_shared_matrices_are_read_only():
     config = SCENARIOS["default"]
     sim = Simulator(config)
     prep = make_policy("naive").prepare(sim.ctx)
-    plan = sim._plan_epoch(prep, 0)
+    plan = sim.plan_epoch(prep, 0)
     tile = plan.tile(slice(0, sim.ctx.num_workers))
     with pytest.raises(ValueError):
         tile.sizes_mb[0, 0] = 0.0

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Sim-vs-runtime parity harness CLI.
+
+Runs every requested policy through both worlds — the analytic engine
+and the threaded runtime's primitives (see :mod:`repro.ports.worlds`) —
+and diffs the per-epoch reports under the declared tolerances.
+
+Exit status: 0 when parity holds, 1 on any mismatch. The JSON report is
+fully deterministic, so CI can run the harness twice and ``diff`` the
+files to prove it.
+
+Usage::
+
+    PYTHONPATH=src python tools/parity.py
+    PYTHONPATH=src python tools/parity.py --profile small --workers 4 \\
+        --epochs 4 --out parity-report.json
+    PYTHONPATH=src python tools/parity.py --policies nopfs naive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api.presets import FIG8_POLICIES  # noqa: E402
+from repro.ports.fakes import FAKE_PROFILES  # noqa: E402
+from repro.ports.parity import (  # noqa: E402
+    ParityTolerance,
+    default_config,
+    run_parity,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile",
+        default="tiny",
+        choices=sorted(FAKE_PROFILES),
+        help="fake dataset profile (default: tiny)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="simulated workers (default: 4)"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=4, help="per-worker batch size (default: 4)"
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=3, help="epochs per policy (default: 3)"
+    )
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(FIG8_POLICIES),
+        metavar="SPEC",
+        help="policy specs to compare (default: the Fig 8 lineup)",
+    )
+    parser.add_argument(
+        "--ordering-margin",
+        type=float,
+        default=0.05,
+        help="relative sim-time separation that must preserve runtime "
+        "ordering (default: 0.05)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON parity report to this path",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-policy summary"
+    )
+    args = parser.parse_args(argv)
+
+    config = default_config(
+        profile=args.profile,
+        num_workers=args.workers,
+        batch_size=args.batch_size,
+        num_epochs=args.epochs,
+    )
+    report = run_parity(
+        config=config,
+        policies=args.policies,
+        tolerance=ParityTolerance(ordering_margin=args.ordering_margin),
+    )
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report.to_json() + "\n")
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    if not args.quiet:
+        print("\n".join(report.summary_lines()))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
