@@ -23,6 +23,9 @@ experiment as data::
   run/sweep facade shared by the CLI, the figure modules and future
   services.
 
+``SEARCHERS`` — the :mod:`repro.search` driver registry — is exported
+lazily from here too, alongside the other registries.
+
 The consolidated CLI (``python -m repro``) lives in :mod:`repro.cli`.
 """
 
@@ -48,6 +51,32 @@ from .registry import (
 from .scenario import DatasetSpec, PolicySpec, Scenario, SystemSpec, scaled_scenario
 from .session import Session
 
+#: Lazily-resolved exports (PEP 562) — :mod:`repro.search` imports this
+#: package's submodules, so its registry must load on first access
+#: rather than eagerly here.
+_LAZY_EXPORTS = {
+    "SEARCHERS": ("repro.search", "SEARCHERS"),
+}
+
+
+def __getattr__(name: str):
+    """Resolve a lazy export on first access (PEP 562)."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__() -> list:
+    """Advertise lazy exports to introspection alongside real globals."""
+    return sorted({*globals(), *_LAZY_EXPORTS})
+
+
 __all__ = [
     "DATASETS",
     "DatasetSpec",
@@ -58,6 +87,7 @@ __all__ = [
     "Registry",
     "RegistryEntry",
     "RegistryError",
+    "SEARCHERS",
     "SYSTEMS",
     "Scenario",
     "Session",

@@ -16,9 +16,15 @@ One entry point over the whole library, built on :mod:`repro.api`:
 ``experiments``
     The full-paper driver (figures/tables through one shared sweep);
     identical flags to the old ``python -m repro.experiments``.
+``search``
+    Branch-and-bound (or baseline) search over a declared space:
+    ``--driver bb|random|halving``, the same axis flags as ``run``
+    plus ``--policies`` / repeatable ``--knob field=v1,v2``, budget /
+    timeout / seed, and ``--manifest`` to write the byte-reproducible
+    :class:`~repro.search.manifest.SearchManifest`.
 ``list``
     Registry and figure listings: ``list policies | datasets |
-    systems | figures`` (or no argument for everything).
+    systems | searchers | figures`` (or no argument for everything).
 
 The two historical entry points — ``python -m repro.sweep`` and
 ``python -m repro.experiments`` — still work as deprecated shims over
@@ -172,6 +178,197 @@ def _configure_run(sub) -> None:
     run.set_defaults(func=_cmd_run)
 
 
+# -- search ------------------------------------------------------------
+
+
+def _coerce_knob_value(text: str):
+    """Parse one ``--knob`` value: int, then float, then bool, then str."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def build_space_from_args(args: argparse.Namespace):
+    """Construct the :class:`~repro.search.SearchSpace` a ``search`` names.
+
+    ``--space`` (a JSON file path or inline JSON object) is the
+    complete description; otherwise the space is assembled from the
+    axis flags, ``--policies`` and repeatable ``--knob`` flags.
+    """
+    from .api import Scenario
+    from .rng import DEFAULT_SEED
+    from .search import KnobDomain, SearchSpace
+
+    if args.space is not None:
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--dataset", args.dataset),
+                ("--system", args.system),
+                ("--batch-size", args.batch_size),
+                ("--epochs", args.epochs),
+                ("--scale", args.scale),
+                ("--policies", args.policies),
+                ("--knob", args.knob or None),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise ConfigurationError(
+                f"--space is a complete description; drop {', '.join(conflicting)} "
+                "(edit the JSON instead)"
+            )
+        text = args.space
+        if not text.lstrip().startswith("{"):
+            try:
+                text = Path(text).read_text()
+            except OSError as exc:
+                raise ConfigurationError(f"cannot read --space {text!r}: {exc}") from exc
+        try:
+            return SearchSpace.from_json(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"--space is not valid JSON: {exc}") from exc
+    missing = [
+        flag
+        for flag, value in (("--dataset", args.dataset), ("--system", args.system))
+        if not value
+    ]
+    if missing:
+        raise ConfigurationError(f"search needs {', '.join(missing)} (or --space)")
+    policies = ()
+    if args.policies is not None:
+        policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+        if not policies:
+            raise ConfigurationError("--policies must name at least one policy spec")
+    knobs = []
+    for spec in args.knob or ():
+        name, sep, values = spec.partition("=")
+        if not sep or not values:
+            raise ConfigurationError(
+                f"--knob wants field=v1,v2,... got {spec!r}"
+            )
+        knobs.append(
+            KnobDomain(
+                name=name.strip(),
+                values=tuple(_coerce_knob_value(v.strip()) for v in values.split(",")),
+            )
+        )
+    base = Scenario(
+        dataset=args.dataset,
+        system=args.system,
+        # The base policy is a placeholder — candidates always override
+        # it with a spec from the policy axis.
+        policy=(policies[0] if policies else "naive"),
+        batch_size=32 if args.batch_size is None else args.batch_size,
+        num_epochs=2 if args.epochs is None else args.epochs,
+        seed=DEFAULT_SEED if args.scenario_seed is None else args.scenario_seed,
+        scale=1.0 if args.scale is None else args.scale,
+    )
+    return SearchSpace(base=base, policies=policies, knobs=tuple(knobs))
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .api import Session
+    from .search import SearchEvent, run_search
+
+    space = build_space_from_args(args)
+    session = Session(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        executor=args.executor,
+        cache=args.cache,
+    )
+    on_event = None
+    if args.progress:
+
+        def on_event(event):
+            if isinstance(event, SearchEvent):
+                fields = ", ".join(
+                    f"{k}={v}" for k, v in vars(event).items() if k != "stats"
+                )
+                print(f"  [{type(event).__name__}] {fields}")
+
+    manifest = run_search(
+        space,
+        driver=args.driver,
+        session=session,
+        seed=args.seed,
+        budget=args.budget,
+        timeout_s=args.timeout,
+        timestamp=args.timestamp,
+        on_event=on_event,
+    )
+    print(f"driver: {manifest.driver} | space: {space.size()} candidates")
+    if manifest.best is None:
+        print("best: none (no supported candidate evaluated)")
+    else:
+        print(
+            f"best: {manifest.best.scenario.label} "
+            f"[{manifest.best.fingerprint}] "
+            f"total={manifest.best.objective_s:.4f} s"
+        )
+    print(manifest.stats.render())
+    print(session.stats.render())
+    if args.manifest is not None:
+        manifest.write(args.manifest)
+        print(f"manifest: {args.manifest}")
+    return 0
+
+
+def _configure_search(sub) -> None:
+    from .rng import DEFAULT_SEED
+
+    search = sub.add_parser(
+        "search", help="search a scenario/policy space (branch-and-bound or baselines)"
+    )
+    search.add_argument("--space", default=None, metavar="FILE|JSON",
+                        help="SearchSpace as a JSON file path or inline JSON object")
+    search.add_argument("--dataset", default=None, help="base dataset spec (e.g. mnist)")
+    search.add_argument("--system", default=None, help="base system spec (e.g. piz_daint:4)")
+    search.add_argument("--batch-size", type=int, default=None,
+                        help="base per-worker batch size (default 32)")
+    search.add_argument("--epochs", type=int, default=None,
+                        help="base epochs to simulate (default 2)")
+    search.add_argument("--scale", type=float, default=None,
+                        help="base regime-true shrink factor in (0, 1]")
+    search.add_argument("--scenario-seed", type=int, default=None,
+                        help="base scenario's simulation seed")
+    search.add_argument("--policies", default=None, metavar="SPEC,SPEC,...",
+                        help="policy axis (default: the Fig 8 lineup)")
+    search.add_argument("--knob", action="append", default=None, metavar="FIELD=V1,V2",
+                        help="searched scenario field and its values (repeatable)")
+    search.add_argument("--driver", default="bb",
+                        help="searcher spec: bb, bb:1.5, random, halving:2 (default bb)")
+    search.add_argument("--budget", type=int, default=None,
+                        help="maximum evaluations (default: unlimited)")
+    search.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock limit (default: unlimited)")
+    search.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="search seed (drives the random baseline)")
+    search.add_argument("--jobs", type=int, default=1, help="worker processes")
+    search.add_argument("--cache-dir", default=None, help="memoize evaluations here")
+    search.add_argument(
+        "--cache", default=None, metavar="SPEC",
+        help="cache backend spec (dir:/path, mem:NAME); alternative to --cache-dir",
+    )
+    search.add_argument(
+        "--executor", choices=("serial", "process", "batched"), default=None,
+        help="sweep execution strategy (default: derived from --jobs)",
+    )
+    search.add_argument("--manifest", default=None, metavar="FILE",
+                        help="write the byte-reproducible SearchManifest here")
+    search.add_argument("--timestamp", default=None, metavar="ISO8601",
+                        help="stamp the manifest's created_at (omitted = unstamped)")
+    search.add_argument("--progress", action="store_true",
+                        help="print search events as they happen")
+    search.set_defaults(func=_cmd_search)
+
+
 # -- list --------------------------------------------------------------
 
 
@@ -182,12 +379,13 @@ def _figure_names() -> list[str]:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    from .api import DATASETS, POLICIES, SYSTEMS
+    from .api import DATASETS, POLICIES, SEARCHERS, SYSTEMS
 
     sections = {
         "policies": POLICIES,
         "datasets": DATASETS,
         "systems": SYSTEMS,
+        "searchers": SEARCHERS,
     }
     wanted = [args.what] if args.what else [*sections, "figures"]
     blocks: list[str] = []
@@ -209,7 +407,7 @@ def _configure_list(sub) -> None:
     lister = sub.add_parser("list", help="list registered policies/datasets/systems/figures")
     lister.add_argument(
         "what", nargs="?", default=None,
-        choices=("policies", "datasets", "systems", "figures"),
+        choices=("policies", "datasets", "systems", "searchers", "figures"),
         help="one section (default: everything)",
     )
     lister.set_defaults(func=_cmd_list)
@@ -229,6 +427,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     _configure_run(sub)
+    _configure_search(sub)
 
     sweep = sub.add_parser("sweep", help="sweep a grid / merge shard results")
     ssub = sweep.add_subparsers(dest="subcommand", required=True)

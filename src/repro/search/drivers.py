@@ -1,0 +1,480 @@
+"""The search drivers and the `SEARCHERS` registry that names them.
+
+Three drivers, one :class:`Searcher` protocol:
+
+``bb`` — :class:`BranchBoundSearcher`
+    Best-first branch-and-bound over a two-level candidate tree
+    (policy subtrees above, knob-assignment leaves below), shaped after
+    the mongodb-d4 design search: bound every node with the admissible
+    :func:`~repro.sim.bounds.policy_lower_bound`, explore
+    cheapest-bound-first, prune any node whose bound (times the
+    ``relaxation`` knob) cannot beat the incumbent, count backtracks,
+    and stop on budget or the injected-clock timeout. With
+    ``relaxation=1.0`` the incumbent is exactly the exhaustive-sweep
+    optimum while strictly fewer candidates are simulated (whenever any
+    bound exceeds the optimum); ``relaxation > 1`` prunes harder and
+    guarantees the result within that factor of the optimum.
+
+``random`` — :class:`RandomSearcher`
+    Seeded uniform sampling without replacement — the honest baseline
+    B&B must beat on evaluations-to-optimum.
+
+``halving`` — :class:`HalvingSearcher`
+    Successive halving on truncated-epoch evaluations: every survivor
+    is priced at a rung's (cheap) epoch count, the best ``1/eta``
+    advance, epochs multiply by ``eta`` per rung, and only full-epoch
+    evaluations may set the incumbent. Truncated evaluations are real
+    scenarios with their own cache fingerprints, so rungs are warm
+    across repeated searches too.
+
+Determinism is a hard contract for every driver: time comes only from
+the injected ``clock``, randomness only from
+:func:`repro.rng.generator` keyed on the search seed, and candidate
+traversal derives from the space's declared order — no ambient
+``time.time()``, no global RNG. Same seed + space ⇒ identical
+evaluation sequence, byte-identical manifest.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from ..api.registry import Registry
+from ..api.scenario import Scenario
+from ..errors import ConfigurationError
+from ..rng import generator
+from .events import (
+    CandidateOpened,
+    CandidatePruned,
+    IncumbentImproved,
+    SearchFinished,
+    SearchStarted,
+)
+from .evaluator import Evaluator
+from .manifest import EvaluationRecord, IncumbentStep, SearchStats
+from .space import SearchSpace
+
+__all__ = [
+    "SEARCHERS",
+    "BranchBoundSearcher",
+    "HalvingSearcher",
+    "RandomSearcher",
+    "SearchResult",
+    "Searcher",
+]
+
+#: The search drivers, by name — the fourth registry next to
+#: ``POLICIES`` / ``DATASETS`` / ``SYSTEMS`` (also reachable as
+#: ``repro.api.SEARCHERS``).
+SEARCHERS: Registry = Registry("searcher")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """What a driver hands back to :func:`~repro.search.run.run_search`."""
+
+    evaluations: tuple[EvaluationRecord, ...]
+    incumbents: tuple[IncumbentStep, ...]
+    best: EvaluationRecord | None
+    stats: SearchStats
+
+
+@runtime_checkable
+class Searcher(Protocol):
+    """The driver contract: explore a space through an evaluator.
+
+    ``name`` keys events and manifests; :meth:`params` reports the
+    driver's own knobs (relaxation, eta, ...) for the manifest;
+    :meth:`search` runs the exploration — taking its time *only* from
+    ``clock`` and its randomness *only* from the ``seed`` — and
+    returns the full trace.
+    """
+
+    name: str
+
+    def params(self) -> dict[str, Any]:
+        """The driver's knob settings, for the manifest."""
+        ...
+
+    def search(
+        self,
+        space: SearchSpace,
+        evaluator: Evaluator,
+        *,
+        seed: int,
+        budget: int | None = None,
+        timeout_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> SearchResult:
+        """Explore ``space``; every simulation goes through ``evaluator``."""
+        ...
+
+
+@dataclass
+class _Trace:
+    """Shared driver bookkeeping: evaluations, incumbent, budget, clock."""
+
+    evaluator: Evaluator
+    budget: int | None
+    timeout_s: float | None
+    clock: Callable[[], float]
+    stats: SearchStats
+    started_at: float = 0.0
+    incumbent_s: float = math.inf
+    best: EvaluationRecord | None = None
+    evaluations: list[EvaluationRecord] = field(default_factory=list)
+    incumbents: list[IncumbentStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.started_at = self.clock()
+
+    def timed_out(self) -> bool:
+        """Whether the injected clock has passed the timeout."""
+        return (
+            self.timeout_s is not None
+            and self.clock() - self.started_at >= self.timeout_s
+        )
+
+    def exhausted(self) -> bool:
+        """Whether the evaluation budget is spent."""
+        return self.budget is not None and self.stats.evaluations >= self.budget
+
+    def stopping(self) -> bool:
+        """Set the terminal status if budget or timeout says stop."""
+        if self.timed_out():
+            self.stats.status = "timed_out"
+            return True
+        if self.exhausted():
+            self.stats.status = "budget_exhausted"
+            return True
+        return False
+
+    def record(
+        self, scenario: Scenario, objective: float | None, *, full: bool
+    ) -> EvaluationRecord:
+        """Append one evaluation; full evaluations may take the incumbent."""
+        record = EvaluationRecord(
+            index=len(self.evaluations),
+            fingerprint=scenario.fingerprint(),
+            scenario=scenario,
+            objective_s=objective,
+            full=full,
+        )
+        self.evaluations.append(record)
+        self.stats.evaluations += 1
+        if objective is None:
+            self.stats.unsupported += 1
+        elif full and objective < self.incumbent_s:
+            self.incumbent_s = objective
+            self.best = record
+            self.incumbents.append(
+                IncumbentStep(
+                    evaluation=record.index,
+                    fingerprint=record.fingerprint,
+                    objective_s=objective,
+                )
+            )
+            self.evaluator.emit(
+                IncumbentImproved(
+                    fingerprint=record.fingerprint,
+                    label=scenario.label,
+                    objective_s=objective,
+                )
+            )
+        return record
+
+    def evaluate(self, scenario: Scenario, *, full: bool = True) -> EvaluationRecord:
+        """Price one candidate through the evaluator and record it."""
+        return self.record(scenario, self.evaluator.evaluate(scenario), full=full)
+
+    def evaluate_batch(
+        self, scenarios: list[Scenario], *, full: bool = True
+    ) -> list[EvaluationRecord]:
+        """Price a batch in one sweep call and record each in order."""
+        objectives = self.evaluator.evaluate_many(scenarios)
+        return [
+            self.record(scenario, objective, full=full)
+            for scenario, objective in zip(scenarios, objectives)
+        ]
+
+    def result(self) -> SearchResult:
+        """Freeze the trace into the driver's return value."""
+        if self.stats.status in ("initialized", "solving"):
+            self.stats.status = "solved"
+        self.evaluator.emit(SearchFinished(stats=self.stats))
+        return SearchResult(
+            evaluations=tuple(self.evaluations),
+            incumbents=tuple(self.incumbents),
+            best=self.best,
+            stats=self.stats,
+        )
+
+
+def _start(
+    name: str,
+    space: SearchSpace,
+    evaluator: Evaluator,
+    budget: int | None,
+    timeout_s: float | None,
+    clock: Callable[[], float],
+) -> _Trace:
+    """Validate common driver inputs and open a trace."""
+    if budget is not None and budget < 1:
+        raise ConfigurationError(f"search budget must be >= 1, got {budget}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError(f"search timeout must be positive, got {timeout_s}")
+    stats = SearchStats(status="solving")
+    evaluator.emit(SearchStarted(driver=name, space_size=space.size()))
+    return _Trace(
+        evaluator=evaluator,
+        budget=budget,
+        timeout_s=timeout_s,
+        clock=clock,
+        stats=stats,
+    )
+
+
+class BranchBoundSearcher:
+    """Best-first branch-and-bound with admissible-bound pruning.
+
+    ``relaxation`` (``>= 1``) multiplies a node's bound before the
+    incumbent comparison: ``1.0`` (default) prunes only provably
+    non-improving nodes (exact optimum), larger values trade optimality
+    — bounded to within the factor — for fewer evaluations. Reachable
+    as the ``bb:1.5`` spec shorthand.
+    """
+
+    name = "bb"
+
+    def __init__(self, relaxation: float = 1.0) -> None:
+        self.relaxation = float(relaxation)
+        if self.relaxation < 1.0:
+            raise ConfigurationError(
+                f"relaxation must be >= 1.0, got {relaxation!r}"
+            )
+
+    def params(self) -> dict[str, Any]:
+        """The driver's knob settings, for the manifest."""
+        return {"relaxation": self.relaxation}
+
+    def _prunable(self, bound: float, trace: _Trace) -> bool:
+        """Whether a node with ``bound`` cannot (relaxedly) improve."""
+        return bound * self.relaxation >= trace.incumbent_s
+
+    def search(
+        self,
+        space: SearchSpace,
+        evaluator: Evaluator,
+        *,
+        seed: int,
+        budget: int | None = None,
+        timeout_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> SearchResult:
+        """Bound, order, prune, evaluate — until solved, broke, or late."""
+        trace = _start(self.name, space, evaluator, budget, timeout_s, clock)
+        assignments = list(space.assignments())
+
+        # Bound every leaf up front (bounds are cheap — no simulation);
+        # a policy subtree's bound is its best leaf's.
+        subtrees = []
+        for policy in space.policies:
+            leaves = [
+                (space.candidate(policy, assignment), assignment)
+                for assignment in assignments
+            ]
+            bounds = evaluator.lower_bounds([scenario for scenario, _ in leaves])
+            node_bound = min(bounds)
+            ordered = sorted(
+                zip(leaves, bounds), key=lambda pair: (pair[1], pair[0][0].label)
+            )
+            subtrees.append((node_bound, policy, ordered))
+        # Best-first: cheapest-bound subtree explored first, so the
+        # incumbent tightens as early as possible.
+        subtrees.sort(key=lambda node: (node[0], node[1]))
+
+        for node_bound, policy, ordered in subtrees:
+            if trace.stopping():
+                break
+            trace.stats.opened += 1
+            evaluator.emit(CandidateOpened(label=policy, bound_s=node_bound))
+            if self._prunable(node_bound, trace):
+                trace.stats.pruned_nodes += 1
+                trace.stats.pruned_leaves += len(ordered)
+                evaluator.emit(
+                    CandidatePruned(
+                        label=policy,
+                        bound_s=node_bound,
+                        incumbent_s=trace.incumbent_s,
+                        leaves=len(ordered),
+                    )
+                )
+                continue
+            for (scenario, _assignment), bound in ordered:
+                if trace.stopping():
+                    break
+                label = scenario.label
+                if self._prunable(bound, trace):
+                    trace.stats.pruned_nodes += 1
+                    trace.stats.pruned_leaves += 1
+                    evaluator.emit(
+                        CandidatePruned(
+                            label=label,
+                            bound_s=bound,
+                            incumbent_s=trace.incumbent_s,
+                            leaves=1,
+                        )
+                    )
+                    continue
+                trace.stats.opened += 1
+                evaluator.emit(CandidateOpened(label=label, bound_s=bound))
+                trace.evaluate(scenario)
+            else:
+                trace.stats.backtracks += 1
+                continue
+            break  # inner loop stopped on budget/timeout
+        return trace.result()
+
+
+class RandomSearcher:
+    """Seeded uniform sampling without replacement (the baseline)."""
+
+    name = "random"
+
+    def params(self) -> dict[str, Any]:
+        """The driver's knob settings, for the manifest."""
+        return {}
+
+    def search(
+        self,
+        space: SearchSpace,
+        evaluator: Evaluator,
+        *,
+        seed: int,
+        budget: int | None = None,
+        timeout_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> SearchResult:
+        """Evaluate candidates in a seeded random order until stopped."""
+        trace = _start(self.name, space, evaluator, budget, timeout_s, clock)
+        candidates = list(space.candidates())
+        rng = generator(seed, "search", self.name)
+        for index in rng.permutation(len(candidates)):
+            if trace.stopping():
+                break
+            scenario = candidates[int(index)]
+            trace.stats.opened += 1
+            evaluator.emit(CandidateOpened(label=scenario.label, bound_s=math.nan))
+            trace.evaluate(scenario)
+        return trace.result()
+
+
+class HalvingSearcher:
+    """Successive halving on truncated-epoch evaluations.
+
+    Rung ``k`` prices every survivor at ``min_epochs * eta**k`` epochs
+    (capped at the candidate's own epoch count) and keeps the best
+    ``1/eta`` fraction; the final rung runs at full epochs and is the
+    only one allowed to set the incumbent. Reachable as the
+    ``halving:2`` spec shorthand (``eta``).
+    """
+
+    name = "halving"
+
+    def __init__(self, eta: int = 3, min_epochs: int = 1) -> None:
+        self.eta = int(eta)
+        self.min_epochs = int(min_epochs)
+        if self.eta < 2:
+            raise ConfigurationError(f"eta must be >= 2, got {eta!r}")
+        if self.min_epochs < 1:
+            raise ConfigurationError(f"min_epochs must be >= 1, got {min_epochs!r}")
+
+    def params(self) -> dict[str, Any]:
+        """The driver's knob settings, for the manifest."""
+        return {"eta": self.eta, "min_epochs": self.min_epochs}
+
+    def _truncated(self, scenario: Scenario, epochs: int) -> tuple[Scenario, bool]:
+        """The rung-priced variant of a candidate (and whether it's full)."""
+        import dataclasses
+
+        epochs = min(epochs, scenario.num_epochs)
+        if epochs == scenario.num_epochs:
+            return scenario, True
+        return dataclasses.replace(scenario, num_epochs=epochs), False
+
+    def search(
+        self,
+        space: SearchSpace,
+        evaluator: Evaluator,
+        *,
+        seed: int,
+        budget: int | None = None,
+        timeout_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> SearchResult:
+        """Run the rungs, culling 1/eta of the survivors at each."""
+        trace = _start(self.name, space, evaluator, budget, timeout_s, clock)
+        survivors = list(space.candidates())
+        full_epochs = max(s.num_epochs for s in survivors)
+        epochs = min(self.min_epochs, full_epochs)
+
+        while survivors:
+            if trace.stopping():
+                break
+            rung = [self._truncated(s, epochs) for s in survivors]
+            batch = [scenario for scenario, _ in rung]
+            if trace.budget is not None:
+                remaining = trace.budget - trace.stats.evaluations
+                if remaining < len(batch):
+                    # A culled rung would be decided by a biased subset;
+                    # stop cleanly at the budget instead.
+                    batch = batch[:remaining]
+                    rung = rung[:remaining]
+            for scenario, _ in rung:
+                trace.stats.opened += 1
+                evaluator.emit(CandidateOpened(label=scenario.label, bound_s=math.nan))
+            records = trace.evaluate_batch(
+                batch, full=all(full for _, full in rung) and bool(rung)
+            )
+            if trace.stopping() or len(records) < len(survivors):
+                break
+            if all(full for _, full in rung):
+                break  # everything priced at full fidelity; done
+            # Rank by rung objective (unsupported last), keep the top
+            # 1/eta; ties break on rung order for determinism.
+            ranked = sorted(
+                range(len(survivors)),
+                key=lambda i: (
+                    records[i].objective_s is None,
+                    records[i].objective_s if records[i].objective_s is not None else 0.0,
+                    i,
+                ),
+            )
+            keep = max(1, -(-len(survivors) // self.eta))  # ceil division
+            survivors = [survivors[i] for i in ranked[:keep]]
+            trace.stats.backtracks += 1
+            epochs = min(epochs * self.eta, full_epochs)
+        return trace.result()
+
+
+SEARCHERS.register(
+    "bb",
+    BranchBoundSearcher,
+    summary="Branch-and-bound pruning on analytic lower bounds (:R = relaxation)",
+    variant_param="relaxation",
+)
+SEARCHERS.register(
+    "random",
+    RandomSearcher,
+    summary="Seeded random sampling without replacement (baseline)",
+)
+SEARCHERS.register(
+    "halving",
+    HalvingSearcher,
+    summary="Successive halving on truncated-epoch evaluations (:N = eta)",
+    variant_param="eta",
+)
+SEARCHERS.alias("branch_and_bound", "bb")

@@ -1,0 +1,145 @@
+"""`SearchSpace`: the candidate design space, declared as data.
+
+A space is a base :class:`~repro.api.scenario.Scenario` (the fixed
+dataset x system x simulation knobs), a tuple of policy registry specs
+(the policy axis), and zero or more :class:`KnobDomain` axes — each a
+scenario field name with the discrete values to try. Candidates are
+the cross product, materialized as plain ``Scenario`` values via
+:func:`dataclasses.replace`, so every candidate inherits the scenario
+layer's serialization, validation and — crucially — its sweep-cache
+fingerprint.
+
+Like everything in :mod:`repro.api`, a space round-trips through
+dicts/JSON (:class:`~repro.config.ConfigMixin`), so the exact space a
+search explored can live in its manifest and in version control.
+
+Candidate *order* is part of the contract: policies in declaration
+order, knob assignments in row-major :func:`itertools.product` order
+over the declared domains. Drivers derive their traversal (and the
+``random`` driver its permutation) from this order, which is what
+makes search manifests byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..api.presets import FIG8_POLICIES
+from ..api.scenario import Scenario
+from ..config import ConfigMixin
+from ..errors import ConfigurationError
+
+__all__ = ["KnobDomain", "SearchSpace"]
+
+#: Scenario fields a knob domain may range over. ``policy`` is the
+#: dedicated policy axis; ``record_batch_times`` is an output toggle,
+#: not a design choice.
+_KNOB_FIELDS = (
+    "dataset",
+    "system",
+    "batch_size",
+    "num_epochs",
+    "seed",
+    "scale",
+    "barrier",
+    "network_interference",
+)
+
+
+@dataclass(frozen=True)
+class KnobDomain(ConfigMixin):
+    """One searched scenario axis: a field name and its candidate values.
+
+    ``name`` must be a non-policy :class:`~repro.api.scenario.Scenario`
+    field (``batch_size``, ``scale``, ``system``, ...); ``values`` is
+    the ordered tuple of values to try (duplicates rejected — they
+    would alias distinct tree nodes onto one cache fingerprint).
+    """
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            # JSON round-trips and literals deliver lists; normalize so
+            # round-tripped domains compare equal to their originals.
+            object.__setattr__(self, "values", tuple(self.values))
+        if self.name not in _KNOB_FIELDS:
+            raise ConfigurationError(
+                f"knob {self.name!r} is not a searchable scenario field "
+                f"(choose from: {', '.join(_KNOB_FIELDS)})"
+            )
+        if not self.values:
+            raise ConfigurationError(f"knob {self.name!r} needs at least one value")
+        seen = set()
+        for value in self.values:
+            key = repr(value)
+            if key in seen:
+                raise ConfigurationError(
+                    f"knob {self.name!r} lists {value!r} twice"
+                )
+            seen.add(key)
+
+
+@dataclass(frozen=True)
+class SearchSpace(ConfigMixin):
+    """Policy specs x knob domains over a base scenario.
+
+    ``base`` fixes every axis the space does not search (its own
+    ``policy`` field is a placeholder — candidates always override it);
+    ``policies`` is the ordered tuple of policy registry specs
+    (defaults to the Fig 8 lineup); ``knobs`` the searched scenario
+    fields. :meth:`candidates` enumerates the cross product in the
+    deterministic order drivers traverse.
+    """
+
+    base: Scenario
+    policies: tuple[str, ...] = ()
+    knobs: tuple[KnobDomain, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.policies, tuple):
+            object.__setattr__(self, "policies", tuple(self.policies))
+        if not isinstance(self.knobs, tuple):
+            object.__setattr__(self, "knobs", tuple(self.knobs))
+        if not self.policies:
+            object.__setattr__(self, "policies", tuple(FIG8_POLICIES))
+        seen_policies = set()
+        for spec in self.policies:
+            if not isinstance(spec, str):
+                raise ConfigurationError(
+                    f"policy specs must be registry strings, got {spec!r}"
+                )
+            if spec in seen_policies:
+                raise ConfigurationError(f"policy spec {spec!r} listed twice")
+            seen_policies.add(spec)
+        names = [knob.name for knob in self.knobs]
+        for name in names:
+            if names.count(name) > 1:
+                raise ConfigurationError(f"knob {name!r} declared twice")
+
+    def size(self) -> int:
+        """Number of candidate scenarios (leaves of the search tree)."""
+        n = len(self.policies)
+        for knob in self.knobs:
+            n *= len(knob.values)
+        return n
+
+    def assignments(self) -> Iterator[dict[str, Any]]:
+        """Knob assignments in row-major declaration order."""
+        names = [knob.name for knob in self.knobs]
+        for values in itertools.product(*(knob.values for knob in self.knobs)):
+            yield dict(zip(names, values))
+
+    def candidate(self, policy: str, assignment: dict[str, Any]) -> Scenario:
+        """Materialize one candidate scenario (validated on construction)."""
+        return dataclasses.replace(self.base, policy=policy, **assignment)
+
+    def candidates(self) -> Iterator[Scenario]:
+        """Every candidate, policies outer, knob assignments inner."""
+        for policy in self.policies:
+            for assignment in self.assignments():
+                yield self.candidate(policy, assignment)

@@ -6,6 +6,7 @@ pure array kernels in :mod:`repro.sim.kernels`; see
 """
 
 from . import kernels
+from .bounds import policy_lower_bound
 from .config import SimulationConfig
 from .context import ScenarioContext
 from .engine import EpochPlan, EpochTile, Simulator, analytic_lower_bound
@@ -41,6 +42,7 @@ __all__ = [
     "PlanCache",
     "PlanScalars",
     "analytic_lower_bound",
+    "policy_lower_bound",
     "kernels",
     "LockstepResult",
     "lockstep_epoch",

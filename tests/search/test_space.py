@@ -1,0 +1,91 @@
+"""`SearchSpace` / `KnobDomain`: validation, ordering, serialization."""
+
+import pytest
+
+from repro.api import FIG8_POLICIES
+from repro.errors import ConfigurationError
+from repro.search import KnobDomain, SearchSpace
+
+
+class TestKnobDomain:
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError, match="not a searchable"):
+            KnobDomain(name="policy", values=("nopfs",))
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ConfigurationError, match="at least one value"):
+            KnobDomain(name="batch_size", values=())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError, match="twice"):
+            KnobDomain(name="batch_size", values=(16, 16))
+
+    def test_normalizes_lists(self):
+        knob = KnobDomain(name="batch_size", values=[16, 32])
+        assert knob.values == (16, 32)
+
+
+class TestSearchSpace:
+    def test_defaults_to_fig8_lineup(self, smoke_base):
+        space = SearchSpace(base=smoke_base)
+        assert space.policies == tuple(FIG8_POLICIES)
+        assert space.size() == len(FIG8_POLICIES)
+
+    def test_size_is_cross_product(self, smoke_base):
+        space = SearchSpace(
+            base=smoke_base,
+            policies=("nopfs", "naive"),
+            knobs=(
+                KnobDomain(name="batch_size", values=(16, 32)),
+                KnobDomain(name="num_epochs", values=(2, 4, 8)),
+            ),
+        )
+        assert space.size() == 2 * 2 * 3
+
+    def test_candidate_order_is_declaration_order(self, smoke_base):
+        space = SearchSpace(
+            base=smoke_base,
+            policies=("nopfs", "naive"),
+            knobs=(KnobDomain(name="batch_size", values=(16, 32)),),
+        )
+        labels = [(c.policy.name, c.batch_size) for c in space.candidates()]
+        assert labels == [
+            ("nopfs", 16), ("nopfs", 32), ("naive", 16), ("naive", 32),
+        ]
+
+    def test_candidates_inherit_base_fields(self, smoke_base):
+        space = SearchSpace(base=smoke_base, policies=("nopfs",))
+        candidate = next(space.candidates())
+        assert candidate.scale == smoke_base.scale
+        assert candidate.num_epochs == smoke_base.num_epochs
+        assert candidate.policy.name == "nopfs"
+
+    def test_rejects_duplicate_policies(self, smoke_base):
+        with pytest.raises(ConfigurationError, match="listed twice"):
+            SearchSpace(base=smoke_base, policies=("nopfs", "nopfs"))
+
+    def test_rejects_duplicate_knobs(self, smoke_base):
+        with pytest.raises(ConfigurationError, match="declared twice"):
+            SearchSpace(
+                base=smoke_base,
+                knobs=(
+                    KnobDomain(name="batch_size", values=(16,)),
+                    KnobDomain(name="batch_size", values=(32,)),
+                ),
+            )
+
+    def test_rejects_non_string_policy_specs(self, smoke_base):
+        with pytest.raises(ConfigurationError, match="registry strings"):
+            SearchSpace(base=smoke_base, policies=(42,))
+
+    def test_json_round_trip(self, smoke_base):
+        space = SearchSpace(
+            base=smoke_base,
+            policies=("nopfs", "deepio:opportunistic"),
+            knobs=(KnobDomain(name="scale", values=(0.1, 0.2)),),
+        )
+        clone = SearchSpace.from_json(space.to_json())
+        assert clone == space
+        assert [c.fingerprint() for c in clone.candidates()] == [
+            c.fingerprint() for c in space.candidates()
+        ]

@@ -1,0 +1,180 @@
+"""Admissibility of the search lower bounds (ISSUE 8, satellite 1).
+
+Branch-and-bound correctness rests on one property: for every
+registered policy spec and every scenario, the pruning bound must
+never exceed the simulated objective. If it ever did, B&B could prune
+the true optimum and silently return a worse incumbent — so this suite
+pins ``bound <= simulated total time`` for *every* policy spec (lineup
+variants included) across a scenario grid that exercises cold/warm
+epochs, barriers on and off, interference, noise on and off, and the
+unsupported-policy path (where the bound must be ``inf``).
+
+The paper's own Perfect floor (:func:`analytic_lower_bound`) is pinned
+on the same grid restricted to lockstep-barrier scenarios — its
+``E x worst-epoch-0-worker / c`` shape assumes every epoch ends on a
+straggler, which barrier-free runs (where only cumulative per-worker
+chains are ordered) can legitimately undercut by fractions of a
+percent. The policy bound switches to the epoch-mean floor in that
+regime, so it stays admissible everywhere.
+"""
+
+import math
+
+import pytest
+
+from repro.api import FIG8_POLICIES, POLICIES, Scenario, TABLE1_POLICIES, make_policy
+from repro.datasets import DatasetModel
+from repro.errors import PolicyError
+from repro.perfmodel import sec6_cluster
+from repro.sim import (
+    NoiseConfig,
+    SimulationConfig,
+    Simulator,
+    analytic_lower_bound,
+    policy_lower_bound,
+)
+
+#: Every registered policy spec: canonical names plus lineup variants.
+ALL_POLICY_SPECS = sorted({*POLICIES.names(), *FIG8_POLICIES, *TABLE1_POLICIES})
+
+
+def _config(name: str, **kw) -> SimulationConfig:
+    total_mb = kw.pop("total_mb", 200.0)
+    n_samples = kw.pop("n_samples", 2_000)
+    ds = DatasetModel(name, n_samples, total_mb / n_samples, 0.02)
+    base = dict(
+        dataset=ds,
+        system=sec6_cluster(),
+        batch_size=8,
+        num_epochs=3,
+        seed=7,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+#: Four lockstep-barrier scenarios spanning the bound's case analysis
+#: (default noise; noise off + interference + recorded batches; a
+#: dataset far beyond node memory where the PFS floor binds; a tiny
+#: fully-cacheable dataset) — the paper's own setting, where both
+#: bounds must hold.
+BARRIER_SCENARIOS = {
+    "default": _config("bd-default"),
+    "interference": _config(
+        "bd-interference",
+        system=sec6_cluster(num_workers=2),
+        batch_size=16,
+        num_epochs=2,
+        noise=NoiseConfig.disabled(),
+        network_interference=0.6,
+        record_batch_times=True,
+    ),
+    "pfs_bound": _config(
+        "bd-pfs",
+        total_mb=6_000.0,
+        n_samples=4_000,
+        num_epochs=2,
+        seed=11,
+    ),
+    "tiny": _config("bd-tiny", total_mb=20.0, n_samples=640, num_epochs=2),
+}
+
+#: The full grid adds a barrier-free scenario: the policy bound must
+#: survive the cumulative-chain (no per-epoch straggler) regime too.
+SCENARIOS = {
+    **BARRIER_SCENARIOS,
+    "nobarrier": _config(
+        "bd-nobarrier",
+        system=sec6_cluster(num_workers=2),
+        batch_size=16,
+        num_epochs=2,
+        noise=NoiseConfig.disabled(),
+        barrier=False,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def simulators():
+    """One simulator per scenario (shared context keeps the grid fast)."""
+    return {key: Simulator(config) for key, config in SCENARIOS.items()}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("spec", ALL_POLICY_SPECS)
+def test_policy_bound_admissible(simulators, scenario, spec):
+    """bound <= simulated objective; unsupported => bound == inf."""
+    sim = simulators[scenario]
+    config = SCENARIOS[scenario]
+    bound = policy_lower_bound(config, make_policy(spec), sim.ctx)
+    try:
+        result = sim.run(make_policy(spec))
+    except PolicyError:
+        assert bound == math.inf, (
+            f"{spec} is unsupported on {scenario} but bounded finite"
+        )
+        return
+    assert bound <= result.total_time_s, (
+        f"{spec} on {scenario}: bound {bound} exceeds "
+        f"simulated {result.total_time_s}"
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(BARRIER_SCENARIOS))
+@pytest.mark.parametrize("spec", ALL_POLICY_SPECS)
+def test_analytic_bound_admissible(simulators, scenario, spec):
+    """The paper's Perfect floor holds for every policy under barriers."""
+    sim = simulators[scenario]
+    floor = analytic_lower_bound(SCENARIOS[scenario], sim.ctx)
+    try:
+        result = sim.run(make_policy(spec))
+    except PolicyError:
+        return
+    assert floor <= result.total_time_s, (
+        f"{spec} on {scenario} beat the analytic bound"
+    )
+
+
+def test_unsupported_bounds_to_inf():
+    """LBANN on an oversized dataset: "Does not support" => inf bound."""
+    from repro.units import TB
+
+    config = _config("bd-oversized", total_mb=1.5 * TB, n_samples=4_000, num_epochs=2)
+    assert policy_lower_bound(config, make_policy("lbann:dynamic")) == math.inf
+
+
+def test_bound_reuses_context():
+    """Passing a live context must not change the bound."""
+    config = SCENARIOS["tiny"]
+    sim = Simulator(config)
+    fresh = policy_lower_bound(config, make_policy("naive"))
+    assert policy_lower_bound(config, make_policy("naive"), sim.ctx) == fresh
+
+
+def test_bound_discriminates():
+    """On a PFS-heavy scenario the bound actually separates policies.
+
+    Pruning power (not just admissibility) is the point: several
+    cacheless policies' bounds must exceed the best policy's *true*
+    objective, otherwise B&B degenerates to an exhaustive sweep. This
+    is the search smoke scenario used by the CLI tests and CI.
+    """
+    config = Scenario(
+        dataset="mnist",
+        system="piz_daint:4",
+        policy="naive",
+        batch_size=16,
+        num_epochs=4,
+        scale=0.1,
+    ).build_config()
+    sim = Simulator(config)
+    bounds, truths = {}, {}
+    for spec in FIG8_POLICIES:
+        bounds[spec] = policy_lower_bound(config, make_policy(spec), sim.ctx)
+        try:
+            truths[spec] = sim.run(make_policy(spec)).total_time_s
+        except PolicyError:
+            pass
+    best_truth = min(truths.values())
+    prunable = [s for s, b in bounds.items() if b > best_truth]
+    assert len(prunable) >= 3, f"too few prunable policies: bounds={bounds}"

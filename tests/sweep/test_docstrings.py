@@ -24,6 +24,14 @@ AUDITED_MODULES = (
     "repro.sweep.grid",
     "repro.sweep.runner",
     "repro.sweep.shard",
+    "repro.search",
+    "repro.search.drivers",
+    "repro.search.evaluator",
+    "repro.search.events",
+    "repro.search.manifest",
+    "repro.search.run",
+    "repro.search.space",
+    "repro.sim.bounds",
     "repro.experiments.artifacts",
     "repro.experiments.common",
     "repro.experiments.paper",
