@@ -22,13 +22,16 @@ import json
 import sys
 import time
 import tracemalloc
+import warnings
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro.datasets import DatasetModel  # noqa: E402
+from repro.errors import PolicyError  # noqa: E402
 from repro.perfmodel import sec6_cluster  # noqa: E402
 from repro.sim import (  # noqa: E402
+    KERNEL_BACKENDS,
     NaivePolicy,
     NoPFSPolicy,
     ScenarioContext,
@@ -201,3 +204,174 @@ def test_engine_paper_scale_throughput(benchmark):
     sim = Simulator(config, tile_rows=PAPER_SCALE_TILE_ROWS)
     sim.run(NaivePolicy())  # warm the scenario state once
     benchmark.pedantic(sim.run, args=(NoPFSPolicy(),), rounds=2, iterations=1)
+
+
+# -- kernel backends (ISSUE 9) ---------------------------------------------
+
+
+def test_engine_backend_comparison(report):
+    """Every registered kernel backend reproduces the default bitwise.
+
+    Where a compiled backend is unavailable (no numba in the
+    environment) its registration falls back to numpy with a warning —
+    the comparison then times the fallback, which must *still* be
+    bitwise-identical, so the report stays meaningful either way.
+    """
+    config = _scenario()
+    baseline = {
+        policy.name: json.dumps(Simulator(config).run(policy).to_dict(),
+                                sort_keys=True)
+        for policy in _lineup()
+    }
+    cells = len(_lineup())
+    lines = [
+        f"scenario: N={NUM_WORKERS} workers, "
+        f"F={config.dataset.num_samples} samples, "
+        f"E={config.num_epochs} epochs, B={config.batch_size}",
+    ]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # numba fallback
+        for name in KERNEL_BACKENDS.names():
+            backend = KERNEL_BACKENDS.resolve(name)
+            sim = Simulator(config, kernel_backend=backend)
+            for policy in _lineup():
+                got = json.dumps(sim.run(policy).to_dict(), sort_keys=True)
+                assert got == baseline[policy.name], (
+                    f"backend {name!r} diverges from numpy for {policy.name}"
+                )
+            secs = _time_engine(sim.run, _lineup())
+            kind = "compiled" if backend.compiled else "interpreted"
+            lines.append(
+                f"{name:>8} ({kind:>11}): {secs:7.3f}s "
+                f"({cells / secs:6.2f} cells/s)  [bitwise-identical]"
+            )
+    report("engine_backends", "\n".join(lines))
+
+
+def test_engine_backend_throughput(benchmark):
+    """Timing series for BENCH_engine.json: the N=64 cell through the
+    registry's explicit ``numpy`` spec (the `--kernels numpy` path)."""
+    sim = Simulator(_scenario(), kernel_backend="numpy")
+    sim.run(NaivePolicy())  # warm the scenario state once
+    benchmark.pedantic(sim.run, args=(NoPFSPolicy(),), rounds=3, iterations=1)
+
+
+# -- seed-sharing multi-cell execution (ISSUE 9) ---------------------------
+
+#: Fig 8-style replication seeds: same scenario, five noise seeds.
+FIG8_SEEDS = [3, 7, 11, 19, 23]
+
+
+def _run_lineup_fresh(config):
+    """{(seed, policy): result} via per-cell execution.
+
+    The baseline mirrors what the executors' per-cell path
+    (``_simulate_cell``) does for every one of the grid's 15 cells:
+    deserialize the cell's config and build a fresh
+    :class:`Simulator` — scenario context, permutations and all — for
+    that single run. This is exactly the work the batched seed-sharing
+    path replaces.
+    """
+    out = {}
+    for seed in FIG8_SEEDS:
+        for policy in _lineup():
+            sim = Simulator(
+                SimulationConfig.from_dict({**config.to_dict(), "seed": seed})
+            )
+            try:
+                out[(seed, policy.name)] = sim.run(policy)
+            except PolicyError:
+                out[(seed, policy.name)] = None
+    return out
+
+
+def _run_lineup_shared(config):
+    """Same cells via one base Simulator's seed-sharing path.
+
+    The base lives on the grid's first seed — exactly what the batched
+    executor does (``_simulate_batch`` builds its simulator from the
+    batch's first cell), so the base context is itself one of the
+    measured cells, not bookkeeping overhead.
+    """
+    base = Simulator(
+        SimulationConfig.from_dict({**config.to_dict(), "seed": FIG8_SEEDS[0]})
+    )
+    out = {}
+    for policy in _lineup():
+        try:
+            for seed, result in base.run_seeds(policy, FIG8_SEEDS).items():
+                out[(seed, policy.name)] = result
+        except PolicyError:
+            for seed in FIG8_SEEDS:
+                out[(seed, policy.name)] = None
+    return out, base
+
+
+def _best_of(fn, repeats=3):
+    """Best-of-``repeats`` wall seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_engine_seed_sharing(report):
+    """A Fig 8-style 5-seed grid: sharing beats per-cell runs, bitwise-equal.
+
+    The paper's headline figures replicate every scenario across noise
+    seeds; the batched executor folds those replicas into one worker
+    batch, where ``Simulator.run_seeds`` pays for the scenario context,
+    the dataset sizes, the shareable prepared policies and the plan
+    scalars once per seed (or once overall) instead of once per *cell*.
+    The shared path must stay bitwise-identical to per-cell execution
+    *and* finish faster.
+    """
+    config = _scenario()
+    fresh = _run_lineup_fresh(config)
+    shared, base = _run_lineup_shared(config)
+    for key in fresh:
+        a, b = fresh[key], shared[key]
+        a_json = None if a is None else json.dumps(a.to_dict(), sort_keys=True)
+        b_json = None if b is None else json.dumps(b.to_dict(), sort_keys=True)
+        assert a_json == b_json, f"seed-shared run diverges for {key}"
+
+    fresh_s = _best_of(lambda: _run_lineup_fresh(config), repeats=5)
+    shared_s = _best_of(lambda: _run_lineup_shared(config), repeats=5)
+    speedup = fresh_s / shared_s
+    cells = len(FIG8_SEEDS) * len(_lineup())
+
+    share = base.seed_share
+    scalar_hits = sum(
+        base.seed_variant(seed).plan_cache.scalar_hits for seed in FIG8_SEEDS
+    )
+    report(
+        "engine_seed_sharing",
+        "\n".join(
+            [
+                f"grid: {len(_lineup())} policies x {len(FIG8_SEEDS)} seeds "
+                f"on the N={NUM_WORKERS} scenario ({cells} cells)",
+                f"per-cell:     {fresh_s:7.3f}s  ({cells / fresh_s:6.2f} cells/s)",
+                f"seed-sharing: {shared_s:7.3f}s  ({cells / shared_s:6.2f} cells/s)",
+                f"speedup: {speedup:.2f}x (bitwise-identical results)",
+                f"shared prepares: {share.prep_hits} hits / "
+                f"{share.prep_misses} misses across {share.variants} variants; "
+                f"plan scalars: {scalar_hits} adopted-entry hits",
+            ]
+        ),
+    )
+    assert speedup > 1.0, (
+        f"seed-sharing ({shared_s:.3f}s) must beat per-cell execution "
+        f"({fresh_s:.3f}s) on a {len(FIG8_SEEDS)}-seed Fig 8-style grid"
+    )
+
+
+def test_engine_seed_sharing_throughput(benchmark):
+    """Timing series for BENCH_engine.json: the 5-seed lineup through
+    one base simulator's sharing path (base construction included —
+    amortizing it is the feature under test)."""
+    config = _scenario()
+    benchmark.pedantic(
+        lambda: _run_lineup_shared(config), rounds=3, iterations=1
+    )

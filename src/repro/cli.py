@@ -24,7 +24,8 @@ One entry point over the whole library, built on :mod:`repro.api`:
     :class:`~repro.search.manifest.SearchManifest`.
 ``list``
     Registry and figure listings: ``list policies | datasets |
-    systems | searchers | figures`` (or no argument for everything).
+    systems | searchers | kernels | figures`` (or no argument for
+    everything).
 
 The two historical entry points — ``python -m repro.sweep`` and
 ``python -m repro.experiments`` — still work as deprecated shims over
@@ -122,6 +123,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         executor=args.executor,
         cache=args.cache,
+        kernel_backend=args.kernels,
     )
     result = session.run(scenario)
     print(f"scenario: {scenario.label} [{result.scenario}] scale={scenario.scale}")
@@ -172,6 +174,11 @@ def _configure_run(sub) -> None:
     run.add_argument(
         "--executor", choices=("serial", "process", "batched"), default=None,
         help="sweep execution strategy (default: derived from --jobs)",
+    )
+    run.add_argument(
+        "--kernels", default=None, metavar="BACKEND",
+        help="kernel backend (see `list kernels`; default numpy; "
+             "results are bitwise identical across backends)",
     )
     run.add_argument("--json", default=None, metavar="FILE|-",
                      help="write the full SimulationResult JSON to FILE ('-' = stdout)")
@@ -282,6 +289,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         executor=args.executor,
         cache=args.cache,
+        kernel_backend=args.kernels,
     )
     on_event = None
     if args.progress:
@@ -360,6 +368,11 @@ def _configure_search(sub) -> None:
         "--executor", choices=("serial", "process", "batched"), default=None,
         help="sweep execution strategy (default: derived from --jobs)",
     )
+    search.add_argument(
+        "--kernels", default=None, metavar="BACKEND",
+        help="kernel backend (see `list kernels`; default numpy; "
+             "results are bitwise identical across backends)",
+    )
     search.add_argument("--manifest", default=None, metavar="FILE",
                         help="write the byte-reproducible SearchManifest here")
     search.add_argument("--timestamp", default=None, metavar="ISO8601",
@@ -379,13 +392,14 @@ def _figure_names() -> list[str]:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    from .api import DATASETS, POLICIES, SEARCHERS, SYSTEMS
+    from .api import DATASETS, KERNEL_BACKENDS, POLICIES, SEARCHERS, SYSTEMS
 
     sections = {
         "policies": POLICIES,
         "datasets": DATASETS,
         "systems": SYSTEMS,
         "searchers": SEARCHERS,
+        "kernels": KERNEL_BACKENDS,
     }
     wanted = [args.what] if args.what else [*sections, "figures"]
     blocks: list[str] = []
@@ -407,7 +421,7 @@ def _configure_list(sub) -> None:
     lister = sub.add_parser("list", help="list registered policies/datasets/systems/figures")
     lister.add_argument(
         "what", nargs="?", default=None,
-        choices=("policies", "datasets", "systems", "searchers", "figures"),
+        choices=("policies", "datasets", "systems", "searchers", "kernels", "figures"),
         help="one section (default: everything)",
     )
     lister.set_defaults(func=_cmd_list)

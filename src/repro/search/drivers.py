@@ -155,7 +155,13 @@ class _Trace:
     def record(
         self, scenario: Scenario, objective: float | None, *, full: bool
     ) -> EvaluationRecord:
-        """Append one evaluation; full evaluations may take the incumbent."""
+        """Append one evaluation; full evaluations may take the incumbent.
+
+        Ties on the objective break toward the smaller fingerprint, so
+        the incumbent is the canonical ``min((objective, fingerprint))``
+        of everything evaluated — independent of exploration order, and
+        always the same candidate an exhaustive sweep would name.
+        """
         record = EvaluationRecord(
             index=len(self.evaluations),
             fingerprint=scenario.fingerprint(),
@@ -165,9 +171,17 @@ class _Trace:
         )
         self.evaluations.append(record)
         self.stats.evaluations += 1
+        improves = objective is not None and (
+            objective < self.incumbent_s
+            or (
+                objective == self.incumbent_s
+                and self.best is not None
+                and record.fingerprint < self.best.fingerprint
+            )
+        )
         if objective is None:
             self.stats.unsupported += 1
-        elif full and objective < self.incumbent_s:
+        elif full and improves:
             self.incumbent_s = objective
             self.best = record
             self.incumbents.append(

@@ -6,10 +6,11 @@ pure array kernels in :mod:`repro.sim.kernels`; see
 """
 
 from . import kernels
+from .backends import KERNEL_BACKENDS, KernelBackend, resolve_kernel_backend
 from .bounds import policy_lower_bound
 from .config import SimulationConfig
 from .context import ScenarioContext
-from .engine import EpochPlan, EpochTile, Simulator, analytic_lower_bound
+from .engine import EpochPlan, EpochTile, SeedShareStats, Simulator, analytic_lower_bound
 from .lockstep import LockstepResult, lockstep_epoch
 from .noise import NoiseConfig, apply_noise, apply_noise_matrix
 from .plancache import PhasePlan, PlanCache, PlanScalars
@@ -36,6 +37,10 @@ __all__ = [
     "SimulationConfig",
     "ScenarioContext",
     "Simulator",
+    "SeedShareStats",
+    "KERNEL_BACKENDS",
+    "KernelBackend",
+    "resolve_kernel_backend",
     "EpochPlan",
     "EpochTile",
     "PhasePlan",

@@ -51,8 +51,9 @@ cost.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -60,6 +61,7 @@ from ..errors import ConfigurationError, PolicyError
 from ..perfmodel import Source, resolve_fetch, write_times
 from ..rng import generator
 from . import kernels
+from .backends import KernelBackend, resolve_kernel_backend
 from .config import SimulationConfig
 from .context import ScenarioContext
 from .lockstep import lockstep_epoch
@@ -68,7 +70,13 @@ from .plancache import PlanCache
 from .policies.base import Policy, PreparedPolicy
 from .result import BatchTimeStats, EpochResult, SimulationResult
 
-__all__ = ["Simulator", "EpochPlan", "EpochTile", "analytic_lower_bound"]
+__all__ = [
+    "Simulator",
+    "EpochPlan",
+    "EpochTile",
+    "SeedShareStats",
+    "analytic_lower_bound",
+]
 
 
 def analytic_lower_bound(
@@ -165,6 +173,12 @@ class EpochPlan:
     #: True when ``ids`` is the context's canonical (clairvoyant) epoch
     #: matrix, making the size gather shareable across policies.
     shared_ids: bool = field(repr=False, default=False)
+    #: The kernel bundle :meth:`tile` materializes warm-up availability
+    #: with (every bundle is bitwise-equivalent; see
+    #: :mod:`repro.sim.backends`).
+    kernels: KernelBackend = field(
+        repr=False, default_factory=lambda: resolve_kernel_backend("numpy")
+    )
 
     def tile(self, rows: slice) -> EpochTile:
         """Materialize the size/class matrices for one row band.
@@ -195,7 +209,7 @@ class EpochPlan:
                 local_cls = self.cache.cold_classes(ids.shape[0])
                 remote_cls = local_cls
                 if prep.plan is not None and prep.best_map is not None:
-                    remote_cls = kernels.warmup_remote_classes(ids, prep.best_map)
+                    remote_cls = self.kernels.warmup_remote_classes(ids, prep.best_map)
 
         return EpochTile(
             rows=rows,
@@ -216,6 +230,26 @@ class EpochPlan:
         step = n if tile_rows is None else max(1, min(int(tile_rows), n))
         for start in range(0, n, step):
             yield self.tile(slice(start, min(start + step, n)))
+
+
+@dataclass
+class SeedShareStats:
+    """Counters proving what :meth:`Simulator.run_seeds` actually shared.
+
+    ``prep_hits`` counts runs served by a prepared policy built once on
+    the base context (policies with
+    :attr:`~repro.sim.policies.base.Policy.seed_invariant_prepare`);
+    ``prep_misses`` counts runs that re-prepared — either the first
+    touch of a shareable policy or every run of a seed-dependent one.
+    ``variants`` counts the sibling simulators built (one per distinct
+    non-base seed). The plan-scalar sharing these enable is counted
+    separately on :class:`~repro.sim.plancache.PlanCache`
+    (``scalar_hits`` / ``scalar_misses``).
+    """
+
+    prep_hits: int = 0
+    prep_misses: int = 0
+    variants: int = 0
 
 
 class Simulator:
@@ -239,6 +273,13 @@ class Simulator:
         Reuse an existing :class:`ScenarioContext` built from the same
         ``config`` (e.g. to share cached permutations between
         simulators) instead of constructing a fresh one.
+    kernel_backend:
+        Which :mod:`repro.sim.backends` kernel bundle the execute phase
+        runs on: a registered name (``"numpy"`` / ``"numba"``), a
+        :class:`~repro.sim.backends.KernelBackend` instance, or ``None``
+        for the numpy default. Every backend is bitwise-equivalent, so
+        — like ``tile_rows`` — this is an execution knob, not scenario
+        configuration.
     """
 
     def __init__(
@@ -246,6 +287,7 @@ class Simulator:
         config: SimulationConfig,
         tile_rows: int | None = None,
         ctx: ScenarioContext | None = None,
+        kernel_backend: "str | KernelBackend | None" = None,
     ) -> None:
         if tile_rows is not None and int(tile_rows) < 1:
             raise ConfigurationError(
@@ -253,8 +295,15 @@ class Simulator:
             )
         self.config = config
         self.tile_rows = None if tile_rows is None else int(tile_rows)
+        self.kernels = resolve_kernel_backend(kernel_backend)
         self.ctx = ctx if ctx is not None else ScenarioContext(config)
         self.plan_cache = PlanCache(self.ctx)
+        #: Counters for the :meth:`run_seeds` sharing (see the class doc).
+        self.seed_share = SeedShareStats()
+        #: seed -> sibling simulator differing only in ``config.seed``.
+        self._seed_variants: dict[int, "Simulator"] = {}
+        #: id(policy) -> (policy, prep) for seed-invariant preparations.
+        self._shared_preps: dict[int, tuple[Policy, PreparedPolicy]] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -286,6 +335,88 @@ class Simulator:
     def lower_bound(self) -> float:
         """:func:`analytic_lower_bound` reusing this simulator's context."""
         return analytic_lower_bound(self.config, self.ctx)
+
+    # -- seed-sharing execution ----------------------------------------------
+
+    def seed_variant(self, seed: int) -> "Simulator":
+        """A sibling simulator for the same scenario under another seed.
+
+        Variants are memoized per seed and share every seed-invariant
+        piece of this simulator's state: the same
+        :class:`~repro.datasets.DatasetModel` instance (so the
+        materialized sample-size table is built once — the dataset's
+        sizes derive from its *own* seed, not the simulation seed), the
+        kernel backend and tile height, and — via
+        :meth:`~repro.sim.plancache.PlanCache.adopt_invariants` — the
+        plan cache's cold-class template and every already-computed
+        :class:`~repro.sim.plancache.PlanScalars`. Only the genuinely
+        seed-dependent state (epoch permutations, per-epoch size
+        gathers, noise draws) is variant-private, so results are
+        bitwise identical to a fresh ``Simulator`` on the reseeded
+        config — pinned by ``tests/sim/test_seed_sharing.py``.
+        """
+        if seed == self.config.seed:
+            return self
+        sim = self._seed_variants.get(seed)
+        if sim is None:
+            config = dataclasses.replace(self.config, seed=seed)
+            sim = Simulator(
+                config, tile_rows=self.tile_rows, kernel_backend=self.kernels
+            )
+            self._seed_variants[seed] = sim
+            self.seed_share.variants += 1
+        # Re-adopt on every access: scalars computed since the variant
+        # was built (a later policy's shared prep) propagate too. The
+        # merge is idempotent and keyed on prep identity, so it is safe
+        # for preps the variant prepared privately.
+        sim.plan_cache.adopt_invariants(self.plan_cache)
+        return sim
+
+    def run_seed(self, policy: Policy, seed: int) -> SimulationResult:
+        """Simulate ``policy`` under ``seed``, sharing invariant state.
+
+        Policies declaring
+        :attr:`~repro.sim.policies.base.Policy.seed_invariant_prepare`
+        are prepared once on the base context and the prepared instance
+        is reused for every seed (counted in :attr:`seed_share`);
+        seed-dependent policies (stream rewriters, frequency-driven
+        placements) re-prepare on the variant's own context. Either
+        way the result is bitwise identical to
+        ``Simulator(replace(config, seed=seed)).run(policy)``.
+        """
+        sim = self.seed_variant(seed)
+        if not policy.seed_invariant_prepare:
+            self.seed_share.prep_misses += 1
+            return sim._run_prepared(policy, policy.prepare(sim.ctx))
+        cached = self._shared_preps.get(id(policy))
+        if cached is None:
+            self.seed_share.prep_misses += 1
+            prep = policy.prepare(self.ctx)
+            # Materialize the scalars on the base cache now, so every
+            # variant adopts them instead of recomputing per seed.
+            self.plan_cache.scalars(prep)
+            self._shared_preps[id(policy)] = (policy, prep)
+        else:
+            self.seed_share.prep_hits += 1
+            prep = cached[1]
+        if sim is not self:
+            sim.plan_cache.adopt_invariants(self.plan_cache)
+        return sim._run_prepared(policy, prep)
+
+    def run_seeds(
+        self, policy: Policy, seeds: Iterable[int]
+    ) -> dict[int, SimulationResult]:
+        """Simulate ``policy`` under each seed, building shared state once.
+
+        The batched form of :meth:`run_seed` — the multi-seed
+        replication the paper's Sec 7 sweeps run (same scenario, many
+        noise seeds) pays for the dataset sizes, the prepared policy
+        (when shareable) and the plan scalars once instead of once per
+        seed. Returns ``{seed: result}`` in input order; duplicate
+        seeds simulate once per occurrence (results are deterministic,
+        so the dict still holds one entry each).
+        """
+        return {seed: self.run_seed(policy, seed) for seed in seeds}
 
     # -- plan phase ----------------------------------------------------------
 
@@ -331,6 +462,7 @@ class Simulator:
             prep=prep,
             cache=self.plan_cache,
             shared_ids=shared,
+            kernels=self.kernels,
         )
 
     # -- execute phase -------------------------------------------------------
@@ -361,6 +493,7 @@ class Simulator:
         """
         cfg = self.config
         system = cfg.system
+        kb = self.kernels
         n = self.ctx.num_workers
         t_iters = cfg.iterations_per_epoch
         batch = cfg.batch_size
@@ -376,7 +509,7 @@ class Simulator:
         for tile in plan.tiles(self.tile_rows):
             rows = tile.rows
             comps = tile.sizes_mb / system.compute_mbps
-            tile_comps = kernels.batch_totals(comps, t_iters, batch)
+            tile_comps = kb.batch_totals(comps, t_iters, batch)
             if prep.ideal:
                 batch_comps[rows] = tile_comps
                 continue
@@ -395,7 +528,7 @@ class Simulator:
                     f"policy {policy.name!r} scheduled a sample with no "
                     f"available source (epoch {plan.epoch}, worker {worker})"
                 )
-            fetch = kernels.add_pfs_latency(
+            fetch = kb.add_pfs_latency(
                 res.fetch_times, res.sources, plan.pfs_latency_s
             )
             rngs = [
@@ -405,23 +538,23 @@ class Simulator:
             fetch = apply_noise_matrix(fetch, res.sources, cfg.noise, rngs)
             reads = fetch + write_times(tile.sizes_mb, system)
 
-            tile_bytes = kernels.source_totals(res.sources, tile.sizes_mb)
+            tile_bytes = kb.source_totals(res.sources, tile.sizes_mb)
             seconds_by_source[rows] = (
-                kernels.source_totals(res.sources, fetch) / divisor
+                kb.source_totals(res.sources, fetch) / divisor
             )
             bytes_by_source[rows] = tile_bytes
-            counts_by_source[rows] = kernels.source_totals(res.sources)
+            counts_by_source[rows] = kb.source_totals(res.sources)
 
             # I/O noise on the allreduce path (Sec 7.1): non-local
             # traffic (PFS + remote) shares the network/cores with
             # communication and slows the compute step down.
             if cfg.network_interference > 0:
-                factors = kernels.interference_factors(
+                factors = kb.interference_factors(
                     tile_bytes, cfg.network_interference
                 )
                 tile_comps *= factors[:, np.newaxis]
 
-            per_batch_read = kernels.batch_totals(reads, t_iters, batch)
+            per_batch_read = kb.batch_totals(reads, t_iters, batch)
             if prep.overlap:
                 batch_reads[rows] = per_batch_read / p0
             else:
@@ -429,8 +562,8 @@ class Simulator:
                 tile_comps += per_batch_read
             batch_comps[rows] = tile_comps
 
-        fetch_seconds = kernels.accumulate_rows(seconds_by_source)
-        fetch_bytes = kernels.accumulate_rows(bytes_by_source)
+        fetch_seconds = kb.accumulate_rows(seconds_by_source)
+        fetch_bytes = kb.accumulate_rows(bytes_by_source)
         fetch_counts = counts_by_source.sum(axis=0)
 
         lookahead = self.plan_cache.scalars(prep).lookahead_batches

@@ -18,13 +18,17 @@ and records whatever comes back. Three implementations ship:
 
 ``batched`` (:class:`BatchedExecutor`) — **the default when
 ``n_jobs > 1``**
-    Groups cells by scenario (canonical serialized config) and
-    dispatches whole *scenario batches* to workers: each worker
-    rebuilds one ``Simulator`` and runs all of that scenario's
-    policies against shared access streams. This amortizes
-    spawn/pickle overhead and restores the serial path's stream reuse
-    under parallelism — on multi-policy grids it pays one stream
-    build per scenario instead of one per cell.
+    Groups cells by their *seed-invariant* scenario fingerprint (the
+    canonical serialized config minus ``seed``) and dispatches whole
+    *scenario batches* to workers: each worker rebuilds one
+    ``Simulator`` and runs all of that scenario's policies — across
+    every noise seed in the batch — through the engine's seed-sharing
+    path (:meth:`~repro.sim.engine.Simulator.run_seed`). This
+    amortizes spawn/pickle overhead and restores the serial path's
+    stream reuse under parallelism, and cells that differ only in
+    ``SimulationConfig.seed`` (the paper's Sec 7 multi-seed
+    replications) additionally share the dataset size tables, prepared
+    policies and plan scalars instead of rebuilding them per cell.
 
 All three produce **bitwise-identical** results: every path simulates
 from the same serialized config, and the simulator is deterministic in
@@ -83,17 +87,19 @@ class CellTask:
     which must rebuild the config worker-side; in-process executors
     may receive None and use ``cell.config`` directly.
 
-    ``tile_rows`` is the engine's streaming tile height (worker rows
-    per execute-phase band; ``None`` = whole epochs). It is an
-    execution knob, not part of the scenario: results are bitwise
-    identical for every value, so it deliberately stays out of the
-    config dict and therefore out of the cache key.
+    ``tile_rows`` (the engine's streaming tile height; ``None`` = whole
+    epochs) and ``kernel_backend`` (a :data:`repro.sim.KERNEL_BACKENDS`
+    name; ``None`` = numpy) are execution knobs, not part of the
+    scenario: results are bitwise identical for every value, so both
+    deliberately stay out of the config dict and therefore out of the
+    cache key.
     """
 
     index: int
     cell: SweepCell
     config_dict: dict[str, Any] | None = None
     tile_rows: int | None = None
+    kernel_backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -146,7 +152,7 @@ def _task_config_dict(task: CellTask) -> dict[str, Any]:
 
 
 def _simulate_cell(
-    payload: tuple[dict[str, Any], Policy, int | None],
+    payload: tuple[dict[str, Any], Policy, int | None, str | None],
 ) -> tuple[dict[str, Any] | None, str | None, float]:
     """Run one cell from its serialized form (top-level: picklable).
 
@@ -156,33 +162,52 @@ def _simulate_cell(
     the runner yields results reconstructed by the same (lossless)
     deserializer.
     """
-    config_dict, policy, tile_rows = payload
+    config_dict, policy, tile_rows, kernel_backend = payload
     config = SimulationConfig.from_dict(config_dict)
     start = time.perf_counter()
     try:
-        result = Simulator(config, tile_rows=tile_rows).run(policy)
+        result = Simulator(
+            config, tile_rows=tile_rows, kernel_backend=kernel_backend
+        ).run(policy)
     except PolicyError as exc:
         return None, str(exc), time.perf_counter() - start
     return result.to_dict(), None, time.perf_counter() - start
 
 
 def _simulate_batch(
-    payload: tuple[dict[str, Any], list[tuple[int, Policy]], int | None],
+    payload: tuple[
+        dict[str, Any], list[tuple[int, Policy, int]], int | None, str | None
+    ],
 ) -> tuple[list[tuple[int, dict[str, Any] | None, str | None, float]], BaseException | None]:
-    """Run one scenario batch: one Simulator, many policies (picklable).
+    """Run one scenario batch: one Simulator, many (policy, seed) cells.
+
+    Top-level so it pickles. ``config_dict`` is the batch's first
+    cell's config; the other cells may differ only in ``seed`` and are
+    executed through the simulator's seed-sharing path
+    (:meth:`~repro.sim.engine.Simulator.run_seed`), which reuses the
+    dataset size tables, shareable prepared policies and plan scalars
+    across the batch's seed replicas — bitwise identical to a fresh
+    per-cell run.
 
     Returns ``(completed_cells, failure)``: on an unexpected error the
     cells that finished *before* it are returned alongside the
     exception, so the parent can memoize them before re-raising —
     a crash mid-batch loses only the crashing cell's work.
     """
-    config_dict, items, tile_rows = payload
-    sim = Simulator(SimulationConfig.from_dict(config_dict), tile_rows=tile_rows)
+    config_dict, items, tile_rows, kernel_backend = payload
+    sim = Simulator(
+        SimulationConfig.from_dict(config_dict),
+        tile_rows=tile_rows,
+        kernel_backend=kernel_backend,
+    )
     done: list[tuple[int, dict[str, Any] | None, str | None, float]] = []
-    for index, policy in items:
+    for index, policy, seed in items:
         start = time.perf_counter()
         try:
-            raw: tuple[dict[str, Any] | None, str | None] = (sim.run(policy).to_dict(), None)
+            raw: tuple[dict[str, Any] | None, str | None] = (
+                sim.run_seed(policy, seed).to_dict(),
+                None,
+            )
         except PolicyError as exc:
             raw = (None, str(exc))
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent to re-raise
@@ -215,13 +240,18 @@ class SerialExecutor:
         # config — but keep only the *current* one alive (grids are
         # config-major; retaining every scenario's streams would
         # balloon peak memory on many-config sweeps).
-        sim_key: tuple[int, int | None] | None = None
+        sim_key: tuple[int, int | None, str | None] | None = None
         sim: Simulator | None = None
         for task in tasks:
             cell = task.cell
-            if sim is None or (id(cell.config), task.tile_rows) != sim_key:
-                sim_key = (id(cell.config), task.tile_rows)
-                sim = Simulator(cell.config, tile_rows=task.tile_rows)
+            key = (id(cell.config), task.tile_rows, task.kernel_backend)
+            if sim is None or key != sim_key:
+                sim_key = key
+                sim = Simulator(
+                    cell.config,
+                    tile_rows=task.tile_rows,
+                    kernel_backend=task.kernel_backend,
+                )
             emit(CellStarted(tag=cell.tag, index=task.index))
             start = time.perf_counter()
             try:
@@ -304,7 +334,12 @@ class ProcessExecutor(_PoolExecutorBase):
             for task in tasks:
                 future = pool.submit(
                     _simulate_cell,
-                    (_task_config_dict(task), task.cell.policy, task.tile_rows),
+                    (
+                        _task_config_dict(task),
+                        task.cell.policy,
+                        task.tile_rows,
+                        task.kernel_backend,
+                    ),
                 )
                 futures[future] = task
                 emit(CellStarted(tag=task.cell.tag, index=task.index))
@@ -326,12 +361,13 @@ class ProcessExecutor(_PoolExecutorBase):
 class BatchedExecutor(_PoolExecutorBase):
     """Scenario-batched dispatch: one Simulator per scenario per worker.
 
-    Cells are grouped by their canonical serialized config — the
-    scenario fingerprint — in first-seen order, so two equal-but-
-    distinct config objects still share one batch. Each batch is one
-    pool task: the worker rebuilds the scenario's ``Simulator`` once
-    and runs every policy in the batch against its shared access
-    streams.
+    Cells are grouped by their *seed-invariant* scenario fingerprint —
+    the canonical serialized config minus ``seed`` — in first-seen
+    order, so two equal-but-distinct config objects still share one
+    batch, and so do cells that differ only in their noise seed. Each
+    batch is one pool task: the worker rebuilds the scenario's
+    ``Simulator`` once and runs every (policy, seed) cell in the batch
+    through the engine's seed-sharing path.
     """
 
     name = "batched"
@@ -342,20 +378,28 @@ class BatchedExecutor(_PoolExecutorBase):
         """Batches of tasks sharing one scenario, in first-seen order."""
         # The serialization memo keys on the config *object* (kept
         # alive by its cell, so ids cannot be recycled mid-loop), while
-        # batches key on the canonical JSON — equal-but-distinct
-        # configs still share one batch.
-        group_keys: dict[int, str] = {}  # id(cell.config) -> canonical JSON
-        batches: dict[tuple[str, int | None], list[CellTask]] = {}
+        # batches key on the canonical seed-stripped JSON — equal-but-
+        # distinct configs still share one batch, as do seed replicas
+        # of the same scenario (the worker re-seeds per cell through
+        # Simulator.run_seed).
+        group_keys: dict[int, str] = {}  # id(cell.config) -> seedless JSON
+        batches: dict[tuple[str, int | None, str | None], list[CellTask]] = {}
         for task in tasks:
             config_id = id(task.cell.config)
             group_key = group_keys.get(config_id)
             if group_key is None:
+                config_dict = _task_config_dict(task)
                 group_key = group_keys[config_id] = json.dumps(
-                    _task_config_dict(task), sort_keys=True, separators=(",", ":")
+                    {k: v for k, v in config_dict.items() if k != "seed"},
+                    sort_keys=True,
+                    separators=(",", ":"),
                 )
-            # tile_rows rides along in the key (not the scenario JSON):
-            # a batch shares one Simulator, so it must be tile-uniform.
-            batches.setdefault((group_key, task.tile_rows), []).append(task)
+            # tile_rows / kernel_backend ride along in the key (not the
+            # scenario JSON): a batch shares one Simulator, so it must
+            # be uniform in its execution knobs.
+            batches.setdefault(
+                (group_key, task.tile_rows, task.kernel_backend), []
+            ).append(task)
         return list(batches.values())
 
     def execute(self, tasks: Sequence[CellTask], emit: Emit) -> Iterator[CellResult]:
@@ -372,8 +416,9 @@ class BatchedExecutor(_PoolExecutorBase):
             for batch in batches:
                 payload = (
                     _task_config_dict(batch[0]),
-                    [(t.index, t.cell.policy) for t in batch],
+                    [(t.index, t.cell.policy, t.cell.config.seed) for t in batch],
                     batch[0].tile_rows,
+                    batch[0].kernel_backend,
                 )
                 future = pool.submit(_simulate_batch, payload)
                 futures[future] = batch

@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Any, Hashable, Iterable
 
 from ..errors import ConfigurationError
-from ..sim import SimulationResult
+from ..sim import KERNEL_BACKENDS, SimulationResult
 from .backends import CacheBackend
 from .cache import CachedOutcome, ResultCache, cell_key_from_dict
 from .events import CellCached, ProgressBus, SweepFinished, SweepStarted
@@ -178,6 +178,13 @@ class SweepRunner:
         therefore cache keys and cached bytes — are bitwise identical
         for every value, so it is an execution knob, not part of any
         scenario fingerprint.
+    kernel_backend:
+        Kernel backend name from :data:`repro.sim.KERNEL_BACKENDS`
+        (``None`` = ``"numpy"``). Like ``tile_rows``, an execution knob
+        with a bitwise-identity guarantee: results, cache keys and
+        cached bytes do not depend on it, so switching backends never
+        invalidates a warm cache. Unknown names fail here, at
+        construction; the backend itself is built lazily worker-side.
     """
 
     def __init__(
@@ -189,6 +196,7 @@ class SweepRunner:
         cache: "str | Path | CacheBackend | ResultCache | None" = None,
         bus: ProgressBus | None = None,
         tile_rows: int | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         if n_jobs is None:
             n_jobs = os.cpu_count() or 1
@@ -196,8 +204,10 @@ class SweepRunner:
             raise ConfigurationError("n_jobs must be >= 1 (or None for all cores)")
         if tile_rows is not None and int(tile_rows) < 1:
             raise ConfigurationError("tile_rows must be >= 1 (or None for untiled)")
+        KERNEL_BACKENDS.validate(kernel_backend)
         self.n_jobs = int(n_jobs)
         self.tile_rows = None if tile_rows is None else int(tile_rows)
+        self.kernel_backend = kernel_backend
         self.cache = _resolve_cache(cache, cache_dir)
         self.executor = resolve_executor(executor, self.n_jobs)
         #: The progress bus every sweep on this runner publishes to.
@@ -236,39 +246,50 @@ class SweepRunner:
                 config_dict = config_dicts[id(cell.config)] = cell.config.to_dict()
             return config_dict
 
-        outcomes: dict[int, CachedOutcome] = {}
-        tasks: list[CellTask] = []
-        keys: dict[int, str] = {}  # task index -> content key
-        for idx, cell in enumerate(cells):
-            config_dict = config_dict_of(cell)
-            cached: CachedOutcome | None = None
-            if self.cache is not None:
-                key = cell_key_from_dict(config_dict, cell.policy)
-                keys[idx] = key
-                cached = self.cache.get(key)
-            if cached is not None:
-                outcomes[idx] = cached
-                stats.hits += 1
-                self.bus.emit(
-                    CellCached(tag=cell.tag, index=idx, supported=cached.supported)
-                )
-            else:
-                tasks.append(
-                    CellTask(
-                        index=idx,
-                        cell=cell,
-                        config_dict=config_dict,
-                        tile_rows=self.tile_rows,
+        # The hit-stat flush lives in a finally: a sweep that dies
+        # mid-execute (worker crash, Ctrl-C) still records the hits it
+        # served — hit counters are observability data and must survive
+        # the failure, like the memoized cells themselves do.
+        try:
+            outcomes: dict[int, CachedOutcome] = {}
+            tasks: list[CellTask] = []
+            keys: dict[int, str] = {}  # task index -> content key
+            for idx, cell in enumerate(cells):
+                config_dict = config_dict_of(cell)
+                cached: CachedOutcome | None = None
+                if self.cache is not None:
+                    key = cell_key_from_dict(config_dict, cell.policy)
+                    keys[idx] = key
+                    cached = self.cache.get(key)
+                if cached is not None:
+                    outcomes[idx] = cached
+                    stats.hits += 1
+                    self.bus.emit(
+                        CellCached(tag=cell.tag, index=idx, supported=cached.supported)
                     )
-                )
-        stats.misses = len(tasks)
+                else:
+                    tasks.append(
+                        CellTask(
+                            index=idx,
+                            cell=cell,
+                            config_dict=config_dict,
+                            tile_rows=self.tile_rows,
+                            kernel_backend=self.kernel_backend,
+                        )
+                    )
+            stats.misses = len(tasks)
 
-        # Memoize each outcome as it lands (not after the whole batch):
-        # an interrupted long sweep keeps its finished cells, and a
-        # restart only re-simulates the remainder.
-        if tasks:
-            for result in self.executor.execute(tasks, self.bus.emit):
-                outcomes[result.index] = self._record(keys.get(result.index), result)
+            # Memoize each outcome as it lands (not after the whole
+            # batch): an interrupted long sweep keeps its finished
+            # cells, and a restart only re-simulates the remainder.
+            if tasks:
+                for result in self.executor.execute(tasks, self.bus.emit):
+                    outcomes[result.index] = self._record(
+                        keys.get(result.index), result
+                    )
+        finally:
+            if self.cache is not None:
+                self.cache.flush_hit_stats()
 
         results: dict[Hashable, SimulationResult] = {}
         unsupported: list[Hashable] = []
@@ -283,8 +304,6 @@ class SweepRunner:
         stats.unsupported = len(unsupported)
         stats.elapsed_s = time.perf_counter() - start
         self.lifetime.accumulate(stats)
-        if self.cache is not None:
-            self.cache.flush_hit_stats()
         self.bus.emit(SweepFinished(stats=stats))
         return SweepOutcome(
             results=results, unsupported=tuple(unsupported), stats=stats, errors=errors

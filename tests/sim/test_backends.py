@@ -1,0 +1,148 @@
+"""Kernel backend registry: resolution, validation, numba fallback."""
+
+import importlib.util
+import warnings
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import KERNEL_BACKENDS, KernelBackend, resolve_kernel_backend
+from repro.sim.backends import (
+    KernelBackendRegistry,
+    _numba_backend,
+    numpy_backend,
+)
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert KERNEL_BACKENDS.names() == ["numpy", "numba"]
+        assert "numpy" in KERNEL_BACKENDS
+        assert "threads" not in KERNEL_BACKENDS
+        assert list(KERNEL_BACKENDS) == ["numpy", "numba"]
+
+    def test_describe_rows(self):
+        rows = dict(KERNEL_BACKENDS.describe())
+        assert set(rows) == {"numpy", "numba"}
+        assert "default" in rows["numpy"]
+
+    def test_none_resolves_to_numpy(self):
+        backend = resolve_kernel_backend(None)
+        assert backend.name == "numpy"
+        assert not backend.compiled
+
+    def test_resolution_memoized(self):
+        assert resolve_kernel_backend("numpy") is resolve_kernel_backend("numpy")
+
+    def test_instance_passes_through(self):
+        backend = numpy_backend()
+        assert resolve_kernel_backend(backend) is backend
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ConfigurationError, match="did you mean.*numpy"):
+            resolve_kernel_backend("numpyy")
+
+    def test_unknown_name_without_close_match(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            resolve_kernel_backend("zzz")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot interpret"):
+            resolve_kernel_backend(42)
+
+    def test_duplicate_registration_rejected(self):
+        registry = KernelBackendRegistry()
+        registry.register("numpy", "x", numpy_backend)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("numpy", "x", numpy_backend)
+
+
+class TestValidate:
+    """validate() rejects typos without building (or importing) anything."""
+
+    def test_accepts_known_names_none_and_instances(self):
+        KERNEL_BACKENDS.validate(None)
+        KERNEL_BACKENDS.validate("numpy")
+        KERNEL_BACKENDS.validate("numba")  # no import, no warning
+        KERNEL_BACKENDS.validate(numpy_backend())
+
+    def test_rejects_unknown_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean.*numba"):
+            KERNEL_BACKENDS.validate("nunba")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ConfigurationError, match="cannot interpret"):
+            KERNEL_BACKENDS.validate(3.14)
+
+    def test_validate_does_not_build(self):
+        registry = KernelBackendRegistry()
+
+        def explode():
+            raise AssertionError("factory must not run")
+
+        registry.register("lazy", "never built", explode)
+        registry.validate("lazy")
+
+
+@pytest.mark.skipif(HAVE_NUMBA, reason="exercises the numba-missing fallback")
+class TestFallbackWithoutNumba:
+    def test_falls_back_to_numpy_with_one_warning(self):
+        # A fresh registry so memoization in the global one can't have
+        # already swallowed the warning.
+        registry = KernelBackendRegistry()
+        registry.register("numpy", "ref", numpy_backend)
+        registry.register("numba", "jit", _numba_backend)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = registry.resolve("numba")
+        assert backend.name == "numpy"
+        # Memoized: the second resolution is silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert registry.resolve("numba") is backend
+
+    def test_global_registry_resolves_numba_to_something_usable(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            backend = resolve_kernel_backend("numba")
+        assert isinstance(backend, KernelBackend)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="needs the optional numba install")
+class TestCompiledBackend:
+    def test_numba_backend_is_compiled(self):
+        backend = resolve_kernel_backend("numba")
+        assert backend.name == "numba"
+        assert backend.compiled
+
+    def test_compiled_kernels_bitwise_match_reference(self):
+        import numpy as np
+
+        from repro.sim import kernels
+
+        backend = resolve_kernel_backend("numba")
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 2**62, size=(4, 257), dtype=np.uint64)
+        assert np.array_equal(backend.hash01(ids), kernels.hash01(ids))
+
+        sources = rng.integers(0, kernels.NUM_SOURCES, size=(8, 129))
+        weights = rng.random((8, 129))
+        assert np.array_equal(
+            backend.source_totals(sources, weights),
+            kernels.source_totals(sources, weights),
+        )
+        assert np.array_equal(
+            backend.source_totals(sources), kernels.source_totals(sources)
+        )
+
+        rows = rng.random((16, 65))
+        assert np.array_equal(
+            backend.accumulate_rows(rows), kernels.accumulate_rows(rows)
+        )
+
+        fetch = rng.random((8, 129))
+        assert np.array_equal(
+            backend.add_pfs_latency(fetch, sources, 0.25),
+            kernels.add_pfs_latency(fetch, sources, 0.25),
+        )

@@ -144,6 +144,60 @@ class TestBatching:
         ]
         assert [len(b) for b in BatchedExecutor.group(tasks)] == [2]
 
+    def test_seed_replicas_fold_into_one_batch(self, config):
+        """Cells differing only in SimulationConfig.seed share a batch."""
+        cells = []
+        for seed in (1, 2, 3):
+            seeded = dataclasses.replace(config, seed=seed)
+            cells += policy_cells(
+                seeded, POLICIES, tag_fn=lambda p, s=seed: f"s{s}/{p.name}"
+            )
+        tasks = [
+            CellTask(index=i, cell=cell, config_dict=cell.config.to_dict())
+            for i, cell in enumerate(cells)
+        ]
+        assert [len(b) for b in BatchedExecutor.group(tasks)] == [9]
+
+    def test_seed_folded_batch_bitwise_identical_to_serial(self, config):
+        cells = []
+        for seed in (1, 2, 3):
+            seeded = dataclasses.replace(config, seed=seed)
+            cells += policy_cells(
+                seeded, POLICIES, tag_fn=lambda p, s=seed: f"s{s}/{p.name}"
+            )
+        serial = SweepRunner(n_jobs=1, executor="serial").run(cells)
+        batched = SweepRunner(n_jobs=2, executor="batched").run(cells)
+        assert serial.results.keys() == batched.results.keys()
+        for tag in serial.results:
+            assert serial[tag].to_json() == batched[tag].to_json(), tag
+
+    def test_non_seed_differences_stay_separate(self, config):
+        """Only the seed is stripped from the fingerprint."""
+        other = dataclasses.replace(config, batch_size=32, seed=99)
+        cells = policy_cells(config, [NaivePolicy()]) + policy_cells(
+            other, [NaivePolicy()], tag_fn=lambda p: f"b32/{p.name}"
+        )
+        tasks = [
+            CellTask(index=i, cell=cell, config_dict=cell.config.to_dict())
+            for i, cell in enumerate(cells)
+        ]
+        assert [len(b) for b in BatchedExecutor.group(tasks)] == [1, 1]
+
+    def test_execution_knobs_split_batches(self, config):
+        """tile_rows / kernel_backend must be uniform within a batch."""
+        cells = policy_cells(config, POLICIES)
+        tasks = [
+            CellTask(
+                index=i,
+                cell=cell,
+                config_dict=cell.config.to_dict(),
+                tile_rows=None if i == 0 else 8,
+                kernel_backend=None if i < 2 else "numpy",
+            )
+            for i, cell in enumerate(cells)
+        ]
+        assert [len(b) for b in BatchedExecutor.group(tasks)] == [1, 1, 1]
+
     def test_crash_keeps_finished_cells_of_same_batch(self, config):
         """A mid-batch crash memoizes the batch's earlier cells."""
         backend = InMemoryBackend()

@@ -167,6 +167,47 @@ class TestUnsupported:
             require_supported(outcome, "fig-test")
 
 
+class TestKernelBackend:
+    def test_unknown_backend_fails_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            SweepRunner(n_jobs=1, kernel_backend="nunba")
+
+    def test_backend_results_bitwise_identical(self, cells):
+        default = SweepRunner(n_jobs=1).run(cells)
+        explicit = SweepRunner(n_jobs=1, kernel_backend="numpy").run(cells)
+        for tag in default.results:
+            assert default[tag].to_json() == explicit[tag].to_json(), tag
+
+    def test_backend_switch_keeps_cache_warm(self, cells):
+        """The backend stays out of cache keys: warm across backends."""
+        backend = InMemoryBackend()
+        SweepRunner(n_jobs=1, cache=backend).run(cells)
+        warm = SweepRunner(n_jobs=1, cache=backend, kernel_backend="numpy").run(cells)
+        assert warm.stats.misses == 0
+
+
+class TestHitStatsFlush:
+    def test_hit_counters_survive_mid_sweep_crash(self, cells, config):
+        """ISSUE 9 regression: the flush lives in a finally block.
+
+        A sweep that serves cache hits and then dies in the executor
+        must still fold those hits into the backend's index — before
+        the fix they evaporated with the exception.
+        """
+        from repro.sweep.gc import CacheIndex
+
+        backend = InMemoryBackend()
+        runner = SweepRunner(n_jobs=1, cache=backend)
+        runner.run(cells)  # populate
+        bad = SweepCell(tag="boom", config=config, policy=ExplodingPolicy())
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.run(list(cells) + [bad])
+        # The cached cells' hits were flushed despite the crash...
+        assert sum(CacheIndex(backend).hits.values()) == len(cells)
+        # ...and the session counters were drained, not re-counted later.
+        assert runner.cache._session_hits == {}
+
+
 class TestIncrementalWriteback:
     def test_partial_parallel_run_keeps_finished_cells(self, cells, config):
         """Cells completed before an abort stay cached.

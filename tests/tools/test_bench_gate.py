@@ -172,6 +172,24 @@ def test_missing_previous_artifact_tolerated(bench_dir, tmp_path):
     assert "no previous artifact" in summary.read_text()
 
 
+def test_summary_delta_table_without_previous(bench_dir, tmp_path):
+    """ISSUE 9: the job summary carries the per-benchmark table even on
+    a first run with no previous artifact to diff against."""
+    bench, baselines = bench_dir
+    bench_gate.main([str(bench), "--baselines", str(baselines), "--write-baseline"])
+    summary = tmp_path / "summary.md"
+    assert (
+        bench_gate.main(
+            [str(bench), "--baselines", str(baselines), "--summary", str(summary)]
+        )
+        == 0
+    )
+    text = summary.read_text()
+    assert "### vs previous run" in text
+    assert "| engine:test_engine_throughput | — | 20.00 | — |" in text
+    assert "| engine:test_paper_scale | — | 0.50 | — |" in text
+
+
 def test_missing_bench_file_is_usage_error(tmp_path):
     assert bench_gate.main([str(tmp_path / "BENCH_engine.json")]) == 2
 

@@ -173,9 +173,19 @@ def previous_delta(
     """Markdown old-vs-new rows against the previous run's artifacts.
 
     Missing/unreadable previous files are tolerated (the first run of a
-    repo, an expired artifact): the row notes the absence instead.
+    repo, an expired artifact): the row notes the absence instead. With
+    no previous paths at all, every current benchmark still gets a row
+    (previous "—") so the job summary always carries the per-benchmark
+    table.
     """
     rows = ["| benchmark | previous | current | delta |", "|---|---|---|---|"]
+    if not previous_paths:
+        for suite, series in sorted(current.items()):
+            for name, value in sorted(series.items()):
+                rows.append(f"| {suite}:{name} | — | {value:.2f} | — |")
+        if len(rows) == 2:
+            rows.append("| _none_ | | | |")
+        return rows
     seen_any = False
     for path in previous_paths:
         suite = suite_of(path)
@@ -268,10 +278,12 @@ def main(argv: list[str] | None = None) -> int:
 
     summary_parts = ["## Benchmark gate", ""]
     summary_parts += ["```", *lines, "```", ""]
-    if args.previous:
-        summary_parts += ["### vs previous run", ""]
-        summary_parts += previous_delta(current, args.previous)
-        summary_parts += [""]
+    # Always emit the delta table: on a first run (no artifact yet) the
+    # rows carry the current numbers with "—" placeholders, so the job
+    # summary has a per-benchmark line either way.
+    summary_parts += ["### vs previous run", ""]
+    summary_parts += previous_delta(current, args.previous)
+    summary_parts += [""]
     if failures:
         summary_parts += ["**FAILED:**", ""]
         summary_parts += [f"- {f}" for f in failures]

@@ -15,14 +15,25 @@ Cells: the standard demo grid plus the full Fig 8 nine-policy lineup on
 a scaled-down MNIST scenario, so every registered policy — including
 the unsupported/PolicyError path — flows through both engines.
 
+``--kernels`` runs the production engine under a named kernel backend
+(``repro list kernels``) and ``--share-seeds`` routes every cell
+through the seed-sharing path (``Simulator.run_seed`` from a base
+simulator on a *different* seed) — both are execution knobs with a
+bitwise-identity contract, so the byte-diff must stay empty for every
+combination.
+
 Usage::
 
     python tools/engine_equivalence.py REFERENCE_DIR ENGINE_DIR
+    python tools/engine_equivalence.py REFERENCE_DIR ENGINE_DIR \
+        --kernels numba --share-seeds
     diff -r REFERENCE_DIR ENGINE_DIR
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -63,12 +74,23 @@ def _outcome(run) -> CachedOutcome:
         return CachedOutcome(result=None, error=str(exc))
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    reference_cache = ResultCache(argv[1])
-    engine_cache = ResultCache(argv[2])
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("reference_dir", help="cache filled by the frozen seed engine")
+    parser.add_argument("engine_dir", help="cache filled by the production engine")
+    parser.add_argument(
+        "--kernels", default=None, metavar="BACKEND",
+        help="run the production engine under this kernel backend "
+        "(default numpy; numba falls back with a warning when missing)",
+    )
+    parser.add_argument(
+        "--share-seeds", action="store_true",
+        help="route every cell through Simulator.run_seed from a base "
+        "simulator on a different seed (the seed-sharing path)",
+    )
+    args = parser.parse_args(argv)
+    reference_cache = ResultCache(args.reference_dir)
+    engine_cache = ResultCache(args.engine_dir)
 
     simulators: dict[str, tuple[ReferenceSimulator, Simulator]] = {}
     mismatches = 0
@@ -78,11 +100,22 @@ def main(argv: list[str]) -> int:
         key = cell_key(config, cell.policy)
         scenario = json.dumps(config.to_dict(), sort_keys=True)
         if scenario not in simulators:
-            simulators[scenario] = (ReferenceSimulator(config), Simulator(config))
+            engine_config = config
+            if args.share_seeds:
+                # The engine simulator lives on a *different* seed; every
+                # run below reaches the cell's true seed via run_seed.
+                engine_config = dataclasses.replace(config, seed=config.seed + 1)
+            simulators[scenario] = (
+                ReferenceSimulator(config),
+                Simulator(engine_config, kernel_backend=args.kernels),
+            )
         reference_sim, engine_sim = simulators[scenario]
 
         ref = _outcome(lambda: reference_sim.run(cell.policy))
-        new = _outcome(lambda: engine_sim.run(cell.policy))
+        if args.share_seeds:
+            new = _outcome(lambda: engine_sim.run_seed(cell.policy, config.seed))
+        else:
+            new = _outcome(lambda: engine_sim.run(cell.policy))
         reference_cache.put(key, ref)
         engine_cache.put(key, new)
 
@@ -97,4 +130,4 @@ def main(argv: list[str]) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())
