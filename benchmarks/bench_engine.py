@@ -29,7 +29,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro.datasets import DatasetModel  # noqa: E402
 from repro.errors import PolicyError  # noqa: E402
-from repro.perfmodel import sec6_cluster  # noqa: E402
+from repro.perfmodel import Source, sec6_cluster  # noqa: E402
 from repro.sim import (  # noqa: E402
     KERNEL_BACKENDS,
     NaivePolicy,
@@ -374,4 +374,247 @@ def test_engine_seed_sharing_throughput(benchmark):
     config = _scenario()
     benchmark.pedantic(
         lambda: _run_lineup_shared(config), rounds=3, iterations=1
+    )
+
+
+# -- noise-RNG fast path (ISSUE 10) ----------------------------------------
+
+#: Required speedup of the production noise path (generator-state cache
+#: + fused lognormal draws + lazy source masks) over the frozen PR 9
+#: baseline on the noisiest N=64 cell. Measured ~1.4x; the gate keeps
+#: margin for CI jitter, not for regressions.
+NOISE_FAST_PATH_MIN_SPEEDUP = 1.15
+
+
+def _pr9_apply_noise_matrix(fetch_times, sources, noise, rngs):
+    """The PR 9 noise kernel, frozen verbatim as the speedup baseline.
+
+    Eager whole-matrix masks for every source class, separate lognormal
+    draws per (worker, source) segment — the code
+    :func:`repro.sim.noise.apply_noise_matrix` replaced. Kept here so
+    the fast-path gate always measures against the real predecessor.
+    """
+    import numpy as np
+
+    from repro.sim.noise import _lognormal_mean_one
+
+    times = np.asarray(fetch_times, dtype=np.float64)
+    if not noise.enabled or times.size == 0:
+        return times.copy()
+    src = np.asarray(sources)
+    masks = {
+        name: src == int(code)
+        for name, code in (
+            ("pfs", Source.PFS),
+            ("remote", Source.REMOTE),
+            ("local", Source.LOCAL),
+        )
+    }
+    counts = {name: mask.sum(axis=1) for name, mask in masks.items()}
+
+    mult = np.ones_like(times)
+    for worker, rng in enumerate(rngs):
+        n_pfs = int(counts["pfs"][worker])
+        if n_pfs:
+            draw = _lognormal_mean_one(rng, noise.pfs_sigma, n_pfs)
+            if noise.pfs_tail_prob > 0:
+                tails = rng.random(n_pfs) < noise.pfs_tail_prob
+                draw = np.where(tails, draw * noise.pfs_tail_scale, draw)
+            mult[worker, masks["pfs"][worker]] = draw
+        n_remote = int(counts["remote"][worker])
+        if n_remote:
+            mult[worker, masks["remote"][worker]] = _lognormal_mean_one(
+                rng, noise.remote_sigma, n_remote
+            )
+        n_local = int(counts["local"][worker])
+        if n_local:
+            mult[worker, masks["local"][worker]] = _lognormal_mean_one(
+                rng, noise.local_sigma, n_local
+            )
+    return times * mult
+
+
+def _pr9_noise_sim(config, ctx):
+    """A simulator forced onto PR 9's fresh-generator noise RNG path."""
+    from repro.rng import generator
+
+    sim = Simulator(config, ctx=ctx)
+    seed = config.seed
+
+    def fresh_noise_generators(epoch, rows):
+        return [
+            generator(seed, "noise", epoch, worker)
+            for worker in range(rows.start, rows.stop)
+        ]
+
+    sim.plan_cache.noise_generators = fresh_noise_generators
+    return sim
+
+
+def _time_noise_cell(sim, policy, repeats=7):
+    """Best-of-``repeats`` wall seconds for one noisy cell run."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sim.run(policy)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_engine_noise_fast_path(report):
+    """The noisy N=64 cell beats the PR 9 noise path >= 1.15x, bitwise-equal.
+
+    The all-PFS :class:`NaivePolicy` cell is the noisiest the engine
+    runs (every sample draws PFS jitter + a tail uniform), so it
+    isolates what PR 10 changed: per-worker generators served by state
+    rewind instead of fresh SeedSequence expansion, consecutive
+    lognormal segments fused into one broadcast draw, and source masks
+    built lazily. The legacy side runs the frozen PR 9 kernel
+    (:func:`_pr9_apply_noise_matrix`) with fresh per-worker generators
+    — and must still produce byte-identical results.
+    """
+    from repro.sim import engine as engine_mod
+
+    config = _scenario()
+    policy = NaivePolicy()
+    fast = Simulator(config)
+    legacy = _pr9_noise_sim(config, fast.ctx)
+
+    fast_json = json.dumps(fast.run(policy).to_dict(), sort_keys=True)
+    saved = engine_mod.apply_noise_matrix
+    engine_mod.apply_noise_matrix = _pr9_apply_noise_matrix
+    try:
+        legacy_json = json.dumps(legacy.run(policy).to_dict(), sort_keys=True)
+        assert fast_json == legacy_json, "fast noise path diverges from PR 9"
+        legacy_s = _time_noise_cell(legacy, policy)
+    finally:
+        engine_mod.apply_noise_matrix = saved
+    fast_s = _time_noise_cell(fast, policy)
+    speedup = legacy_s / fast_s
+
+    states = fast.plan_cache.noise_states
+    report(
+        "engine_noise_fast_path",
+        "\n".join(
+            [
+                f"scenario: N={NUM_WORKERS} workers, "
+                f"F={config.dataset.num_samples} samples, "
+                f"E={config.num_epochs} epochs, B={config.batch_size}, "
+                f"policy {policy.name} (all-PFS noise + tails)",
+                f"PR 9 noise path: {legacy_s * 1e3:7.2f} ms/cell",
+                f"fast path:       {fast_s * 1e3:7.2f} ms/cell",
+                f"speedup: {speedup:.2f}x (bitwise-identical results)",
+                f"rng states: {states.derived} derived, "
+                f"{states.cloned} cloned across the repeats",
+            ]
+        ),
+    )
+    assert speedup >= NOISE_FAST_PATH_MIN_SPEEDUP, (
+        f"noise fast path ({fast_s * 1e3:.2f} ms) must beat the PR 9 "
+        f"baseline ({legacy_s * 1e3:.2f} ms) by "
+        f">= {NOISE_FAST_PATH_MIN_SPEEDUP}x; got {speedup:.2f}x"
+    )
+
+
+def test_engine_noise_fast_path_throughput(benchmark):
+    """Timing series for BENCH_engine.json: the noisiest N=64 cell
+    (all-PFS naive policy) on the production fast path."""
+    sim = Simulator(_scenario())
+    sim.run(NaivePolicy())  # warm scenario state + noise RNG states
+    benchmark.pedantic(sim.run, args=(NaivePolicy(),), rounds=3, iterations=1)
+
+
+# -- cache-disabled epoch-major run_many (ISSUE 10) ------------------------
+
+#: Peak-allocation bound (tracemalloc, MB) for the cache-disabled
+#: N=1024 ``run_many``: ~one epoch's matrices (a 24 MB id permutation
+#: plus the rolling size gather and band floats), NOT per-policy
+#: copies. Measured ~77 MB; the bound carries allocator slack only.
+RUN_MANY_UNCACHED_PEAK_MB = 160.0
+
+#: Clairvoyant-stream lineup for the uncached tier: policies whose
+#: prepare reads at most epoch 0 (no frequency scans), so the
+#: permutation-build counter isolates the epoch-major loop.
+RUN_MANY_POLICIES = ("naive", "staging_buffer", "pytorch")
+
+
+def test_engine_run_many_uncached(report, monkeypatch):
+    """N=1024 with the permutation cache off: E builds, one-epoch memory.
+
+    ``REPRO_PERM_CACHE_MAX_ELEMENTS=0`` forces the paper-scale regime
+    (no cached permutations) onto the tier. The epoch-major
+    ``run_many`` must then materialize each epoch's permutation once
+    for the whole policy lineup — ``perm_builds == E``, not
+    ``E x policies`` (the pre-PR 10 cost) — derive each noise state
+    once per (epoch, worker), and keep the traced peak near one
+    epoch's matrices.
+    """
+    from repro.api import make_policy
+
+    monkeypatch.setenv("REPRO_PERM_CACHE_MAX_ELEMENTS", "0")
+    config = _paper_scenario()
+    sim = Simulator(config, tile_rows=PAPER_SCALE_TILE_ROWS)
+    assert not sim.ctx.cache_enabled
+    policies = [make_policy(spec) for spec in RUN_MANY_POLICIES]
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    outcomes = sim.run_many_outcomes(policies)
+    wall = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_mb = peak / 2**20
+
+    assert all(not isinstance(o, PolicyError) for o in outcomes)
+    assert sim.ctx.perm_builds == config.num_epochs, (
+        f"epoch-major run_many built {sim.ctx.perm_builds} permutations "
+        f"for {len(policies)} policies; must be E={config.num_epochs}"
+    )
+    states = sim.plan_cache.noise_states
+    expected_states = config.num_epochs * sim.ctx.num_workers
+    assert states.derived == expected_states, (
+        f"{states.derived} noise states derived; must be "
+        f"N x E = {expected_states}"
+    )
+    assert peak_mb < RUN_MANY_UNCACHED_PEAK_MB, (
+        f"uncached N={PAPER_SCALE_WORKERS} run_many peaked at "
+        f"{peak_mb:.1f} MB; documented bound is "
+        f"{RUN_MANY_UNCACHED_PEAK_MB:.0f} MB"
+    )
+
+    report(
+        "engine_run_many_uncached",
+        "\n".join(
+            [
+                f"scenario: N={PAPER_SCALE_WORKERS} workers, "
+                f"F={config.dataset.num_samples:,} samples, "
+                f"E={config.num_epochs} epochs, B={config.batch_size}, "
+                f"permutation cache disabled",
+                f"lineup: {', '.join(RUN_MANY_POLICIES)} "
+                f"({len(policies)} policies, tile_rows="
+                f"{PAPER_SCALE_TILE_ROWS})",
+                f"wall: {wall:6.2f}s  "
+                f"({len(policies) / wall:5.2f} cells/s)  "
+                f"peak {peak_mb:6.1f} MB",
+                f"permutations built: {sim.ctx.perm_builds} "
+                f"(= E, shared across the lineup)",
+                f"noise states: {states.derived} derived "
+                f"(= N x E), {states.cloned} cloned",
+            ]
+        ),
+    )
+
+
+def test_engine_run_many_uncached_throughput(benchmark, monkeypatch):
+    """Timing series for BENCH_engine.json: the cache-disabled N=1024
+    lineup through one epoch-major ``run_many`` call."""
+    from repro.api import make_policy
+
+    monkeypatch.setenv("REPRO_PERM_CACHE_MAX_ELEMENTS", "0")
+    config = _paper_scenario()
+    sim = Simulator(config, tile_rows=PAPER_SCALE_TILE_ROWS)
+    policies = [make_policy(spec) for spec in RUN_MANY_POLICIES]
+    sim.run_many_outcomes(policies)  # warm the scenario state once
+    benchmark.pedantic(
+        lambda: sim.run_many_outcomes(policies), rounds=2, iterations=1
     )

@@ -20,7 +20,13 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["derive_seed_sequence", "generator", "spawn_generators", "DEFAULT_SEED"]
+__all__ = [
+    "GeneratorStateCache",
+    "derive_seed_sequence",
+    "generator",
+    "spawn_generators",
+    "DEFAULT_SEED",
+]
 
 #: Seed used by components when the caller does not supply one.
 DEFAULT_SEED = 0xC1A1B0
@@ -60,3 +66,82 @@ def generator(seed: int, *key: object) -> np.random.Generator:
 def spawn_generators(seed: int, n: int, *key: object) -> list[np.random.Generator]:
     """Return ``n`` independent generators under ``(seed, *key, i)``."""
     return [generator(seed, *key, i) for i in range(n)]
+
+
+class GeneratorStateCache:
+    """Derive each keyed stream's PCG64 state once; clone it thereafter.
+
+    :func:`generator` pays the full ``SeedSequence`` expansion (key
+    normalization, entropy mixing, state initialization) on every call
+    — ~18us, which profiling shows is ~20% of a noisy N=64 simulator
+    cell, because the engine asks for the same ``(seed, "noise",
+    epoch, worker)`` streams again for every policy of a comparison
+    and every repeat run. This cache derives a key's *initial* PCG64
+    state once and afterwards rewinds a retained
+    :class:`~numpy.random.Generator` to that state by plain state
+    assignment (~1.4us; default-constructing a fresh ``PCG64`` would
+    re-pay OS entropy gathering and cost nearly as much as deriving).
+
+    The returned stream is therefore bitwise identical to a fresh
+    ``generator(seed, *key)`` — same bit generator, same initial state
+    — pinned by ``tests/test_rng.py``.
+
+    Aliasing contract: repeated requests for one key return the *same*
+    generator object, rewound. Callers must finish consuming a key's
+    stream before requesting that key again (the engine does: noise
+    generators are drained inside the tile that requested them).
+
+    ``derived`` / ``cloned`` count the two paths, proving how much
+    sharing actually happened; :meth:`evict` drops a key prefix (e.g.
+    one epoch's worker streams) so rolling callers stay bounded.
+    """
+
+    def __init__(self) -> None:
+        #: (entropy, normalized key) -> (retained generator, initial state).
+        self._entries: dict[
+            tuple[int, tuple[int, ...]], tuple[np.random.Generator, dict]
+        ] = {}
+        self.derived = 0
+        self.cloned = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def generator(self, seed: int, *key: object) -> np.random.Generator:
+        """The stream for ``(seed, *key)`` — derived once, rewound after."""
+        cache_key = (int(seed), _normalize_key(key))
+        entry = self._entries.get(cache_key)
+        if entry is None:
+            self.derived += 1
+            gen = generator(seed, *key)
+            # ``.state`` returns a fresh dict, so the snapshot is
+            # immune to the generator advancing.
+            self._entries[cache_key] = (gen, gen.bit_generator.state)
+            return gen
+        self.cloned += 1
+        gen, state = entry
+        gen.bit_generator.state = state
+        return gen
+
+    def evict(self, seed: int, *key_prefix: object) -> int:
+        """Drop every cached stream under ``(seed, *key_prefix)``.
+
+        Returns the number of entries removed. Used by rolling callers
+        (one-epoch noise windows at paper scale) to keep the cache at
+        O(one epoch's workers) instead of O(all epochs).
+        """
+        entropy = int(seed)
+        prefix = _normalize_key(key_prefix)
+        width = len(prefix)
+        stale = [
+            k
+            for k in self._entries
+            if k[0] == entropy and k[1][:width] == prefix
+        ]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached stream (counters are preserved)."""
+        self._entries.clear()

@@ -64,6 +64,14 @@ class KernelBackend:
     Each callable matches the signature (and the bitwise output) of its
     namesake in :mod:`repro.sim.kernels`; ``compiled`` records whether
     the bundle JIT-compiles any of them (for listings and benchmarks).
+
+    The dataclass is frozen so resolved bundles can be shared freely,
+    but derived bundles are a supported pattern: wrap a resolved
+    backend's callables and rebuild it with :func:`dataclasses.replace`,
+    then pass the instance straight to ``Simulator(kernel_backend=...)``
+    — instances bypass the registry. ``tools/profile_cell.py`` uses
+    exactly this to interpose per-phase timing shims without touching
+    the registry or the engine.
     """
 
     name: str

@@ -15,6 +15,8 @@ batch view and per-worker rows are zero-copy views of it.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..core import AccessStream
@@ -26,7 +28,26 @@ __all__ = ["ScenarioContext"]
 
 #: Cache epoch permutations only below this total element count
 #: (E * F); beyond it they are regenerated on demand to bound memory.
+#: Overridable per process via ``REPRO_PERM_CACHE_MAX_ELEMENTS`` (read
+#: at :class:`ScenarioContext` construction), so tests and CI can force
+#: the cache-disabled streaming path on small scenarios instead of
+#: needing N=1024 fixtures.
 _PERM_CACHE_MAX_ELEMENTS = 80_000_000
+
+_PERM_CACHE_ENV = "REPRO_PERM_CACHE_MAX_ELEMENTS"
+
+
+def _perm_cache_max_elements() -> int:
+    """The active permutation-cache cap (env override or the default)."""
+    raw = os.environ.get(_PERM_CACHE_ENV)
+    if raw is None:
+        return _PERM_CACHE_MAX_ELEMENTS
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{_PERM_CACHE_ENV} must be an integer element count, got {raw!r}"
+        ) from None
 
 
 class ScenarioContext:
@@ -48,8 +69,16 @@ class ScenarioContext:
         self._epoch_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._cache_enabled = (
             config.num_epochs * config.dataset.num_samples
-            <= _PERM_CACHE_MAX_ELEMENTS
+            <= _perm_cache_max_elements()
         )
+        #: Rolling one-epoch slot (:meth:`hold_epoch`) for cache-disabled
+        #: scenarios: ``(epoch, views)`` or ``None``.
+        self._held: tuple[int, tuple[np.ndarray, np.ndarray]] | None = None
+        #: Epoch permutations actually generated (cache hits and the
+        #: held slot don't count) — the sharing proof for epoch-major
+        #: ``run_many`` at paper scale, where this must stay at E, not
+        #: E x policies.
+        self.perm_builds = 0
         self._freq_cache: list[tuple[np.ndarray, np.ndarray]] | None = None
 
     # -- stream access -----------------------------------------------------
@@ -80,6 +109,9 @@ class ScenarioContext:
         cached = self._epoch_cache.get(epoch)
         if cached is not None:
             return cached
+        if self._held is not None and self._held[0] == epoch:
+            return self._held[1]
+        self.perm_builds += 1
         batches = self.stream.epoch_batches(epoch)
         t, n, b = batches.shape
         # Materialize the worker-major matrix once (the engine's layout);
@@ -95,6 +127,35 @@ class ScenarioContext:
         if self._cache_enabled:
             self._epoch_cache[epoch] = views
         return views
+
+    def hold_epoch(self, epoch: int) -> None:
+        """Pin ``epoch``'s permutation in a rolling single-epoch slot.
+
+        The epoch-major :meth:`~repro.sim.engine.Simulator.run_many`
+        loop calls this at the top of each epoch so every policy's
+        :meth:`epoch_matrix` request is served from one materialization
+        even when :attr:`cache_enabled` is off — permutations are built
+        once per epoch, not once per (policy, epoch). Holding a new
+        epoch releases the previous one first, so peak memory stays at
+        ~one epoch's matrices at paper scale. A no-op (beyond priming
+        the persistent cache) when :attr:`cache_enabled` is on.
+        """
+        if self._cache_enabled:
+            self._epoch_views(epoch)
+            return
+        if self._held is not None and self._held[0] == epoch:
+            return
+        self._held = None
+        self._held = (epoch, self._epoch_views(epoch))
+
+    def release_held_epoch(self) -> None:
+        """Drop the rolling slot (the epoch-major loop's cleanup)."""
+        self._held = None
+
+    @property
+    def held_epoch(self) -> int | None:
+        """The epoch currently pinned by :meth:`hold_epoch`, if any."""
+        return None if self._held is None else self._held[0]
 
     def epoch_batches(self, epoch: int) -> np.ndarray:
         """``(T, N, B)`` batch view of ``epoch`` (cached when small)."""

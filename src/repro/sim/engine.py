@@ -59,7 +59,6 @@ import numpy as np
 
 from ..errors import ConfigurationError, PolicyError
 from ..perfmodel import Source, resolve_fetch, write_times
-from ..rng import generator
 from . import kernels
 from .backends import KernelBackend, resolve_kernel_backend
 from .config import SimulationConfig
@@ -196,6 +195,10 @@ class EpochPlan:
         ids = self.ids[rows]
         if self.shared_ids and ids.shape[0] == self.ids.shape[0]:
             sizes = self.cache.sizes_matrix(self.epoch, self.ids)
+        elif self.shared_ids:
+            # A canonical-stream band can slice an epoch gather that
+            # already exists; otherwise it gathers just its own rows.
+            sizes = self.cache.sizes_band(self.epoch, ids, rows)
         else:
             sizes = self.cache.ctx.sizes_mb[ids]
 
@@ -325,11 +328,91 @@ class Simulator:
         dict rather than aborting the comparison.
         """
         out: dict[str, SimulationResult] = {}
-        for policy in policies:
-            try:
-                out[policy.name] = self.run(policy)
-            except PolicyError:
+        for policy, outcome in zip(policies, self.run_many_outcomes(policies)):
+            if isinstance(outcome, SimulationResult):
+                out[policy.name] = outcome
+        return out
+
+    def run_many_outcomes(
+        self, policies: list[Policy]
+    ) -> "list[SimulationResult | PolicyError]":
+        """Epoch-major evaluation: one outcome per input policy, aligned.
+
+        Unlike :meth:`run_many`'s policy-major predecessor (every
+        policy walking all ``E`` epochs before the next policy starts),
+        this prepares every policy up front and then iterates **epochs
+        outermost**: each epoch's ``(N, L)`` permutation is pinned in
+        the context's rolling slot (:meth:`ScenarioContext.hold_epoch`),
+        its size gather and noise RNG states land in the plan cache,
+        and every surviving policy's plan/execute for that epoch runs
+        against them. At paper scale — where
+        :attr:`ScenarioContext.cache_enabled` is off and the old order
+        regenerated every multi-hundred-MB permutation once per policy
+        — the shared work is now materialized once per epoch (``E``
+        builds, not ``E x P``; :attr:`ScenarioContext.perm_builds`
+        proves it) while memory stays bounded to ~one epoch's matrices.
+
+        Per-policy results are bitwise identical to :meth:`run`: every
+        shared value is a pure function of ``(epoch, scenario)`` and
+        the noise streams rewind to the same derived states, so
+        iteration order cannot change a bit (pinned by
+        ``tests/sim/test_run_many.py``). A policy raising
+        :class:`~repro.errors.PolicyError` — at prepare time or
+        mid-epoch — yields that error in its slot (the same error the
+        per-policy run would raise) without disturbing its siblings.
+        """
+        slots: list[tuple[Policy, PreparedPolicy] | PolicyError] = []
+        # Placement-building prepares (DeepIO, LBANN) gather epoch 0;
+        # holding it through the prepare phase keeps the cache-disabled
+        # build count at one per epoch even counting preparation.
+        self.ctx.hold_epoch(0)
+        try:
+            for policy in policies:
+                try:
+                    slots.append((policy, policy.prepare(self.ctx)))
+                except PolicyError as exc:
+                    slots.append(exc)
+        except BaseException:
+            self.ctx.release_held_epoch()
+            raise
+        return self._run_epoch_major(slots)
+
+    def _run_epoch_major(
+        self, slots: "list[tuple[Policy, PreparedPolicy] | PolicyError]"
+    ) -> "list[SimulationResult | PolicyError]":
+        """Drive prepared per-policy slots through the epoch-major loop."""
+        epoch_lists: list[list[EpochResult]] = [[] for _ in slots]
+        try:
+            for epoch in range(self.config.num_epochs):
+                self.ctx.hold_epoch(epoch)
+                for i, slot in enumerate(slots):
+                    if isinstance(slot, PolicyError):
+                        continue
+                    policy, prep = slot
+                    try:
+                        plan = self.plan_epoch(prep, epoch)
+                        epoch_lists[i].append(
+                            self.execute_epoch(policy, prep, plan)
+                        )
+                    except PolicyError as exc:
+                        slots[i] = exc
+        finally:
+            self.ctx.release_held_epoch()
+        out: list[SimulationResult | PolicyError] = []
+        for slot, epoch_results in zip(slots, epoch_lists):
+            if isinstance(slot, PolicyError):
+                out.append(slot)
                 continue
+            policy, prep = slot
+            out.append(
+                SimulationResult(
+                    policy=policy.name,
+                    scenario=self.config.scenario,
+                    prestage_time_s=prep.prestage_time_s,
+                    accesses_full_dataset=prep.accesses_full_dataset,
+                    epochs=tuple(epoch_results),
+                )
+            )
         return out
 
     def lower_bound(self) -> float:
@@ -417,6 +500,53 @@ class Simulator:
         so the dict still holds one entry each).
         """
         return {seed: self.run_seed(policy, seed) for seed in seeds}
+
+    def run_many_seed(
+        self, policies: list[Policy], seed: int
+    ) -> "list[SimulationResult | PolicyError]":
+        """Epoch-major :meth:`run_many_outcomes` under another seed.
+
+        The batched sweep executor's grouping hook: several policies of
+        one scenario batch that share a seed run through the variant
+        simulator's epoch-major loop, combining the seed-sharing reuse
+        of :meth:`run_seed` (shared dataset tables, shareable prepared
+        policies, adopted plan scalars — same counters) with the
+        epoch-major permutation/size/RNG sharing across the policies.
+        Outcomes align with ``policies``; each is bitwise identical to
+        ``run_seed(policy, seed)``.
+        """
+        sim = self.seed_variant(seed)
+        slots: list[tuple[Policy, PreparedPolicy] | PolicyError] = []
+        adopt = False
+        # Seed-dependent prepares run on the variant context; hold its
+        # epoch 0 through them (see :meth:`run_many_outcomes`).
+        sim.ctx.hold_epoch(0)
+        try:
+            for policy in policies:
+                try:
+                    if not policy.seed_invariant_prepare:
+                        self.seed_share.prep_misses += 1
+                        slots.append((policy, policy.prepare(sim.ctx)))
+                        continue
+                    cached = self._shared_preps.get(id(policy))
+                    if cached is None:
+                        self.seed_share.prep_misses += 1
+                        prep = policy.prepare(self.ctx)
+                        self.plan_cache.scalars(prep)
+                        self._shared_preps[id(policy)] = (policy, prep)
+                    else:
+                        self.seed_share.prep_hits += 1
+                        prep = cached[1]
+                    adopt = True
+                    slots.append((policy, prep))
+                except PolicyError as exc:
+                    slots.append(exc)
+        except BaseException:
+            sim.ctx.release_held_epoch()
+            raise
+        if adopt and sim is not self:
+            sim.plan_cache.adopt_invariants(self.plan_cache)
+        return sim._run_epoch_major(slots)
 
     # -- plan phase ----------------------------------------------------------
 
@@ -531,11 +661,14 @@ class Simulator:
             fetch = kb.add_pfs_latency(
                 res.fetch_times, res.sources, plan.pfs_latency_s
             )
-            rngs = [
-                generator(cfg.seed, "noise", plan.epoch, worker)
-                for worker in range(rows.start, rows.stop)
-            ]
-            fetch = apply_noise_matrix(fetch, res.sources, cfg.noise, rngs)
+            if cfg.noise.enabled:
+                # Per-worker streams served through the plan cache's
+                # generator-state cache: derived once per (epoch,
+                # worker), rewound for every later policy/run — bitwise
+                # identical to fresh generator() calls. Disabled noise
+                # skips the call outright (it would only copy).
+                rngs = self.plan_cache.noise_generators(plan.epoch, rows)
+                fetch = apply_noise_matrix(fetch, res.sources, cfg.noise, rngs)
             reads = fetch + write_times(tile.sizes_mb, system)
 
             tile_bytes = kb.source_totals(res.sources, tile.sizes_mb)

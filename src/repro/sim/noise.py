@@ -22,6 +22,7 @@ import numpy as np
 from ..config import ConfigMixin
 from ..errors import ConfigurationError
 from ..perfmodel import Source
+from . import kernels
 
 __all__ = ["NoiseConfig", "apply_noise", "apply_noise_matrix"]
 
@@ -115,6 +116,38 @@ def apply_noise(
     return out
 
 
+def _fused_unit_lognormals(
+    rng: np.random.Generator, segments: Sequence[tuple[float, int]]
+) -> list[np.ndarray]:
+    """Draws for consecutive unit-mean lognormal segments, fused.
+
+    ``segments`` is ``[(sigma, count), ...]`` with every sigma > 0 and
+    count > 0. A single broadcast ``Generator.lognormal`` over
+    per-element mean/sigma arrays consumes one standard normal per
+    element and runs each through the same scalar ``exp`` the
+    scalar-parameter call uses, so the fused draws are bitwise
+    identical to issuing one ``lognormal(mean, sigma, size)`` call per
+    segment — the sequence :func:`apply_noise` makes. (Rewriting the
+    draw as ``np.exp(mean + sigma * standard_normal(...))`` would
+    *not* be: numpy's vectorized ``np.exp`` differs from the
+    distribution code's libm ``exp`` by 1 ulp on a few permille of
+    values.) Single segments keep the cheaper scalar-parameter call.
+    """
+    if len(segments) == 1:
+        sigma, count = segments[0]
+        return [rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma, size=count)]
+    sig = np.repeat(
+        [sigma for sigma, _ in segments], [count for _, count in segments]
+    )
+    draws = rng.lognormal(mean=-0.5 * sig * sig, sigma=sig)
+    out: list[np.ndarray] = []
+    start = 0
+    for _, count in segments:
+        out.append(draws[start : start + count])
+        start += count
+    return out
+
+
 def apply_noise_matrix(
     fetch_times: np.ndarray,
     sources: np.ndarray,
@@ -127,16 +160,29 @@ def apply_noise_matrix(
     (``generator(seed, "noise", epoch, worker)``), so the random draws
     cannot be batched across workers without changing every simulated
     number. This kernel therefore separates the two halves: the source
-    masks, multiplier scatter and final multiply are single whole-matrix
+    masks, multiplier scatter and final multiply are whole-matrix
     operations, while each worker's draws come from its own generator in
     ``rngs`` — in exactly the order :func:`apply_noise` consumed them
     (PFS lognormal, PFS tail Bernoulli, remote, local). Results are
     bitwise identical to applying :func:`apply_noise` row by row.
+
+    Three fast paths keep the per-worker loop lean without touching the
+    stream: per-worker per-source counts come from one offset-bincount
+    (:func:`~repro.sim.kernels.source_totals`) and a source's boolean
+    mask is only built if some worker actually scatters draws for it
+    (all-PFS cold epochs never scan for remote/local); ``sigma == 0``
+    segments short-circuit — :func:`_lognormal_mean_one` consumes
+    nothing and multiplies by exactly 1.0, so skipping the scatter is
+    bitwise neutral (PFS tail events still draw their uniforms); and a
+    worker's consecutive lognormal segments collapse into one broadcast
+    draw (:func:`_fused_unit_lognormals`).
     """
     times = np.asarray(fetch_times, dtype=np.float64)
     if not noise.enabled or times.size == 0:
         return times.copy()
-    src = np.asarray(sources)
+    # asanyarray: tests probe the lazy-mask contract with an ndarray
+    # subclass that forbids comparisons against absent source codes.
+    src = np.asanyarray(sources)
     n = times.shape[0]
     if len(rngs) != n:
         raise ConfigurationError(
@@ -144,33 +190,69 @@ def apply_noise_matrix(
             f"({n} workers, {len(rngs)} generators)"
         )
 
-    masks = {
-        name: src == int(code)
-        for name, code in (
-            ("pfs", Source.PFS),
-            ("remote", Source.REMOTE),
-            ("local", Source.LOCAL),
-        )
-    }
-    counts = {name: mask.sum(axis=1) for name, mask in masks.items()}
+    counts = kernels.source_totals(src)
+    pfs_code = int(Source.PFS)
+    remote_code = int(Source.REMOTE)
+    local_code = int(Source.LOCAL)
+    pfs_sigma = noise.pfs_sigma
+    remote_sigma = noise.remote_sigma
+    local_sigma = noise.local_sigma
+    tail_prob = noise.pfs_tail_prob
+
+    masks: dict[int, np.ndarray] = {}
+
+    def _mask_row(code: int, worker: int) -> np.ndarray:
+        mask = masks.get(code)
+        if mask is None:
+            mask = masks[code] = src == code
+        return mask[worker]
 
     mult = np.ones_like(times)
     for worker, rng in enumerate(rngs):
-        n_pfs = int(counts["pfs"][worker])
-        if n_pfs:
-            draw = _lognormal_mean_one(rng, noise.pfs_sigma, n_pfs)
-            if noise.pfs_tail_prob > 0:
-                tails = rng.random(n_pfs) < noise.pfs_tail_prob
-                draw = np.where(tails, draw * noise.pfs_tail_scale, draw)
-            mult[worker, masks["pfs"][worker]] = draw
-        n_remote = int(counts["remote"][worker])
-        if n_remote:
-            mult[worker, masks["remote"][worker]] = _lognormal_mean_one(
-                rng, noise.remote_sigma, n_remote
-            )
-        n_local = int(counts["local"][worker])
-        if n_local:
-            mult[worker, masks["local"][worker]] = _lognormal_mean_one(
-                rng, noise.local_sigma, n_local
-            )
+        n_pfs = int(counts[worker, pfs_code])
+        n_remote = int(counts[worker, remote_code])
+        n_local = int(counts[worker, local_code])
+
+        pfs_draw: np.ndarray | None = None
+        remote_draw: np.ndarray | None = None
+        local_draw: np.ndarray | None = None
+        tails: np.ndarray | None = None
+        segments: list[tuple[float, int]] = []
+        codes: list[int] = []
+        if n_pfs and tail_prob > 0:
+            # The tail uniforms sit between the PFS and remote/local
+            # lognormals in the stream, so the PFS segment cannot fuse
+            # with the ones after the break.
+            if pfs_sigma > 0:
+                pfs_draw = rng.lognormal(
+                    mean=-0.5 * pfs_sigma * pfs_sigma, sigma=pfs_sigma, size=n_pfs
+                )
+            tails = rng.random(n_pfs) < tail_prob
+        elif n_pfs and pfs_sigma > 0:
+            segments.append((pfs_sigma, n_pfs))
+            codes.append(pfs_code)
+        if n_remote and remote_sigma > 0:
+            segments.append((remote_sigma, n_remote))
+            codes.append(remote_code)
+        if n_local and local_sigma > 0:
+            segments.append((local_sigma, n_local))
+            codes.append(local_code)
+        if segments:
+            for code, draw in zip(codes, _fused_unit_lognormals(rng, segments)):
+                if code == pfs_code:
+                    pfs_draw = draw
+                elif code == remote_code:
+                    remote_draw = draw
+                else:
+                    local_draw = draw
+
+        if tails is not None:
+            base = 1.0 if pfs_draw is None else pfs_draw
+            pfs_draw = np.where(tails, base * noise.pfs_tail_scale, base)
+        if pfs_draw is not None:
+            mult[worker, _mask_row(pfs_code, worker)] = pfs_draw
+        if remote_draw is not None:
+            mult[worker, _mask_row(remote_code, worker)] = remote_draw
+        if local_draw is not None:
+            mult[worker, _mask_row(local_code, worker)] = local_draw
     return times * mult

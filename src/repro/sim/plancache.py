@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..rng import GeneratorStateCache
 from .context import ScenarioContext
 from .policies.base import PreparedPolicy
 
@@ -106,7 +107,19 @@ class PlanCache:
         self._scalars: dict[int, tuple[PreparedPolicy, PlanScalars]] = {}
         #: epoch -> read-only (N, L) sizes gather, shared across policies.
         self._sizes: dict[int, np.ndarray] = {}
+        #: Rolling ``(epoch, sizes)`` slot standing in for ``_sizes``
+        #: when the context's cache is size-capped: the epoch-major
+        #: ``run_many`` loop still shares each epoch's gather across
+        #: policies, but only one epoch's float matrix is ever alive.
+        self._held_sizes: tuple[int, np.ndarray] | None = None
         self._cold_template: np.ndarray | None = None
+        #: Initial PCG64 states for the per-worker noise streams,
+        #: derived once per ``(epoch, worker)`` and rewound thereafter
+        #: (see :meth:`noise_generators`).
+        self.noise_states = GeneratorStateCache()
+        #: Epoch whose noise states are resident when rolling (cache
+        #: off); older epochs are evicted as the engine advances.
+        self._noise_epoch: int | None = None
         self.hits = 0
         self.misses = 0
         self.scalar_hits = 0
@@ -209,27 +222,87 @@ class PlanCache:
 
     # -- shared epoch matrices ----------------------------------------------
 
+    def _lookup_sizes(self, epoch: int) -> np.ndarray | None:
+        """An already-materialized full sizes gather for ``epoch``, if any."""
+        if self.ctx.cache_enabled:
+            return self._sizes.get(epoch)
+        held = self._held_sizes
+        if held is not None and held[0] == epoch:
+            return held[1]
+        return None
+
     def sizes_matrix(self, epoch: int, ids: np.ndarray) -> np.ndarray:
         """The full ``(N, L)`` sizes gather for a clairvoyant epoch.
 
         Cached per epoch and shared (read-only) across every policy
         whose epoch ids are the context's canonical matrix — the
-        ``run_many`` case. Callers in tiled mode gather per tile
-        instead and never touch this cache, keeping streaming memory
-        bounded. Falls back to a plain gather when the context's cache
-        is size-capped.
+        ``run_many`` case. When the context's cache is size-capped the
+        gather lives in a *rolling* one-epoch slot instead, so the
+        epoch-major ``run_many`` loop still shares it across policies
+        while paper-scale memory stays bounded to one epoch. Callers
+        in tiled mode gather per band (:meth:`sizes_band`) and only
+        reuse a full gather that already exists.
         """
-        if not self.ctx.cache_enabled:
-            return self.ctx.sizes_mb[ids]
-        cached = self._sizes.get(epoch)
-        if cached is None:
-            self.misses += 1
-            cached = self.ctx.sizes_mb[ids]
-            cached.setflags(write=False)
-            self._sizes[epoch] = cached
-        else:
+        cached = self._lookup_sizes(epoch)
+        if cached is not None:
             self.hits += 1
-        return cached
+            return cached
+        self.misses += 1
+        sizes = self.ctx.sizes_mb[ids]
+        sizes.setflags(write=False)
+        if self.ctx.cache_enabled:
+            self._sizes[epoch] = sizes
+        else:
+            self._held_sizes = (epoch, sizes)
+        return sizes
+
+    def sizes_band(self, epoch: int, ids: np.ndarray, rows: slice) -> np.ndarray:
+        """A tile band's sizes gather, sliced from a shared epoch gather.
+
+        Fancy-indexing is row-local, so ``full_gather[rows]`` is
+        bitwise equal to ``sizes_mb[ids]`` for the band's own ids; a
+        tile therefore reuses the epoch's shared gather whenever a
+        policy before it (or an untiled sibling) already materialized
+        it, and falls back to a plain band gather — never materializing
+        the full epoch itself, preserving tiled streaming memory.
+        """
+        cached = self._lookup_sizes(epoch)
+        if cached is not None:
+            self.hits += 1
+            return cached[rows]
+        return self.ctx.sizes_mb[ids]
+
+    # -- per-worker noise streams --------------------------------------------
+
+    def noise_generators(
+        self, epoch: int, rows: slice
+    ) -> list[np.random.Generator]:
+        """The band's per-worker noise streams, state-cloned when warm.
+
+        One generator per worker in ``rows``, each bitwise identical to
+        a fresh ``generator(seed, "noise", epoch, worker)`` — the
+        engine's reproducibility contract — but served through the
+        scenario's :class:`~repro.rng.GeneratorStateCache`: the PCG64
+        initial state is derived once per ``(epoch, worker)`` and every
+        later request (the next policy of a ``run_many`` comparison, a
+        repeat run on this simulator) rewinds the retained generator
+        instead of re-paying the SeedSequence expansion.
+
+        When the context's permutation cache is size-capped the state
+        cache rolls with the engine's epoch-major loop: entering a new
+        epoch evicts the previous epoch's states, bounding residency to
+        one epoch's workers at paper scale.
+        """
+        seed = self.ctx.config.seed
+        if not self.ctx.cache_enabled and self._noise_epoch != epoch:
+            if self._noise_epoch is not None:
+                self.noise_states.evict(seed, "noise", self._noise_epoch)
+            self._noise_epoch = epoch
+        states = self.noise_states
+        return [
+            states.generator(seed, "noise", epoch, worker)
+            for worker in range(rows.start, rows.stop)
+        ]
 
     def cold_classes(self, rows: int) -> np.ndarray:
         """Read-only ``(rows, L)`` "nothing cached" int8 template.

@@ -174,6 +174,21 @@ def _simulate_cell(
     return result.to_dict(), None, time.perf_counter() - start
 
 
+def _consecutive_groups(items: Sequence, key: Callable) -> Iterator[list]:
+    """Split ``items`` into maximal runs sharing ``key(item)``."""
+    group: list = []
+    group_key = None
+    for item in items:
+        item_key = key(item)
+        if group and item_key != group_key:
+            yield group
+            group = []
+        group_key = item_key
+        group.append(item)
+    if group:
+        yield group
+
+
 def _simulate_batch(
     payload: tuple[
         dict[str, Any], list[tuple[int, Policy, int]], int | None, str | None
@@ -182,17 +197,21 @@ def _simulate_batch(
     """Run one scenario batch: one Simulator, many (policy, seed) cells.
 
     Top-level so it pickles. ``config_dict`` is the batch's first
-    cell's config; the other cells may differ only in ``seed`` and are
-    executed through the simulator's seed-sharing path
-    (:meth:`~repro.sim.engine.Simulator.run_seed`), which reuses the
-    dataset size tables, shareable prepared policies and plan scalars
-    across the batch's seed replicas — bitwise identical to a fresh
-    per-cell run.
+    cell's config; the other cells may differ only in ``seed``.
+    Consecutive cells sharing a seed run together through the engine's
+    epoch-major multi-policy path
+    (:meth:`~repro.sim.engine.Simulator.run_many_seed`), which layers
+    the cross-policy permutation/size/noise-state sharing on top of the
+    seed sharing (dataset size tables, shareable prepared policies,
+    plan scalars) — bitwise identical to fresh per-cell runs either
+    way. Grouped cells report the group's mean per-cell wall time.
 
     Returns ``(completed_cells, failure)``: on an unexpected error the
     cells that finished *before* it are returned alongside the
-    exception, so the parent can memoize them before re-raising —
-    a crash mid-batch loses only the crashing cell's work.
+    exception, so the parent can memoize them before re-raising — a
+    crash mid-batch loses only the crashing cell's work. (A group that
+    crashes re-runs its cells one at a time — determinism makes the
+    re-run bitwise free — to keep that per-cell guarantee.)
     """
     config_dict, items, tile_rows, kernel_backend = payload
     sim = Simulator(
@@ -201,7 +220,10 @@ def _simulate_batch(
         kernel_backend=kernel_backend,
     )
     done: list[tuple[int, dict[str, Any] | None, str | None, float]] = []
-    for index, policy, seed in items:
+
+    def run_one(
+        index: int, policy: Policy, seed: int
+    ) -> BaseException | None:
         start = time.perf_counter()
         try:
             raw: tuple[dict[str, Any] | None, str | None] = (
@@ -211,8 +233,33 @@ def _simulate_batch(
         except PolicyError as exc:
             raw = (None, str(exc))
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent to re-raise
-            return done, exc
+            return exc
         done.append((index, raw[0], raw[1], time.perf_counter() - start))
+        return None
+
+    for group in _consecutive_groups(items, key=lambda item: item[2]):
+        if len(group) == 1:
+            failure = run_one(*group[0])
+            if failure is not None:
+                return done, failure
+            continue
+        start = time.perf_counter()
+        try:
+            outcomes = sim.run_many_seed(
+                [policy for _, policy, _ in group], group[0][2]
+            )
+        except BaseException as first_exc:  # noqa: BLE001 - recover per cell
+            for index, policy, seed in group:
+                failure = run_one(index, policy, seed)
+                if failure is not None:
+                    return done, failure
+            return done, first_exc
+        elapsed = (time.perf_counter() - start) / len(group)
+        for (index, _, _), outcome in zip(group, outcomes):
+            if isinstance(outcome, PolicyError):
+                done.append((index, None, str(outcome), elapsed))
+            else:
+                done.append((index, outcome.to_dict(), None, elapsed))
     return done, None
 
 
@@ -228,8 +275,39 @@ def _emit_completion(emit: Emit, task: CellTask, result: CellResult) -> None:
         )
 
 
+def _run_cell(sim: Simulator, task: CellTask, emit: Emit) -> CellResult:
+    """One cell through ``Simulator.run``, timed, completion emitted."""
+    start = time.perf_counter()
+    try:
+        raw: tuple[dict[str, Any] | None, str | None] = (
+            sim.run(task.cell.policy).to_dict(),
+            None,
+        )
+    except PolicyError as exc:
+        raw = (None, str(exc))
+    result = CellResult(
+        index=task.index,
+        result_dict=raw[0],
+        error=raw[1],
+        elapsed_s=time.perf_counter() - start,
+    )
+    _emit_completion(emit, task, result)
+    return result
+
+
 class SerialExecutor:
-    """In-process execution with per-scenario Simulator reuse."""
+    """In-process execution with per-scenario Simulator reuse.
+
+    Consecutive cells on one scenario (Fig 8's nine policies on one
+    config) run together through the engine's epoch-major
+    :meth:`~repro.sim.engine.Simulator.run_many_outcomes`, so the
+    scenario's permutations, size gathers and noise RNG states are
+    materialized once per epoch for the whole group — bitwise identical
+    to per-cell runs. Grouped cells report the group's mean per-cell
+    wall time; a group hit by an unexpected error re-runs its cells
+    one at a time so finished cells still land before the error
+    propagates.
+    """
 
     name = "serial"
     in_process = True
@@ -240,35 +318,52 @@ class SerialExecutor:
         # config — but keep only the *current* one alive (grids are
         # config-major; retaining every scenario's streams would
         # balloon peak memory on many-config sweeps).
-        sim_key: tuple[int, int | None, str | None] | None = None
-        sim: Simulator | None = None
-        for task in tasks:
-            cell = task.cell
-            key = (id(cell.config), task.tile_rows, task.kernel_backend)
-            if sim is None or key != sim_key:
-                sim_key = key
-                sim = Simulator(
-                    cell.config,
-                    tile_rows=task.tile_rows,
-                    kernel_backend=task.kernel_backend,
-                )
-            emit(CellStarted(tag=cell.tag, index=task.index))
+        for group in _consecutive_groups(
+            tasks,
+            key=lambda t: (id(t.cell.config), t.tile_rows, t.kernel_backend),
+        ):
+            sim = Simulator(
+                group[0].cell.config,
+                tile_rows=group[0].tile_rows,
+                kernel_backend=group[0].kernel_backend,
+            )
+            for task in group:
+                emit(CellStarted(tag=task.cell.tag, index=task.index))
+            if len(group) == 1:
+                yield _run_cell(sim, group[0], emit)
+                continue
             start = time.perf_counter()
             try:
-                raw: tuple[dict[str, Any] | None, str | None] = (
-                    sim.run(cell.policy).to_dict(),
-                    None,
+                outcomes = sim.run_many_outcomes(
+                    [task.cell.policy for task in group]
                 )
-            except PolicyError as exc:
-                raw = (None, str(exc))
-            result = CellResult(
-                index=task.index,
-                result_dict=raw[0],
-                error=raw[1],
-                elapsed_s=time.perf_counter() - start,
-            )
-            _emit_completion(emit, task, result)
-            yield result
+            except BaseException:  # noqa: BLE001 - recover per cell, then re-raise
+                # Unexpected crash somewhere in the group: re-run one
+                # cell at a time (determinism makes the re-run bitwise
+                # free) so the cells before the crashing one still
+                # yield — and get memoized — before the error aborts
+                # the sweep.
+                for task in group:
+                    yield _run_cell(sim, task, emit)
+                raise
+            elapsed = (time.perf_counter() - start) / len(group)
+            for task, outcome in zip(group, outcomes):
+                if isinstance(outcome, PolicyError):
+                    result = CellResult(
+                        index=task.index,
+                        result_dict=None,
+                        error=str(outcome),
+                        elapsed_s=elapsed,
+                    )
+                else:
+                    result = CellResult(
+                        index=task.index,
+                        result_dict=outcome.to_dict(),
+                        error=None,
+                        elapsed_s=elapsed,
+                    )
+                _emit_completion(emit, task, result)
+                yield result
 
 
 class _PoolExecutorBase:

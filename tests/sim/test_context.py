@@ -129,3 +129,103 @@ class TestTiledStream:
         c = ctx()
         with pytest.raises(ConfigurationError):
             c.tiled_epoch_stream(np.empty(0, dtype=np.int64), 0, 0, "t")
+
+
+class TestPermCacheEnvOverride:
+    """``REPRO_PERM_CACHE_MAX_ELEMENTS`` resizes the cache cap per process."""
+
+    ENV = "REPRO_PERM_CACHE_MAX_ELEMENTS"
+
+    def test_default_cap_caches_small_scenarios(self):
+        assert ctx().cache_enabled
+
+    def test_zero_disables_caching(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "0")
+        c = ctx()
+        assert not c.cache_enabled
+        assert c.epoch_matrix(0) is not c.epoch_matrix(0)
+
+    def test_cap_compares_total_elements(self, monkeypatch):
+        c = ctx()
+        elements = c.config.num_epochs * c.config.dataset.num_samples
+        monkeypatch.setenv(self.ENV, str(elements))
+        assert ctx().cache_enabled
+        monkeypatch.setenv(self.ENV, str(elements - 1))
+        assert not ctx().cache_enabled
+
+    def test_non_integer_rejected(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "lots")
+        with pytest.raises(ConfigurationError):
+            ctx()
+
+    def test_read_at_construction_only(self, monkeypatch):
+        c = ctx()
+        monkeypatch.setenv(self.ENV, "0")
+        # An existing context keeps the cap it was built with.
+        assert c.cache_enabled
+
+
+class TestHoldEpoch:
+    """The epoch-major loop's rolling one-epoch permutation slot."""
+
+    def _uncached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERM_CACHE_MAX_ELEMENTS", "0")
+        return ctx()
+
+    def test_held_epoch_served_without_rebuilding(self, monkeypatch):
+        c = self._uncached(monkeypatch)
+        c.hold_epoch(1)
+        assert c.held_epoch == 1
+        builds = c.perm_builds
+        assert c.epoch_matrix(1) is c.epoch_matrix(1)
+        assert c.perm_builds == builds
+
+    def test_held_matrix_bitwise_matches_unheld(self, monkeypatch):
+        c = self._uncached(monkeypatch)
+        expected = c.epoch_matrix(1).copy()
+        c.hold_epoch(1)
+        np.testing.assert_array_equal(c.epoch_matrix(1), expected)
+
+    def test_rolls_one_epoch_at_a_time(self, monkeypatch):
+        c = self._uncached(monkeypatch)
+        c.hold_epoch(0)
+        c.hold_epoch(1)
+        assert c.held_epoch == 1
+        # The released epoch rebuilds; the held one doesn't.
+        builds = c.perm_builds
+        c.epoch_matrix(1)
+        assert c.perm_builds == builds
+        c.epoch_matrix(0)
+        assert c.perm_builds == builds + 1
+
+    def test_re_hold_is_a_no_op(self, monkeypatch):
+        c = self._uncached(monkeypatch)
+        c.hold_epoch(2)
+        held = c.epoch_matrix(2)
+        c.hold_epoch(2)
+        assert c.epoch_matrix(2) is held
+
+    def test_release(self, monkeypatch):
+        c = self._uncached(monkeypatch)
+        c.hold_epoch(0)
+        c.release_held_epoch()
+        assert c.held_epoch is None
+        assert c.epoch_matrix(0) is not c.epoch_matrix(0)
+
+    def test_perm_builds_counts_materializations(self, monkeypatch):
+        c = self._uncached(monkeypatch)
+        assert c.perm_builds == 0
+        c.epoch_matrix(0)
+        c.epoch_matrix(0)
+        assert c.perm_builds == 2
+        c.hold_epoch(1)
+        c.epoch_matrix(1)
+        assert c.perm_builds == 3
+
+    def test_cache_enabled_hold_primes_persistent_cache(self):
+        c = ctx()
+        c.hold_epoch(0)
+        assert c.held_epoch is None  # nothing to roll when caching
+        builds = c.perm_builds
+        assert c.epoch_matrix(0) is c.epoch_matrix(0)
+        assert c.perm_builds == builds == 1

@@ -128,3 +128,128 @@ class TestApplyNoiseMatrix:
         times, src = self._matrices(n=3)
         with pytest.raises(ConfigurationError):
             apply_noise_matrix(times, src, NoiseConfig(), [generator(0, "n", 0)])
+
+    #: Configs steering every short-circuit in the fused kernel: the
+    #: default (tail break between PFS and remote/local), no tails
+    #: (PFS fuses with the rest), sigma-zero segments that must consume
+    #: nothing, tails with jitterless PFS, and everything off.
+    CONFIGS = {
+        "default": NoiseConfig(),
+        "no-tails": NoiseConfig(pfs_tail_prob=0.0),
+        "pfs-sigma-zero": NoiseConfig(pfs_sigma=0.0),
+        "pfs-sigma-zero-no-tails": NoiseConfig(pfs_sigma=0.0, pfs_tail_prob=0.0),
+        "remote-sigma-zero": NoiseConfig(remote_sigma=0.0),
+        "local-sigma-zero": NoiseConfig(local_sigma=0.0),
+        "all-sigma-zero": NoiseConfig(
+            pfs_sigma=0.0, remote_sigma=0.0, local_sigma=0.0
+        ),
+        "all-zero": NoiseConfig(
+            pfs_sigma=0.0, remote_sigma=0.0, local_sigma=0.0, pfs_tail_prob=0.0
+        ),
+        "heavy-tails": NoiseConfig(pfs_tail_prob=0.4, pfs_tail_scale=30.0),
+    }
+
+    #: Source-class layouts hitting the lazy-mask fast path: rows where
+    #: whole classes are absent must never build those masks, and the
+    #: result must still replay the per-worker streams exactly.
+    def _source_layouts(self, n=4, length=96):
+        full = np.random.default_rng(21).integers(0, 4, (n, length))
+        return {
+            "mixed": full.astype(np.int8),
+            "pfs-only": np.full((n, length), int(Source.PFS), dtype=np.int8),
+            "remote-only": np.full((n, length), int(Source.REMOTE), dtype=np.int8),
+            "local-only": np.full((n, length), int(Source.LOCAL), dtype=np.int8),
+            "none-only": np.full((n, length), int(Source.NONE), dtype=np.int8),
+            "pfs-and-none": np.where(
+                full < 2, int(Source.PFS), int(Source.NONE)
+            ).astype(np.int8),
+            "remote-and-local": np.where(
+                full < 2, int(Source.REMOTE), int(Source.LOCAL)
+            ).astype(np.int8),
+        }
+
+    @pytest.mark.parametrize("cfg_name", sorted(CONFIGS))
+    def test_fast_paths_bitwise_match_per_worker(self, cfg_name):
+        """Every short-circuit combination replays the scalar streams."""
+        cfg = self.CONFIGS[cfg_name]
+        times, _ = self._matrices()
+        for layout, src in self._source_layouts().items():
+            rngs = [generator(0, "noise", 1, w) for w in range(times.shape[0])]
+            out = apply_noise_matrix(times, src, cfg, rngs)
+            for w in range(times.shape[0]):
+                row_rng = generator(0, "noise", 1, w)
+                np.testing.assert_array_equal(
+                    out[w],
+                    apply_noise(times[w], src[w], cfg, row_rng),
+                    err_msg=f"{cfg_name} / {layout} / worker {w}",
+                )
+
+    def test_absent_classes_skip_mask_construction(self):
+        """The micro-fix: all-PFS rows never scan for remote/local."""
+        times, _ = self._matrices()
+        src = np.full(times.shape, int(Source.PFS), dtype=np.int8)
+
+        class _NoCompare(np.ndarray):
+            def __eq__(self, other):
+                if other in (int(Source.REMOTE), int(Source.LOCAL)):
+                    raise AssertionError(f"built mask for absent class {other}")
+                return np.ndarray.__eq__(self, other)
+
+        guarded = src.view(_NoCompare)
+        with pytest.raises(AssertionError):
+            guarded == int(Source.REMOTE)  # the guard itself is live
+        rngs = [generator(0, "noise", 1, w) for w in range(times.shape[0])]
+        out = apply_noise_matrix(times, guarded, NoiseConfig(), rngs)
+        assert out.shape == times.shape
+
+    def test_stream_not_consumed_for_sigma_zero(self):
+        """sigma==0 segments draw nothing, keeping streams aligned."""
+        cfg = NoiseConfig(
+            pfs_sigma=0.0, remote_sigma=0.0, local_sigma=0.0, pfs_tail_prob=0.0
+        )
+        times, src = self._matrices()
+        rngs = [generator(0, "noise", 1, w) for w in range(times.shape[0])]
+        out = apply_noise_matrix(times, src, cfg, rngs)
+        np.testing.assert_array_equal(out, times)
+        for w, rng in enumerate(rngs):
+            assert rng.random() == generator(0, "noise", 1, w).random()
+
+
+class TestFusedUnitLognormals:
+    """The fused broadcast draw must equal consecutive scalar-sigma calls."""
+
+    def _sequential(self, rng, segments):
+        return [
+            rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma, size=count)
+            for sigma, count in segments
+        ]
+
+    @pytest.mark.parametrize(
+        "segments",
+        [
+            [(0.45, 37)],
+            [(0.45, 37), (0.08, 11)],
+            [(0.45, 1), (0.08, 1), (0.03, 1)],
+            [(0.45, 200), (0.08, 50), (0.03, 129)],
+            [(1.7, 3), (0.0001, 3)],
+        ],
+        ids=lambda s: "+".join(f"{sig}x{n}" for sig, n in s),
+    )
+    def test_bitwise_matches_sequential_draws(self, segments):
+        from repro.sim.noise import _fused_unit_lognormals
+
+        fused = _fused_unit_lognormals(generator(2, "fuse"), segments)
+        expected = self._sequential(generator(2, "fuse"), segments)
+        assert len(fused) == len(expected)
+        for got, want in zip(fused, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_leaves_stream_where_sequential_does(self):
+        from repro.sim.noise import _fused_unit_lognormals
+
+        segments = [(0.45, 8), (0.08, 5), (0.03, 3)]
+        fused_rng = generator(3, "fuse")
+        _fused_unit_lognormals(fused_rng, segments)
+        seq_rng = generator(3, "fuse")
+        self._sequential(seq_rng, segments)
+        assert fused_rng.random() == seq_rng.random()

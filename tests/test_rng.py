@@ -61,3 +61,99 @@ class TestSpawn:
         # keys are masked to 32 bits; the entropy itself accepts any int >= 0
         g = rng.generator(3, -1)
         assert g.random() == rng.generator(3, -1).random()
+
+
+#: Key shapes exercising every normalization branch: bare ints, strings,
+#: mixed, empty, and the engine's canonical noise key.
+KEY_SHAPES = [
+    (7, ()),
+    (7, (3,)),
+    (7, ("noise", 0, 1)),
+    (7, ("noise", 0, 2)),
+    (1, ("shuffle", 5, "sub")),
+    (0xC1A1B0, ("noise", 11, 63)),
+]
+
+
+class TestGeneratorStateCache:
+    def test_clone_bitwise_matches_fresh_across_key_shapes(self):
+        """Property (ISSUE 10): a state-cloned stream == a fresh stream.
+
+        For every key shape, both the first (derived) and every later
+        (rewound) request must reproduce ``generator(seed, *key)``'s
+        stream exactly — across the draw kinds the engine consumes
+        (lognormal, uniform, standard normal).
+        """
+        cache = rng.GeneratorStateCache()
+        for seed, key in KEY_SHAPES:
+            def draws(g):
+                return (g.lognormal(0.0, 0.3, 16), g.random(8), g.standard_normal(4))
+            fresh = draws(rng.generator(seed, *key))
+            for trip in ("derived", "cloned", "cloned-again"):
+                got = draws(cache.generator(seed, *key))
+                for a, b in zip(got, fresh):
+                    np.testing.assert_array_equal(a, b, err_msg=f"{key} {trip}")
+
+    def test_rewinds_consumed_state(self):
+        """A half-consumed stream rewinds to its start on re-request."""
+        cache = rng.GeneratorStateCache()
+        first = cache.generator(9, "noise", 0, 0)
+        first.random(1000)  # advance arbitrarily far
+        again = cache.generator(9, "noise", 0, 0)
+        np.testing.assert_array_equal(
+            again.random(32), rng.generator(9, "noise", 0, 0).random(32)
+        )
+
+    def test_same_object_rewound(self):
+        """The cache retains one generator per key (the cheap path)."""
+        cache = rng.GeneratorStateCache()
+        assert cache.generator(9, "n", 0) is cache.generator(9, "n", 0)
+
+    def test_counters(self):
+        cache = rng.GeneratorStateCache()
+        cache.generator(9, "noise", 0, 0)
+        cache.generator(9, "noise", 0, 1)
+        cache.generator(9, "noise", 0, 0)
+        cache.generator(9, "noise", 0, 1)
+        assert cache.derived == 2
+        assert cache.cloned == 2
+        assert len(cache) == 2
+
+    def test_distinct_keys_distinct_streams(self):
+        cache = rng.GeneratorStateCache()
+        a = cache.generator(9, "noise", 0, 0).random(50)
+        b = cache.generator(9, "noise", 0, 1).random(50)
+        assert not np.array_equal(a, b)
+
+    def test_evict_prefix_drops_one_epoch(self):
+        cache = rng.GeneratorStateCache()
+        for epoch in (0, 1):
+            for worker in range(4):
+                cache.generator(9, "noise", epoch, worker)
+        assert len(cache) == 8
+        assert cache.evict(9, "noise", 0) == 4
+        assert len(cache) == 4
+        # Epoch 1 survives (served as a clone); epoch 0 re-derives,
+        # still bitwise equal to the fresh stream.
+        cloned_before = cache.cloned
+        cache.generator(9, "noise", 1, 0)
+        assert cache.cloned == cloned_before + 1
+        np.testing.assert_array_equal(
+            cache.generator(9, "noise", 0, 0).random(16),
+            rng.generator(9, "noise", 0, 0).random(16),
+        )
+
+    def test_evict_is_seed_scoped(self):
+        cache = rng.GeneratorStateCache()
+        cache.generator(9, "noise", 0, 0)
+        cache.generator(10, "noise", 0, 0)
+        assert cache.evict(9, "noise") == 1
+        assert len(cache) == 1
+
+    def test_clear_preserves_counters(self):
+        cache = rng.GeneratorStateCache()
+        cache.generator(9, "n")
+        cache.generator(9, "n")
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.derived, cache.cloned) == (1, 1)

@@ -16,17 +16,22 @@ a scaled-down MNIST scenario, so every registered policy — including
 the unsupported/PolicyError path — flows through both engines.
 
 ``--kernels`` runs the production engine under a named kernel backend
-(``repro list kernels``) and ``--share-seeds`` routes every cell
-through the seed-sharing path (``Simulator.run_seed`` from a base
-simulator on a *different* seed) — both are execution knobs with a
-bitwise-identity contract, so the byte-diff must stay empty for every
-combination.
+(``repro list kernels``), ``--share-seeds`` routes every cell through
+the seed-sharing path (``Simulator.run_seed`` from a base simulator on
+a *different* seed), and ``--run-many`` evaluates each scenario's cells
+together through the epoch-major multi-policy path
+(``Simulator.run_many_outcomes`` / ``run_many_seed``) — all execution
+knobs with a bitwise-identity contract, so the byte-diff must stay
+empty for every combination. Pairing ``--run-many`` with a
+``REPRO_PERM_CACHE_MAX_ELEMENTS=0`` environment exercises the
+cache-disabled rolling-slot sharing on these small scenarios.
 
 Usage::
 
     python tools/engine_equivalence.py REFERENCE_DIR ENGINE_DIR
     python tools/engine_equivalence.py REFERENCE_DIR ENGINE_DIR \
         --kernels numba --share-seeds
+    python tools/engine_equivalence.py REFERENCE_DIR ENGINE_DIR --run-many
     diff -r REFERENCE_DIR ENGINE_DIR
 """
 
@@ -88,11 +93,19 @@ def main(argv: list[str] | None = None) -> int:
         help="route every cell through Simulator.run_seed from a base "
         "simulator on a different seed (the seed-sharing path)",
     )
+    parser.add_argument(
+        "--run-many", action="store_true",
+        help="evaluate each scenario's cells together through the "
+        "epoch-major multi-policy path (run_many_outcomes, or "
+        "run_many_seed with --share-seeds)",
+    )
     args = parser.parse_args(argv)
     reference_cache = ResultCache(args.reference_dir)
     engine_cache = ResultCache(args.engine_dir)
 
     simulators: dict[str, tuple[ReferenceSimulator, Simulator]] = {}
+    #: scenario JSON -> {id(policy): outcome} under --run-many.
+    many_outcomes: dict[str, dict[int, CachedOutcome]] = {}
     mismatches = 0
     cells = _cells()
     for cell in cells:
@@ -112,7 +125,29 @@ def main(argv: list[str] | None = None) -> int:
         reference_sim, engine_sim = simulators[scenario]
 
         ref = _outcome(lambda: reference_sim.run(cell.policy))
-        if args.share_seeds:
+        if args.run_many:
+            batch = many_outcomes.get(scenario)
+            if batch is None:
+                peers = [
+                    c
+                    for c in cells
+                    if json.dumps(c.config.to_dict(), sort_keys=True) == scenario
+                ]
+                policies = [c.policy for c in peers]
+                if args.share_seeds:
+                    raw = engine_sim.run_many_seed(policies, config.seed)
+                else:
+                    raw = engine_sim.run_many_outcomes(policies)
+                batch = many_outcomes[scenario] = {
+                    id(policy): (
+                        CachedOutcome(result=None, error=str(outcome))
+                        if isinstance(outcome, PolicyError)
+                        else CachedOutcome(result=outcome, error=None)
+                    )
+                    for policy, outcome in zip(policies, raw)
+                }
+            new = batch[id(cell.policy)]
+        elif args.share_seeds:
             new = _outcome(lambda: engine_sim.run_seed(cell.policy, config.seed))
         else:
             new = _outcome(lambda: engine_sim.run(cell.policy))

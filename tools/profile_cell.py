@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Per-phase timing breakdown for one simulator cell.
+
+Times where a single ``Simulator.run`` actually spends its wall clock,
+by phase:
+
+``plan``
+    :meth:`~repro.sim.engine.Simulator.plan_epoch` — policy scalars,
+    epoch id resolution.
+``resolve_fetch``
+    The fetch-source resolution (:func:`repro.perfmodel.resolve_fetch`).
+``rng``
+    Noise generator construction — the state-cached
+    :meth:`~repro.sim.plancache.PlanCache.noise_generators` path, or
+    (with ``--fresh-rng``) the historical fresh
+    :func:`repro.rng.generator` per worker, so the fast path's RNG
+    share is measurable before/after.
+``noise``
+    :func:`~repro.sim.noise.apply_noise_matrix` — the draws and the
+    multiplier scatter (generator construction excluded; see ``rng``).
+``accumulate``
+    The kernel-bundle reductions (batch totals, source totals, row
+    accumulation, latency add, interference) plus the lockstep scan.
+
+Everything not covered lands in ``other`` (result assembly, write
+times, Python glue). The tool only *observes* — every wrapper calls
+straight through — so the simulated results are the production
+engine's, bitwise.
+
+Usage::
+
+    python tools/profile_cell.py --workers 64 --repeats 5
+    python tools/profile_cell.py --fresh-rng --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.api import make_policy  # noqa: E402
+from repro.datasets import DatasetModel  # noqa: E402
+from repro.perfmodel import sec6_cluster  # noqa: E402
+from repro.rng import generator  # noqa: E402
+from repro.sim import SimulationConfig, Simulator  # noqa: E402
+from repro.sim import engine as engine_mod  # noqa: E402
+
+PHASES = ("plan", "resolve_fetch", "rng", "noise", "accumulate")
+
+#: The kernel-bundle fields folded into the ``accumulate`` phase.
+_KERNEL_FIELDS = (
+    "hash01",
+    "warmup_remote_classes",
+    "batch_totals",
+    "source_totals",
+    "accumulate_rows",
+    "add_pfs_latency",
+    "interference_factors",
+)
+
+
+def _timed(fn: Callable, phases: dict[str, float], bucket: str) -> Callable:
+    """A pass-through wrapper accumulating ``fn``'s wall time."""
+
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            phases[bucket] += time.perf_counter() - start
+
+    return wrapper
+
+
+def _scenario(args: argparse.Namespace) -> SimulationConfig:
+    samples = args.workers * args.batch * args.iterations
+    dataset = DatasetModel("profile-cell", samples, 0.15, 0.05)
+    return SimulationConfig(
+        dataset=dataset,
+        system=sec6_cluster(num_workers=args.workers),
+        batch_size=args.batch,
+        num_epochs=args.epochs,
+        seed=args.seed,
+    )
+
+
+def profile_cell(args: argparse.Namespace) -> dict:
+    """Run the cell ``--repeats`` times and return the phase breakdown."""
+    phases = {name: 0.0 for name in PHASES}
+    config = _scenario(args)
+    base_backend = engine_mod.resolve_kernel_backend(None)
+    timed_backend = dataclasses.replace(
+        base_backend,
+        **{
+            field: _timed(getattr(base_backend, field), phases, "accumulate")
+            for field in _KERNEL_FIELDS
+        },
+    )
+    sim = Simulator(config, kernel_backend=timed_backend)
+    sim.plan_epoch = _timed(sim.plan_epoch, phases, "plan")
+    if args.fresh_rng:
+        seed = config.seed
+
+        def fresh_noise_generators(epoch: int, rows: slice):
+            return [
+                generator(seed, "noise", epoch, worker)
+                for worker in range(rows.start, rows.stop)
+            ]
+
+        sim.plan_cache.noise_generators = _timed(
+            fresh_noise_generators, phases, "rng"
+        )
+    else:
+        sim.plan_cache.noise_generators = _timed(
+            sim.plan_cache.noise_generators, phases, "rng"
+        )
+
+    policy = make_policy(args.policy)
+    saved = {
+        "resolve_fetch": engine_mod.resolve_fetch,
+        "apply_noise_matrix": engine_mod.apply_noise_matrix,
+        "lockstep_epoch": engine_mod.lockstep_epoch,
+    }
+    engine_mod.resolve_fetch = _timed(saved["resolve_fetch"], phases, "resolve_fetch")
+    engine_mod.apply_noise_matrix = _timed(saved["apply_noise_matrix"], phases, "noise")
+    engine_mod.lockstep_epoch = _timed(saved["lockstep_epoch"], phases, "accumulate")
+    total = 0.0
+    try:
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            sim.run(policy)
+            total += time.perf_counter() - start
+    finally:
+        for name, fn in saved.items():
+            setattr(engine_mod, name, fn)
+
+    covered = sum(phases.values())
+    phases["other"] = max(0.0, total - covered)
+    states = sim.plan_cache.noise_states
+    return {
+        "policy": policy.name,
+        "scenario": config.scenario,
+        "workers": args.workers,
+        "batch_size": args.batch,
+        "iterations": args.iterations,
+        "epochs": args.epochs,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "rng_mode": "fresh" if args.fresh_rng else "state-cache",
+        "total_s": total,
+        "phases_s": dict(phases),
+        "shares": {
+            name: (seconds / total if total > 0 else 0.0)
+            for name, seconds in phases.items()
+        },
+        "rng_states": {"derived": states.derived, "cloned": states.cloned},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--workers", type=int, default=64, help="N (default 64)")
+    parser.add_argument("--batch", type=int, default=16, help="B (default 16)")
+    parser.add_argument(
+        "--iterations", type=int, default=16, help="T per epoch (default 16)"
+    )
+    parser.add_argument("--epochs", type=int, default=3, help="E (default 3)")
+    parser.add_argument("--seed", type=int, default=5, help="scenario seed")
+    parser.add_argument(
+        "--policy", default="staging_buffer",
+        help="policy spec (repro list policies; default staging_buffer)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="runs to accumulate over (default 5)",
+    )
+    parser.add_argument(
+        "--fresh-rng", action="store_true",
+        help="build noise generators fresh per worker (the pre-state-cache "
+        "path) instead of through the generator-state cache",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the breakdown as JSON"
+    )
+    args = parser.parse_args(argv)
+    report = profile_cell(args)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{report['policy']} @ {report['scenario']} "
+        f"(x{report['repeats']}, rng={report['rng_mode']})"
+    )
+    print(f"  total        {report['total_s'] * 1e3:9.2f} ms")
+    for name in (*PHASES, "other"):
+        seconds = report["phases_s"][name]
+        share = report["shares"][name]
+        print(f"  {name:<12} {seconds * 1e3:9.2f} ms  {share:6.1%}")
+    states = report["rng_states"]
+    print(f"  rng states   derived={states['derived']} cloned={states['cloned']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
